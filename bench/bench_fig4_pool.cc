@@ -1,0 +1,81 @@
+// Reproduces Figure 4: compression ratio and single-threaded decompression
+// throughput as encoding techniques are successively added to the scheme
+// pool, per data type.
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+
+namespace btr::bench {
+namespace {
+
+std::vector<Relation> ColumnsOfType(const std::vector<Relation>& corpus,
+                                    ColumnType type) {
+  std::vector<Relation> result;
+  for (const Relation& table : corpus) {
+    for (const Column& column : table.columns()) {
+      if (column.type() != type) continue;
+      std::vector<Relation> single = SingleColumnRelation(column);
+      result.push_back(std::move(single[0]));
+    }
+  }
+  return result;
+}
+
+template <typename CodeT>
+void RunType(const char* type_name, const std::vector<Relation>& columns,
+             const std::vector<std::pair<const char*, CodeT>>& additions,
+             u32 CompressionConfig::*mask_field) {
+  std::printf("\n--- %s columns (%zu) ---\n", type_name, columns.size());
+  std::printf("%-16s  %10s  %14s\n", "+ technique", "ratio", "decomp GB/s");
+  u32 mask = 0;
+  for (const auto& [name, code] : additions) {
+    mask |= 1u << static_cast<u32>(code);
+    CompressionConfig config;
+    config.*mask_field = mask;
+    FormatResult r = MeasureBtr(columns, config);
+    std::printf("%-16s  %9.2fx  %14.2f\n", name, r.Ratio(), r.DecompressGBps());
+  }
+}
+
+}  // namespace
+}  // namespace btr::bench
+
+int main() {
+  using namespace btr;
+  using namespace btr::bench;
+  PrintHeader(
+      "Figure 4: scheme-pool ablation — ratio & single-thread decompression");
+  std::vector<Relation> corpus = PbiCorpus();
+
+  RunType<IntSchemeCode>(
+      "integer", ColumnsOfType(corpus, ColumnType::kInteger),
+      {{"uncompressed", IntSchemeCode::kUncompressed},
+       {"one value", IntSchemeCode::kOneValue},
+       {"bitpack128", IntSchemeCode::kBp128},
+       {"fastpfor", IntSchemeCode::kPfor},
+       {"rle", IntSchemeCode::kRle},
+       {"dictionary", IntSchemeCode::kDict},
+       {"frequency", IntSchemeCode::kFrequency}},
+      &CompressionConfig::int_schemes);
+
+  RunType<DoubleSchemeCode>(
+      "double", ColumnsOfType(corpus, ColumnType::kDouble),
+      {{"uncompressed", DoubleSchemeCode::kUncompressed},
+       {"one value", DoubleSchemeCode::kOneValue},
+       {"rle", DoubleSchemeCode::kRle},
+       {"dictionary", DoubleSchemeCode::kDict},
+       {"frequency", DoubleSchemeCode::kFrequency},
+       {"pseudodecimal", DoubleSchemeCode::kPseudodecimal}},
+      &CompressionConfig::double_schemes);
+
+  RunType<StringSchemeCode>(
+      "string", ColumnsOfType(corpus, ColumnType::kString),
+      {{"uncompressed", StringSchemeCode::kUncompressed},
+       {"one value", StringSchemeCode::kOneValue},
+       {"fsst", StringSchemeCode::kFsst},
+       {"dictionary", StringSchemeCode::kDict},
+       {"dict+fsst", StringSchemeCode::kDictFsst}},
+      &CompressionConfig::string_schemes);
+  return 0;
+}

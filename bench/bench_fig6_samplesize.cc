@@ -1,0 +1,70 @@
+// Reproduces Figure 6: compressed-size overhead vs the best possible
+// scheme choice, as a function of sample size (10 runs of growing length,
+// up to estimating on the entire block).
+#include <cstdio>
+
+#include "common.h"
+#include "scheme_oracle.h"
+
+namespace btr::bench {
+namespace {
+
+void Run() {
+  std::vector<Relation> corpus = PbiCorpus();
+  std::vector<OracleBlock> blocks = FirstBlocks(corpus);
+  CompressionConfig base_config;
+
+  std::vector<BlockOracle> oracles;
+  oracles.reserve(blocks.size());
+  u64 optimal_total = 0;
+  for (const OracleBlock& block : blocks) {
+    oracles.push_back(ComputeOracle(block, base_config));
+    optimal_total += oracles.back().optimal_size;
+  }
+
+  struct Point {
+    const char* name;
+    u32 run_length;     // 10 runs each
+    bool entire_block;
+  };
+  const Point points[] = {
+      {"10x8", 8, false},     {"10x16", 16, false},   {"10x32", 32, false},
+      {"10x64", 64, false},   {"10x128", 128, false}, {"10x256", 256, false},
+      {"10x512", 512, false}, {"10x1024", 1024, false},
+      {"10x2048", 2048, false}, {"10x4096", 4096, false},
+      {"entire block", 0, true},
+  };
+  std::printf("\n%-14s  %14s  %18s\n", "sample", "tuples [%]",
+              "size vs optimum");
+  for (const Point& p : points) {
+    u64 chosen_total = 0;
+    for (size_t b = 0; b < blocks.size(); b++) {
+      u8 pick = p.entire_block
+                    ? StrategyPick(blocks[b], 0, 0, /*exhaustive=*/true)
+                    : StrategyPick(blocks[b], 10, p.run_length);
+      auto it = oracles[b].size_of_scheme.find(pick);
+      // A pick outside the oracle's viable set only happens for
+      // uncompressed fallbacks; cost it at the uncompressed size.
+      if (it != oracles[b].size_of_scheme.end()) {
+        chosen_total += it->second;
+      } else {
+        chosen_total += oracles[b].optimal_size * 2;  // pessimistic
+      }
+    }
+    double overhead =
+        100.0 * (static_cast<double>(chosen_total) / optimal_total - 1.0);
+    double sampled_share =
+        p.entire_block ? 100.0 : 100.0 * (10.0 * p.run_length) / 64000.0;
+    std::printf("%-14s  %13.2f%%  %+17.2f%%\n", p.name, sampled_share, overhead);
+  }
+}
+
+}  // namespace
+}  // namespace btr::bench
+
+int main() {
+  btr::bench::PrintHeader(
+      "Figure 6: compressed size vs optimum for growing sample sizes");
+  btr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Figure 8: compression ratio vs in-memory decompression
+// bandwidth for BtrBlocks, Parquet-like and ORC-like (each with no codec,
+// the Snappy-class codec and the Zstd-class codec), on the Public-BI-like
+// and TPC-H-like corpora. Also covers the Section 6.8 ablation: BtrBlocks
+// with all SIMD kernels disabled (scalar decompression).
+//
+// Throughput here is single-threaded (the paper's figure is on 36 cores;
+// relative ordering is the reproduced result).
+#include <cstdio>
+
+#include "common.h"
+#include "util/simd.h"
+
+namespace btr::bench {
+namespace {
+
+void RunCorpus(const char* name, const std::vector<Relation>& corpus) {
+  std::printf("\n--- %s ---\n", name);
+  std::printf("%-26s  %8s  %18s\n", "format", "ratio", "decompression GB/s");
+
+  auto print = [](const char* format, const FormatResult& r) {
+    std::printf("%-26s  %7.2fx  %18.2f\n", format, r.Ratio(), r.DecompressGBps());
+  };
+
+  {
+    CompressionConfig config;
+    print("BtrBlocks", MeasureBtr(corpus, config));
+    ScopedSimd scalar(false);
+    print("BtrBlocks (scalar, 6.8)", MeasureBtr(corpus, config));
+  }
+  for (auto [label, codec] :
+       {std::pair{"Parquet", gpc::CodecKind::kNone},
+        std::pair{"Parquet+Snappy-class", gpc::CodecKind::kLz77},
+        std::pair{"Parquet+Zstd-class", gpc::CodecKind::kEntropyLz}}) {
+    lakeformat::ParquetOptions options;
+    options.codec = codec;
+    print(label, MeasureParquetLike(corpus, options));
+  }
+  for (auto [label, codec] :
+       {std::pair{"ORC", gpc::CodecKind::kNone},
+        std::pair{"ORC+Snappy-class", gpc::CodecKind::kLz77},
+        std::pair{"ORC+Zstd-class", gpc::CodecKind::kEntropyLz}}) {
+    lakeformat::OrcOptions options;
+    options.codec = codec;
+    print(label, MeasureOrcLike(corpus, options));
+  }
+}
+
+}  // namespace
+}  // namespace btr::bench
+
+int main() {
+  using namespace btr::bench;
+  PrintHeader(
+      "Figure 8: ratio vs in-memory decompression bandwidth (single thread)");
+  RunCorpus("Public BI (synthetic archetypes)", PbiCorpus());
+  RunCorpus("TPC-H (synthetic dbgen-like)", TpchCorpus());
+  return 0;
+}

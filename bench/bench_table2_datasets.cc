@@ -1,0 +1,107 @@
+// Reproduces Table 2: Public BI Benchmark vs TPC-H — per-data-type volume
+// share and compression ratio for Uncompressed, Parquet(-like), Parquet
+// plus Snappy/LZ4-class, Parquet plus Zstd-class, and BtrBlocks.
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+
+namespace btr::bench {
+namespace {
+
+struct TypeAccumulator {
+  u64 uncompressed[3] = {0, 0, 0};
+  u64 compressed[3] = {0, 0, 0};
+
+  u64 TotalUncompressed() const {
+    return uncompressed[0] + uncompressed[1] + uncompressed[2];
+  }
+  u64 TotalCompressed() const {
+    return compressed[0] + compressed[1] + compressed[2];
+  }
+};
+
+// Compresses every column of the corpus individually and buckets the
+// bytes by column type. `compress` maps a single-column relation to its
+// compressed byte count.
+template <typename CompressFn>
+TypeAccumulator Accumulate(const std::vector<Relation>& corpus,
+                           const CompressFn& compress) {
+  TypeAccumulator acc;
+  for (const Relation& table : corpus) {
+    for (const Column& column : table.columns()) {
+      std::vector<Relation> single = SingleColumnRelation(column);
+      u64 bytes = compress(single[0]);
+      u32 t = static_cast<u32>(column.type());
+      acc.uncompressed[t] += column.UncompressedBytes();
+      acc.compressed[t] += bytes;
+    }
+  }
+  return acc;
+}
+
+void PrintRow(const char* format_name, const TypeAccumulator& acc) {
+  // Column order matches the paper: String, Double, Integer, Combined.
+  const u32 order[3] = {static_cast<u32>(ColumnType::kString),
+                        static_cast<u32>(ColumnType::kDouble),
+                        static_cast<u32>(ColumnType::kInteger)};
+  std::printf("%-22s", format_name);
+  u64 total_compressed = acc.TotalCompressed();
+  for (u32 t : order) {
+    double share = total_compressed == 0
+                       ? 0
+                       : 100.0 * acc.compressed[t] / total_compressed;
+    double ratio = acc.compressed[t] == 0
+                       ? 0
+                       : static_cast<double>(acc.uncompressed[t]) / acc.compressed[t];
+    std::printf("  %5.1f%% %6.2fx", share, ratio);
+  }
+  double combined = acc.TotalCompressed() == 0
+                        ? 0
+                        : static_cast<double>(acc.TotalUncompressed()) /
+                              acc.TotalCompressed();
+  std::printf("  %6.2fx\n", combined);
+}
+
+void RunDataset(const char* name, const std::vector<Relation>& corpus) {
+  std::printf("\n--- %s ---\n", name);
+  std::printf("%-22s  %-14s  %-14s  %-14s  %s\n", "format",
+              "string(sh,cr)", "double(sh,cr)", "int(sh,cr)", "combined");
+
+  // Uncompressed: shares by raw volume (the paper's first row).
+  {
+    TypeAccumulator acc =
+        Accumulate(corpus, [](const Relation& r) { return r.UncompressedBytes(); });
+    PrintRow("Uncompressed", acc);
+  }
+  auto parquet_with = [&](gpc::CodecKind codec) {
+    return Accumulate(corpus, [codec](const Relation& r) {
+      lakeformat::ParquetOptions options;
+      options.codec = codec;
+      return static_cast<u64>(lakeformat::WriteParquetLike(r, options).size());
+    });
+  };
+  PrintRow("Parquet", parquet_with(gpc::CodecKind::kNone));
+  PrintRow("Parquet+Snappy/LZ4*", parquet_with(gpc::CodecKind::kLz77));
+  PrintRow("Parquet+Zstd*", parquet_with(gpc::CodecKind::kEntropyLz));
+  {
+    TypeAccumulator acc = Accumulate(corpus, [](const Relation& r) {
+      CompressionConfig config;
+      return CompressRelation(r, config).CompressedBytes();
+    });
+    PrintRow("BtrBlocks", acc);
+  }
+  std::printf("(* Snappy/LZ4 and Zstd stand-ins are the from-scratch gpc codecs)\n");
+}
+
+}  // namespace
+}  // namespace btr::bench
+
+int main() {
+  using namespace btr::bench;
+  PrintHeader(
+      "Table 2: PBI vs TPC-H — per-type compressed volume share and ratio");
+  RunDataset("Public BI (synthetic archetypes)", PbiCorpus());
+  RunDataset("TPC-H (synthetic dbgen-like)", TpchCorpus());
+  return 0;
+}

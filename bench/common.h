@@ -1,0 +1,170 @@
+// Shared helpers for the per-table/figure benchmark harnesses.
+//
+// Every binary in bench/ regenerates one table or figure of the paper and
+// prints rows in the paper's shape. Corpus sizes default small enough for
+// a laptop-class single-core run; set BTR_BENCH_SCALE=N (default 1) to
+// multiply the row counts.
+#ifndef BTR_BENCH_COMMON_H_
+#define BTR_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "btr/btrblocks.h"
+#include "datagen/public_bi.h"
+#include "datagen/tpch.h"
+#include "lakeformat/orc_like.h"
+#include "lakeformat/parquet_like.h"
+#include "util/timer.h"
+
+namespace btr::bench {
+
+inline u32 BenchScale() {
+  const char* env = std::getenv("BTR_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  int scale = std::atoi(env);
+  return scale < 1 ? 1 : static_cast<u32>(scale);
+}
+
+inline std::vector<Relation> PbiCorpus(u32 rows_per_table = 128000,
+                                       u32 tables = 5) {
+  datagen::PublicBiOptions options;
+  options.tables = tables;
+  options.rows_per_table = rows_per_table * BenchScale();
+  return datagen::MakePublicBiCorpus(options);
+}
+
+inline std::vector<Relation> TpchCorpus(u32 lineitem_rows = 200000) {
+  datagen::TpchOptions options;
+  options.lineitem_rows = lineitem_rows * BenchScale();
+  return datagen::MakeTpchCorpus(options);
+}
+
+// --- measurements ------------------------------------------------------------
+
+struct FormatResult {
+  u64 uncompressed_bytes = 0;
+  u64 compressed_bytes = 0;
+  double compress_seconds = 0;
+  double decompress_seconds = 0;  // single-thread, best of repeats
+
+  double Ratio() const {
+    return compressed_bytes == 0
+               ? 0
+               : static_cast<double>(uncompressed_bytes) / compressed_bytes;
+  }
+  double DecompressGBps() const {
+    return decompress_seconds == 0
+               ? 0
+               : static_cast<double>(uncompressed_bytes) / decompress_seconds / 1e9;
+  }
+};
+
+inline constexpr int kDecompressRepeats = 3;
+
+inline FormatResult MeasureBtr(const std::vector<Relation>& corpus,
+                               const CompressionConfig& config) {
+  FormatResult result;
+  std::vector<CompressedRelation> compressed;
+  Timer compress_timer;
+  for (const Relation& table : corpus) {
+    compressed.push_back(CompressRelation(table, config));
+  }
+  result.compress_seconds = compress_timer.ElapsedSeconds();
+  for (const CompressedRelation& c : compressed) {
+    result.uncompressed_bytes += c.UncompressedBytes();
+    result.compressed_bytes += c.CompressedBytes();
+  }
+  double best = 1e300;
+  for (int repeat = 0; repeat < kDecompressRepeats; repeat++) {
+    Timer timer;
+    for (const CompressedRelation& c : compressed) {
+      DecompressRelation(c, config);
+    }
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  result.decompress_seconds = best;
+  return result;
+}
+
+inline FormatResult MeasureParquetLike(const std::vector<Relation>& corpus,
+                                       const lakeformat::ParquetOptions& options) {
+  FormatResult result;
+  std::vector<ByteBuffer> files;
+  Timer compress_timer;
+  for (const Relation& table : corpus) {
+    files.push_back(lakeformat::WriteParquetLike(table, options));
+  }
+  result.compress_seconds = compress_timer.ElapsedSeconds();
+  for (const Relation& table : corpus) {
+    result.uncompressed_bytes += table.UncompressedBytes();
+  }
+  for (const ByteBuffer& f : files) result.compressed_bytes += f.size();
+  double best = 1e300;
+  for (int repeat = 0; repeat < kDecompressRepeats; repeat++) {
+    Timer timer;
+    for (const ByteBuffer& f : files) {
+      lakeformat::DecodeParquetLikeBytes(f.data(), f.size());
+    }
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  result.decompress_seconds = best;
+  return result;
+}
+
+inline FormatResult MeasureOrcLike(const std::vector<Relation>& corpus,
+                                   const lakeformat::OrcOptions& options) {
+  FormatResult result;
+  std::vector<ByteBuffer> files;
+  Timer compress_timer;
+  for (const Relation& table : corpus) {
+    files.push_back(lakeformat::WriteOrcLike(table, options));
+  }
+  result.compress_seconds = compress_timer.ElapsedSeconds();
+  for (const Relation& table : corpus) {
+    result.uncompressed_bytes += table.UncompressedBytes();
+  }
+  for (const ByteBuffer& f : files) result.compressed_bytes += f.size();
+  double best = 1e300;
+  for (int repeat = 0; repeat < kDecompressRepeats; repeat++) {
+    Timer timer;
+    for (const ByteBuffer& f : files) {
+      lakeformat::DecodeOrcLikeBytes(f.data(), f.size());
+    }
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  result.decompress_seconds = best;
+  return result;
+}
+
+// Single-column corpus view helper.
+inline std::vector<Relation> SingleColumnRelation(const Column& column) {
+  std::vector<Relation> corpus;
+  Relation r("single");
+  Column& copy = r.AddColumn(column.name(), column.type());
+  for (u32 i = 0; i < column.size(); i++) {
+    if (column.IsNull(i)) {
+      copy.AppendNull();
+      continue;
+    }
+    switch (column.type()) {
+      case ColumnType::kInteger: copy.AppendInt(column.ints()[i]); break;
+      case ColumnType::kDouble: copy.AppendDouble(column.doubles()[i]); break;
+      case ColumnType::kString: copy.AppendString(column.GetString(i)); break;
+    }
+  }
+  corpus.push_back(std::move(r));
+  return corpus;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace btr::bench
+
+#endif  // BTR_BENCH_COMMON_H_

@@ -1,0 +1,128 @@
+// btrtool: command-line utility around the BtrBlocks format.
+//
+//   btrtool compress  <table.csv> <out-dir> <table-name>   CSV -> .btr files
+//   btrtool decompress <dir> <table-name> <out.csv>        .btr -> CSV
+//   btrtool stats     <dir> <table-name>                   per-column report
+//   btrtool demo                                           self-contained demo
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "btr/btrblocks.h"
+#include "datagen/csv.h"
+#include "datagen/public_bi.h"
+
+namespace {
+
+using namespace btr;
+
+const char* RootSchemeName(ColumnType type, u8 code) {
+  switch (type) {
+    case ColumnType::kInteger:
+      return IntSchemeName(static_cast<IntSchemeCode>(code));
+    case ColumnType::kDouble:
+      return DoubleSchemeName(static_cast<DoubleSchemeCode>(code));
+    case ColumnType::kString:
+      return StringSchemeName(static_cast<StringSchemeCode>(code));
+  }
+  return "?";
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdCompress(const std::string& csv_path, const std::string& dir,
+                const std::string& name) {
+  Relation relation(name);
+  Status status = datagen::ReadCsvFile(csv_path, name, &relation);
+  if (!status.ok()) return Fail(status);
+  CompressionConfig config;
+  CompressedRelation compressed = CompressRelation(relation, config);
+  status = WriteCompressedRelation(compressed, dir);
+  if (!status.ok()) return Fail(status);
+  std::printf("%u rows, %zu columns: %.2f MiB -> %.2f MiB (%.2fx)\n",
+              relation.row_count(), relation.columns().size(),
+              relation.UncompressedBytes() / 1048576.0,
+              compressed.CompressedBytes() / 1048576.0,
+              compressed.CompressionRatio());
+  return 0;
+}
+
+int CmdDecompress(const std::string& dir, const std::string& name,
+                  const std::string& csv_path) {
+  CompressedRelation compressed;
+  Status status = ReadCompressedRelation(dir, name, &compressed);
+  if (!status.ok()) return Fail(status);
+  CompressionConfig config;
+  Relation relation = MaterializeRelation(compressed, config);
+  status = datagen::WriteCsvFile(relation, csv_path);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %u rows to %s\n", relation.row_count(), csv_path.c_str());
+  return 0;
+}
+
+int CmdStats(const std::string& dir, const std::string& name) {
+  TableMeta meta;
+  Status status = ReadTableMeta(dir, name, &meta);
+  if (!status.ok()) return Fail(status);
+  std::printf("table %s: %u rows, %zu columns\n", name.c_str(), meta.row_count,
+              meta.columns.size());
+  std::printf("%-24s %-8s %10s %12s %8s  %s\n", "column", "type", "blocks",
+              "compressed", "ratio", "scheme of block 0");
+  for (size_t c = 0; c < meta.columns.size(); c++) {
+    CompressedColumn column;
+    status = ReadCompressedColumn(dir, name, meta, c, &column);
+    if (!status.ok()) return Fail(status);
+    double ratio = column.CompressedBytes() == 0
+                       ? 0
+                       : static_cast<double>(column.uncompressed_bytes) /
+                             column.CompressedBytes();
+    std::printf("%-24s %-8s %10zu %10.1f K %7.1fx  %s\n", column.name.c_str(),
+                ColumnTypeName(column.type), column.blocks.size(),
+                column.CompressedBytes() / 1024.0, ratio,
+                RootSchemeName(column.type, column.block_root_schemes[0]));
+  }
+  return 0;
+}
+
+int CmdDemo() {
+  std::printf("generating a Public-BI-like demo table...\n");
+  Relation table = datagen::MakePublicBiTable("demo", 64000, 1);
+  std::string dir = "/tmp";
+  std::string csv = "/tmp/demo.csv";
+  Status status = datagen::WriteCsvFile(table, csv);
+  if (!status.ok()) return Fail(status);
+  if (int rc = CmdCompress(csv, dir, "demo"); rc != 0) return rc;
+  if (int rc = CmdStats(dir, "demo"); rc != 0) return rc;
+  if (int rc = CmdDecompress(dir, "demo", "/tmp/demo_out.csv"); rc != 0) {
+    return rc;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command = argc > 1 ? argv[1] : "";
+  if (command == "compress" && argc == 5) {
+    return CmdCompress(argv[2], argv[3], argv[4]);
+  }
+  if (command == "decompress" && argc == 5) {
+    return CmdDecompress(argv[2], argv[3], argv[4]);
+  }
+  if (command == "stats" && argc == 4) {
+    return CmdStats(argv[2], argv[3]);
+  }
+  if (command == "demo") {
+    return CmdDemo();
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  btrtool compress   <table.csv> <out-dir> <table-name>\n"
+               "  btrtool decompress <dir> <table-name> <out.csv>\n"
+               "  btrtool stats      <dir> <table-name>\n"
+               "  btrtool demo\n");
+  return 2;
+}

@@ -1,0 +1,86 @@
+// Format shootout: the same table stored as BtrBlocks, Parquet-like and
+// ORC-like files (with each general-purpose codec) — sizes, compression
+// time and single-thread decode throughput, side by side. A compact
+// command-line version of the paper's Figure 8 for one table.
+//
+//   ./format_shootout [rows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "btr/btrblocks.h"
+#include "datagen/public_bi.h"
+#include "lakeformat/orc_like.h"
+#include "lakeformat/parquet_like.h"
+#include "util/timer.h"
+
+namespace {
+
+struct Row {
+  const char* name;
+  double compressed_mib;
+  double compress_seconds;
+  double decode_gbps;
+};
+
+void Print(const Row& row, double uncompressed_mib) {
+  std::printf("%-24s  %9.2f MiB  %7.2fx  %8.3f s  %10.2f GB/s\n", row.name,
+              row.compressed_mib, uncompressed_mib / row.compressed_mib,
+              row.compress_seconds, row.decode_gbps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace btr;
+  u32 rows = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 256000;
+  Relation table = datagen::MakePublicBiTable("shootout", rows, 42);
+  double uncompressed_mib = table.UncompressedBytes() / 1048576.0;
+  std::printf("table: %u rows, %zu columns, %.2f MiB in memory\n\n", rows,
+              table.columns().size(), uncompressed_mib);
+  std::printf("%-24s  %13s  %8s  %10s  %12s\n", "format", "size", "ratio",
+              "compress", "decode");
+
+  {
+    CompressionConfig config;
+    Timer ct;
+    CompressedRelation compressed = CompressRelation(table, config);
+    double compress_seconds = ct.ElapsedSeconds();
+    Timer dt;
+    u64 bytes = DecompressRelation(compressed, config);
+    Print(Row{"BtrBlocks", compressed.CompressedBytes() / 1048576.0,
+              compress_seconds, bytes / dt.ElapsedSeconds() / 1e9},
+          uncompressed_mib);
+  }
+  for (auto [name, codec] :
+       {std::pair{"Parquet-like", gpc::CodecKind::kNone},
+        std::pair{"Parquet-like+Snappy*", gpc::CodecKind::kLz77},
+        std::pair{"Parquet-like+Zstd*", gpc::CodecKind::kEntropyLz}}) {
+    lakeformat::ParquetOptions options;
+    options.codec = codec;
+    Timer ct;
+    ByteBuffer file = lakeformat::WriteParquetLike(table, options);
+    double compress_seconds = ct.ElapsedSeconds();
+    Timer dt;
+    u64 bytes = lakeformat::DecodeParquetLikeBytes(file.data(), file.size());
+    Print(Row{name, file.size() / 1048576.0, compress_seconds,
+              bytes / dt.ElapsedSeconds() / 1e9},
+          uncompressed_mib);
+  }
+  for (auto [name, codec] :
+       {std::pair{"ORC-like", gpc::CodecKind::kNone},
+        std::pair{"ORC-like+Snappy*", gpc::CodecKind::kLz77},
+        std::pair{"ORC-like+Zstd*", gpc::CodecKind::kEntropyLz}}) {
+    lakeformat::OrcOptions options;
+    options.codec = codec;
+    Timer ct;
+    ByteBuffer file = lakeformat::WriteOrcLike(table, options);
+    double compress_seconds = ct.ElapsedSeconds();
+    Timer dt;
+    u64 bytes = lakeformat::DecodeOrcLikeBytes(file.data(), file.size());
+    Print(Row{name, file.size() / 1048576.0, compress_seconds,
+              bytes / dt.ElapsedSeconds() / 1e9},
+          uncompressed_mib);
+  }
+  std::printf("\n(*) Snappy/Zstd stand-ins are this repo's gpc codecs.\n");
+  return 0;
+}

@@ -1,0 +1,315 @@
+#include "bitmap/roaring.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace btr {
+
+RoaringBitmap::Container* RoaringBitmap::FindOrCreate(u16 key) {
+  // Fast path: appends are usually to the last container.
+  if (!containers_.empty() && containers_.back().key == key) {
+    return &containers_.back();
+  }
+  auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& c, u16 k) { return c.key < k; });
+  if (it != containers_.end() && it->key == key) return &*it;
+  Container fresh;
+  fresh.key = key;
+  return &*containers_.insert(it, std::move(fresh));
+}
+
+const RoaringBitmap::Container* RoaringBitmap::Find(u16 key) const {
+  auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& c, u16 k) { return c.key < k; });
+  if (it != containers_.end() && it->key == key) return &*it;
+  return nullptr;
+}
+
+void RoaringBitmap::ToBitset(Container* c) {
+  BTR_DCHECK(c->type == ContainerType::kArray);
+  c->bitset.assign(kBitsetWords, 0);
+  for (u16 v : c->array) c->bitset[v >> 6] |= u64{1} << (v & 63);
+  c->array.clear();
+  c->array.shrink_to_fit();
+  c->type = ContainerType::kBitset;
+}
+
+void RoaringBitmap::AddToContainer(Container* c, u16 low) {
+  switch (c->type) {
+    case ContainerType::kArray: {
+      if (!c->array.empty() && c->array.back() == low) return;
+      if (c->array.empty() || c->array.back() < low) {
+        c->array.push_back(low);
+      } else {
+        auto it = std::lower_bound(c->array.begin(), c->array.end(), low);
+        if (it != c->array.end() && *it == low) return;
+        c->array.insert(it, low);
+      }
+      c->cardinality++;
+      if (c->cardinality > kArrayMaxCardinality) ToBitset(c);
+      return;
+    }
+    case ContainerType::kBitset: {
+      u64& word = c->bitset[low >> 6];
+      u64 mask = u64{1} << (low & 63);
+      if ((word & mask) == 0) {
+        word |= mask;
+        c->cardinality++;
+      }
+      return;
+    }
+    case ContainerType::kRun: {
+      // Run containers are only produced by RunOptimize(); extend the last
+      // run on append, otherwise add a fresh run (kept sorted by caller
+      // usage patterns — ascending adds).
+      if (!c->runs.empty()) {
+        Run& last = c->runs.back();
+        u32 end = static_cast<u32>(last.start) + last.length;
+        if (low <= end && low >= last.start) return;
+        if (low == end + 1 && end + 1 <= 0xFFFF) {
+          last.length++;
+          c->cardinality++;
+          return;
+        }
+      }
+      c->runs.push_back(Run{low, 0});
+      c->cardinality++;
+      return;
+    }
+  }
+}
+
+void RoaringBitmap::Add(u32 value) {
+  AddToContainer(FindOrCreate(static_cast<u16>(value >> 16)),
+                 static_cast<u16>(value & 0xFFFF));
+}
+
+void RoaringBitmap::AddRange(u32 begin, u32 end) {
+  for (u32 v = begin; v < end; v++) Add(v);
+}
+
+void RoaringBitmap::RunOptimize() {
+  for (Container& c : containers_) {
+    // Collect runs from the current representation.
+    std::vector<Run> runs;
+    u32 run_count = 0;
+    auto feed = [&](u16 low) {
+      if (!runs.empty() &&
+          static_cast<u32>(runs.back().start) + runs.back().length + 1 == low) {
+        runs.back().length++;
+      } else {
+        runs.push_back(Run{low, 0});
+        run_count++;
+      }
+    };
+    if (c.type == ContainerType::kArray) {
+      for (u16 v : c.array) feed(v);
+    } else if (c.type == ContainerType::kBitset) {
+      for (u32 word = 0; word < kBitsetWords; word++) {
+        u64 bits = c.bitset[word];
+        while (bits != 0) {
+          u32 bit = static_cast<u32>(__builtin_ctzll(bits));
+          feed(static_cast<u16>(word * 64 + bit));
+          bits &= bits - 1;
+        }
+      }
+    } else {
+      continue;  // already runs
+    }
+    size_t run_bytes = runs.size() * sizeof(Run);
+    size_t current_bytes = c.type == ContainerType::kArray
+                               ? c.array.size() * sizeof(u16)
+                               : kBitsetWords * sizeof(u64);
+    if (run_bytes < current_bytes) {
+      c.runs = std::move(runs);
+      c.array.clear();
+      c.array.shrink_to_fit();
+      c.bitset.clear();
+      c.bitset.shrink_to_fit();
+      c.type = ContainerType::kRun;
+    }
+  }
+}
+
+bool RoaringBitmap::ContainerContains(const Container& c, u16 low) {
+  switch (c.type) {
+    case ContainerType::kArray:
+      return std::binary_search(c.array.begin(), c.array.end(), low);
+    case ContainerType::kBitset:
+      return (c.bitset[low >> 6] >> (low & 63)) & 1;
+    case ContainerType::kRun: {
+      auto it = std::upper_bound(
+          c.runs.begin(), c.runs.end(), low,
+          [](u16 v, const Run& r) { return v < r.start; });
+      if (it == c.runs.begin()) return false;
+      --it;
+      return low >= it->start &&
+             static_cast<u32>(low) <= static_cast<u32>(it->start) + it->length;
+    }
+  }
+  return false;
+}
+
+bool RoaringBitmap::Contains(u32 value) const {
+  const Container* c = Find(static_cast<u16>(value >> 16));
+  return c != nullptr && ContainerContains(*c, static_cast<u16>(value & 0xFFFF));
+}
+
+u64 RoaringBitmap::Cardinality() const {
+  u64 total = 0;
+  for (const Container& c : containers_) total += c.cardinality;
+  return total;
+}
+
+bool RoaringBitmap::IntersectsRange(u32 begin, u32 end) const {
+  // Ranges used by decompression are tiny (4-8 values); per-value Contains
+  // within one container is fast enough and avoids container-range logic.
+  for (u32 v = begin; v < end; v++) {
+    if (Contains(v)) return true;
+  }
+  return false;
+}
+
+// Set algebra via ordered iteration + probing. Selection vectors cover one
+// 64k block, so containers are few; container-specialized kernels (as in
+// CRoaring) would be the next optimization if these ever show in profiles.
+RoaringBitmap RoaringBitmap::And(const RoaringBitmap& a, const RoaringBitmap& b) {
+  RoaringBitmap result;
+  const RoaringBitmap& iterate = a.Cardinality() <= b.Cardinality() ? a : b;
+  const RoaringBitmap& probe = a.Cardinality() <= b.Cardinality() ? b : a;
+  iterate.ForEach([&](u32 v) {
+    if (probe.Contains(v)) result.Add(v);
+  });
+  result.RunOptimize();
+  return result;
+}
+
+RoaringBitmap RoaringBitmap::Or(const RoaringBitmap& a, const RoaringBitmap& b) {
+  RoaringBitmap result;
+  a.ForEach([&](u32 v) { result.Add(v); });
+  b.ForEach([&](u32 v) { result.Add(v); });
+  result.RunOptimize();
+  return result;
+}
+
+RoaringBitmap RoaringBitmap::AndNot(const RoaringBitmap& a,
+                                    const RoaringBitmap& b) {
+  RoaringBitmap result;
+  a.ForEach([&](u32 v) {
+    if (!b.Contains(v)) result.Add(v);
+  });
+  result.RunOptimize();
+  return result;
+}
+
+std::vector<u32> RoaringBitmap::ToVector() const {
+  std::vector<u32> out;
+  out.reserve(Cardinality());
+  ForEach([&](u32 v) { out.push_back(v); });
+  return out;
+}
+
+namespace {
+// Serialized layout:
+//   u32 container_count
+//   per container: u16 key | u8 type | u32 cardinality | payload
+//     array : u32 n       | n * u16
+//     bitset: 1024 * u64
+//     run   : u32 n       | n * (u16 start, u16 length)
+struct SerHeader {
+  u16 key;
+  u8 type;
+};
+}  // namespace
+
+void RoaringBitmap::SerializeTo(ByteBuffer* out) const {
+  out->AppendValue<u32>(static_cast<u32>(containers_.size()));
+  for (const Container& c : containers_) {
+    out->AppendValue<u16>(c.key);
+    out->AppendValue<u8>(static_cast<u8>(c.type));
+    out->AppendValue<u32>(c.cardinality);
+    switch (c.type) {
+      case ContainerType::kArray:
+        out->AppendValue<u32>(static_cast<u32>(c.array.size()));
+        out->Append(c.array.data(), c.array.size() * sizeof(u16));
+        break;
+      case ContainerType::kBitset:
+        out->Append(c.bitset.data(), kBitsetWords * sizeof(u64));
+        break;
+      case ContainerType::kRun:
+        out->AppendValue<u32>(static_cast<u32>(c.runs.size()));
+        out->Append(c.runs.data(), c.runs.size() * sizeof(Run));
+        break;
+    }
+  }
+}
+
+size_t RoaringBitmap::SerializedSizeBytes() const {
+  size_t total = sizeof(u32);
+  for (const Container& c : containers_) {
+    total += sizeof(u16) + sizeof(u8) + sizeof(u32);
+    switch (c.type) {
+      case ContainerType::kArray:
+        total += sizeof(u32) + c.array.size() * sizeof(u16);
+        break;
+      case ContainerType::kBitset:
+        total += kBitsetWords * sizeof(u64);
+        break;
+      case ContainerType::kRun:
+        total += sizeof(u32) + c.runs.size() * sizeof(Run);
+        break;
+    }
+  }
+  return total;
+}
+
+RoaringBitmap RoaringBitmap::Deserialize(const u8* data, size_t* bytes_consumed) {
+  RoaringBitmap result;
+  const u8* cursor = data;
+  u32 container_count;
+  std::memcpy(&container_count, cursor, sizeof(u32));
+  cursor += sizeof(u32);
+  result.containers_.resize(container_count);
+  for (u32 i = 0; i < container_count; i++) {
+    Container& c = result.containers_[i];
+    std::memcpy(&c.key, cursor, sizeof(u16));
+    cursor += sizeof(u16);
+    u8 type = *cursor++;
+    BTR_CHECK(type <= 2);
+    c.type = static_cast<ContainerType>(type);
+    std::memcpy(&c.cardinality, cursor, sizeof(u32));
+    cursor += sizeof(u32);
+    switch (c.type) {
+      case ContainerType::kArray: {
+        u32 n;
+        std::memcpy(&n, cursor, sizeof(u32));
+        cursor += sizeof(u32);
+        c.array.resize(n);
+        std::memcpy(c.array.data(), cursor, n * sizeof(u16));
+        cursor += n * sizeof(u16);
+        break;
+      }
+      case ContainerType::kBitset: {
+        c.bitset.resize(kBitsetWords);
+        std::memcpy(c.bitset.data(), cursor, kBitsetWords * sizeof(u64));
+        cursor += kBitsetWords * sizeof(u64);
+        break;
+      }
+      case ContainerType::kRun: {
+        u32 n;
+        std::memcpy(&n, cursor, sizeof(u32));
+        cursor += sizeof(u32);
+        c.runs.resize(n);
+        std::memcpy(c.runs.data(), cursor, n * sizeof(Run));
+        cursor += n * sizeof(Run);
+        break;
+      }
+    }
+  }
+  if (bytes_consumed != nullptr) *bytes_consumed = static_cast<size_t>(cursor - data);
+  return result;
+}
+
+}  // namespace btr

@@ -1,0 +1,123 @@
+// From-scratch Roaring bitmap (Lemire et al., "Roaring Bitmaps:
+// Implementation of an Optimized Software Library"). BtrBlocks uses Roaring
+// bitmaps for NULL tracking and for exception positions inside encodings
+// (Frequency, Pseudodecimal) — paper Section 2.2.
+//
+// A bitmap over u32 keys is split into 2^16-value chunks addressed by the
+// high 16 bits. Each chunk is stored in whichever container is smallest:
+//   - ArrayContainer:  sorted u16 list (cardinality <= 4096)
+//   - BitsetContainer: 8 KiB bitset   (cardinality  > 4096)
+//   - RunContainer:    sorted (start, length) runs, chosen by RunOptimize()
+#ifndef BTR_BITMAP_ROARING_H_
+#define BTR_BITMAP_ROARING_H_
+
+#include <memory>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/types.h"
+
+namespace btr {
+
+class RoaringBitmap {
+ public:
+  RoaringBitmap() = default;
+
+  // --- Construction -------------------------------------------------------
+  // Values may be added in any order; ascending order is the fast path.
+  void Add(u32 value);
+  void AddRange(u32 begin, u32 end);  // [begin, end)
+
+  // Converts containers to run containers where that representation is
+  // smaller. Call once after construction, before Serialize().
+  void RunOptimize();
+
+  // --- Queries -------------------------------------------------------------
+  bool Contains(u32 value) const;
+  u64 Cardinality() const;
+  bool Empty() const { return containers_.empty(); }
+
+  // True iff any value in [begin, end) is present. Used by vectorized
+  // decompression to test a SIMD lane block for exceptions.
+  bool IntersectsRange(u32 begin, u32 end) const;
+
+  // --- Set algebra -----------------------------------------------------------
+  // Used to combine per-predicate selection vectors (WHERE a = x AND b = y).
+  static RoaringBitmap And(const RoaringBitmap& a, const RoaringBitmap& b);
+  static RoaringBitmap Or(const RoaringBitmap& a, const RoaringBitmap& b);
+  // Values in a but not in b.
+  static RoaringBitmap AndNot(const RoaringBitmap& a, const RoaringBitmap& b);
+
+  // Calls fn(value) for every set value in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Container& c : containers_) {
+      u32 base = static_cast<u32>(c.key) << 16;
+      switch (c.type) {
+        case ContainerType::kArray:
+          for (u16 v : c.array) fn(base | v);
+          break;
+        case ContainerType::kBitset:
+          for (u32 word = 0; word < kBitsetWords; word++) {
+            u64 bits = c.bitset[word];
+            while (bits != 0) {
+              u32 bit = static_cast<u32>(__builtin_ctzll(bits));
+              fn(base | (word * 64 + bit));
+              bits &= bits - 1;
+            }
+          }
+          break;
+        case ContainerType::kRun:
+          for (const Run& run : c.runs) {
+            for (u32 v = run.start; v <= static_cast<u32>(run.start) + run.length; v++) {
+              fn(base | v);
+            }
+          }
+          break;
+      }
+    }
+  }
+
+  // Materializes all set values in ascending order.
+  std::vector<u32> ToVector() const;
+
+  // --- Serialization -------------------------------------------------------
+  void SerializeTo(ByteBuffer* out) const;
+  // Returns bytes consumed; aborts on structurally impossible input (the
+  // format is internal, produced only by SerializeTo).
+  static RoaringBitmap Deserialize(const u8* data, size_t* bytes_consumed);
+  size_t SerializedSizeBytes() const;
+
+ private:
+  static constexpr u32 kBitsetWords = 1024;          // 65536 bits
+  static constexpr u32 kArrayMaxCardinality = 4096;  // switch point
+
+  enum class ContainerType : u8 { kArray = 0, kBitset = 1, kRun = 2 };
+
+  struct Run {
+    u16 start;
+    u16 length;  // run covers [start, start+length], inclusive
+  };
+
+  struct Container {
+    u16 key = 0;
+    ContainerType type = ContainerType::kArray;
+    u32 cardinality = 0;
+    std::vector<u16> array;
+    std::vector<u64> bitset;
+    std::vector<Run> runs;
+  };
+
+  Container* FindOrCreate(u16 key);
+  const Container* Find(u16 key) const;
+  static void AddToContainer(Container* c, u16 low);
+  static bool ContainerContains(const Container& c, u16 low);
+  static void ToBitset(Container* c);
+
+  // Sorted by key.
+  std::vector<Container> containers_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_BITMAP_ROARING_H_

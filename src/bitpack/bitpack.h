@@ -1,0 +1,72 @@
+// Bit-packing primitives and the two high-performance integer codecs used
+// by BtrBlocks (paper Table 1): SIMD-FastBP128 and SIMD-FastPFOR, both
+// reimplemented from scratch in the spirit of Lemire & Boytsov, "Decoding
+// billions of integers per second through vectorization".
+//
+// Layouts
+// -------
+// Contiguous packing (PackScalar/UnpackScalar): values packed LSB-first
+// into a byte stream; used for small tails and exception streams.
+//
+// Vertical 128-blocks (Pack128/Unpack128*): 128 values per block in 8
+// lanes x 16 rows. Value i lives in lane (i % 8), row (i / 8). All lanes
+// share the same bit schedule, so an AVX2 unpack processes 8 lanes with
+// scalar control flow. A block with bitwidth b occupies exactly 4*b u32
+// words (16*b bytes).
+//
+// Codecs
+// ------
+// Bp128: per-128-block frame-of-reference (min) + per-block bitwidth.
+// Pfor:  per-128-block FOR + cost-chosen bitwidth b; values whose delta
+//        needs more than b bits keep their low b bits in place and store
+//        position + high bits in a patch stream (Zukowski et al. PFOR).
+#ifndef BTR_BITPACK_BITPACK_H_
+#define BTR_BITPACK_BITPACK_H_
+
+#include "util/buffer.h"
+#include "util/simd.h"
+#include "util/types.h"
+
+namespace btr::bitpack {
+
+inline constexpr u32 kBlockSize = 128;
+
+// Largest bitwidth needed by any of the `count` values.
+u32 MaxBits(const u32* in, u32 count);
+
+// --- Contiguous packing ----------------------------------------------------
+// Packs `count` values at `bits` bits each, LSB-first. `out` must have
+// PackedBytes(count, bits) writable bytes (plus SIMD padding).
+size_t PackedBytes(u32 count, u32 bits);
+void PackScalar(const u32* in, u32 count, u32 bits, u8* out);
+void UnpackScalar(const u8* in, u32 count, u32 bits, u32* out);
+
+// --- Vertical 128-value blocks ----------------------------------------------
+// Buffers are byte pointers (packed blocks land at unaligned offsets in
+// compressed payloads); Packed128Bytes(bits) bytes are read/written.
+size_t Packed128Bytes(u32 bits);
+void Pack128(const u32* in, u32 bits, u8* out);
+void Unpack128Scalar(const u8* in, u32 bits, u32* out);
+#if BTR_HAS_AVX2
+void Unpack128Avx2(const u8* in, u32 bits, u32* out);
+#endif
+// Dispatches on SimdPolicy.
+void Unpack128(const u8* in, u32 bits, u32* out);
+
+// --- FastBP128-style codec ---------------------------------------------------
+// Appends the compressed form of in[0..count) to *out; returns bytes added.
+size_t Bp128Compress(const i32* in, u32 count, ByteBuffer* out);
+// `in` points at data produced by Bp128Compress with the same count.
+// Returns bytes consumed. `out` must hold count i32 plus SIMD padding.
+size_t Bp128Decompress(const u8* in, u32 count, i32* out);
+// Compressed size without materializing the output.
+size_t Bp128CompressedSize(const i32* in, u32 count);
+
+// --- FastPFOR-style codec ----------------------------------------------------
+size_t PforCompress(const i32* in, u32 count, ByteBuffer* out);
+size_t PforDecompress(const u8* in, u32 count, i32* out);
+size_t PforCompressedSize(const i32* in, u32 count);
+
+}  // namespace btr::bitpack
+
+#endif  // BTR_BITPACK_BITPACK_H_

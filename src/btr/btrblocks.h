@@ -1,0 +1,29 @@
+// Umbrella header: the BtrBlocks public API.
+//
+// Typical usage:
+//
+//   btr::Relation table("orders");
+//   btr::Column& price = table.AddColumn("price", btr::ColumnType::kDouble);
+//   price.AppendDouble(3.25); ...
+//
+//   btr::CompressionConfig config;                    // defaults = paper
+//   btr::CompressedRelation compressed =
+//       btr::CompressRelation(table, config);
+//   btr::WriteCompressedRelation(compressed, "/data/lake");
+//
+//   btr::DecodedBlock block;
+//   btr::DecompressBlock(compressed.columns[0].blocks[0].data(), &block,
+//                        config);
+#ifndef BTR_BTR_BTRBLOCKS_H_
+#define BTR_BTR_BTRBLOCKS_H_
+
+#include "btr/column.h"        // IWYU pragma: export
+#include "btr/config.h"        // IWYU pragma: export
+#include "btr/datablock.h"     // IWYU pragma: export
+#include "btr/file_format.h"   // IWYU pragma: export
+#include "btr/relation.h"      // IWYU pragma: export
+#include "btr/sampling.h"      // IWYU pragma: export
+#include "btr/scheme_picker.h" // IWYU pragma: export
+#include "btr/stats.h"         // IWYU pragma: export
+
+#endif  // BTR_BTR_BTRBLOCKS_H_

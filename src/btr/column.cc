@@ -1,0 +1,45 @@
+#include "btr/column.h"
+
+namespace btr {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInteger: return "integer";
+    case ColumnType::kDouble: return "double";
+    case ColumnType::kString: return "string";
+  }
+  return "unknown";
+}
+
+StringsView Column::StringBlock(u32 begin, u32 count,
+                                std::vector<u32>* scratch_offsets) const {
+  BTR_CHECK(type_ == ColumnType::kString);
+  BTR_CHECK(begin + count <= row_count_);
+  scratch_offsets->resize(count + 1);
+  u32 base = begin == 0 ? 0 : string_offsets_[begin - 1];
+  (*scratch_offsets)[0] = 0;
+  for (u32 i = 0; i < count; i++) {
+    (*scratch_offsets)[i + 1] = string_offsets_[begin + i] - base;
+  }
+  StringsView view;
+  view.offsets = scratch_offsets->data();
+  view.data = string_data_.data() + base;
+  view.count = count;
+  return view;
+}
+
+u64 Column::UncompressedBytes() const {
+  switch (type_) {
+    case ColumnType::kInteger:
+      return ints_.size() * sizeof(i32);
+    case ColumnType::kDouble:
+      return doubles_.size() * sizeof(double);
+    case ColumnType::kString:
+      // Bytes plus one 4-byte offset per string, matching the binary
+      // in-memory representation the paper measures against.
+      return string_data_.size() + string_offsets_.size() * sizeof(u32);
+  }
+  return 0;
+}
+
+}  // namespace btr

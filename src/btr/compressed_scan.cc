@@ -1,0 +1,570 @@
+#include "btr/compressed_scan.h"
+
+#include <cstring>
+#include <vector>
+
+#include "bitmap/roaring.h"
+#include "btr/scheme_picker.h"
+
+namespace btr {
+
+namespace {
+
+struct BlockHeader {
+  ColumnType type;
+  u32 count;
+  u32 null_bytes;
+  const u8* null_blob;
+  const u8* body;     // [u8 scheme][payload]
+  const u8* payload;  // body + 1
+  u8 scheme;
+};
+
+BlockHeader Parse(const u8* block) {
+  BlockHeader h;
+  h.type = static_cast<ColumnType>(block[0]);
+  std::memcpy(&h.count, block + 1, sizeof(u32));
+  std::memcpy(&h.null_bytes, block + 5, sizeof(u32));
+  h.null_blob = block + 9;
+  h.body = h.null_blob + h.null_bytes;
+  h.scheme = h.body[0];
+  h.payload = h.body + 1;
+  return h;
+}
+
+// Decompresses a [scheme][payload] integer vector and counts equals.
+u32 CountInIntVector(const u8* vec, u32 count, i32 value) {
+  std::vector<i32> values(count + kDecodeSlack);
+  DecompressInts(vec, count, values.data());
+  u32 matches = 0;
+  for (u32 i = 0; i < count; i++) matches += values[i] == value;
+  return matches;
+}
+
+// Counts occurrences of `code` in a compressed code vector, using run
+// arithmetic when the codes are RLE-compressed.
+u32 CountCode(const u8* codes_vec, u32 count, i32 code) {
+  if (PeekIntScheme(codes_vec) == IntSchemeCode::kRle) {
+    const u8* payload = codes_vec + 1;
+    u32 run_count, values_bytes;
+    std::memcpy(&run_count, payload, sizeof(u32));
+    std::memcpy(&values_bytes, payload + 4, sizeof(u32));
+    std::vector<i32> run_values(run_count + kDecodeSlack);
+    std::vector<i32> run_lengths(run_count + kDecodeSlack);
+    DecompressInts(payload + 8, run_count, run_values.data());
+    DecompressInts(payload + 8 + values_bytes, run_count, run_lengths.data());
+    u32 matches = 0;
+    for (u32 r = 0; r < run_count; r++) {
+      if (run_values[r] == code) matches += static_cast<u32>(run_lengths[r]);
+    }
+    return matches;
+  }
+  return CountInIntVector(codes_vec, count, code);
+}
+
+// NULL positions hold default values (0 / 0.0 / ""), so probes equal to
+// the default must take the materializing path and honor the bitmap.
+bool NeedsNullCheck(const BlockHeader& h, bool value_is_default) {
+  return h.null_bytes > 0 && value_is_default;
+}
+
+template <typename MatchFn>
+u32 CountMaterialized(const u8* block, const CompressionConfig& config,
+                      const MatchFn& match) {
+  DecodedBlock decoded;
+  DecompressBlock(block, &decoded, config);
+  u32 matches = 0;
+  for (u32 i = 0; i < decoded.count; i++) {
+    if (decoded.IsNull(i)) continue;
+    matches += match(decoded, i);
+  }
+  return matches;
+}
+
+}  // namespace
+
+bool HasFastEqualsPath(const u8* block) {
+  BlockHeader h = Parse(block);
+  switch (h.type) {
+    case ColumnType::kInteger:
+      switch (static_cast<IntSchemeCode>(h.scheme)) {
+        case IntSchemeCode::kOneValue:
+        case IntSchemeCode::kRle:
+        case IntSchemeCode::kDict:
+        case IntSchemeCode::kFrequency:
+          return true;
+        default:
+          return false;
+      }
+    case ColumnType::kDouble:
+      switch (static_cast<DoubleSchemeCode>(h.scheme)) {
+        case DoubleSchemeCode::kOneValue:
+        case DoubleSchemeCode::kRle:
+        case DoubleSchemeCode::kDict:
+        case DoubleSchemeCode::kFrequency:
+          return true;
+        default:
+          return false;
+      }
+    case ColumnType::kString:
+      switch (static_cast<StringSchemeCode>(h.scheme)) {
+        case StringSchemeCode::kOneValue:
+        case StringSchemeCode::kDict:
+          return true;
+        default:
+          return false;
+      }
+  }
+  return false;
+}
+
+u32 CountEqualsInt(const u8* block, i32 value, const CompressionConfig& config) {
+  BlockHeader h = Parse(block);
+  BTR_CHECK(h.type == ColumnType::kInteger);
+  if (NeedsNullCheck(h, value == 0)) {
+    return CountMaterialized(block, config, [&](const DecodedBlock& d, u32 i) {
+      return d.ints[i] == value ? 1u : 0u;
+    });
+  }
+  switch (static_cast<IntSchemeCode>(h.scheme)) {
+    case IntSchemeCode::kOneValue: {
+      i32 stored;
+      std::memcpy(&stored, h.payload, sizeof(i32));
+      return stored == value ? h.count : 0;
+    }
+    case IntSchemeCode::kFrequency: {
+      i32 top;
+      u32 exception_count;
+      std::memcpy(&top, h.payload, sizeof(i32));
+      std::memcpy(&exception_count, h.payload + 4, sizeof(u32));
+      u32 bitmap_bytes;
+      std::memcpy(&bitmap_bytes, h.payload + 8, sizeof(u32));
+      if (value == top) return h.count - exception_count;
+      if (exception_count == 0) return 0;
+      return CountInIntVector(h.payload + 12 + bitmap_bytes, exception_count,
+                              value);
+    }
+    case IntSchemeCode::kRle: {
+      u32 run_count, values_bytes;
+      std::memcpy(&run_count, h.payload, sizeof(u32));
+      std::memcpy(&values_bytes, h.payload + 4, sizeof(u32));
+      std::vector<i32> run_values(run_count + kDecodeSlack);
+      std::vector<i32> run_lengths(run_count + kDecodeSlack);
+      DecompressInts(h.payload + 8, run_count, run_values.data());
+      DecompressInts(h.payload + 8 + values_bytes, run_count,
+                     run_lengths.data());
+      u32 matches = 0;
+      for (u32 r = 0; r < run_count; r++) {
+        if (run_values[r] == value) matches += static_cast<u32>(run_lengths[r]);
+      }
+      return matches;
+    }
+    case IntSchemeCode::kDict: {
+      u32 dict_count, codes_bytes;
+      std::memcpy(&dict_count, h.payload, sizeof(u32));
+      std::memcpy(&codes_bytes, h.payload + 4, sizeof(u32));
+      const u8* codes_vec = h.payload + 8;
+      const u8* dict_bytes = codes_vec + codes_bytes;
+      i32 code = -1;
+      for (u32 d = 0; d < dict_count; d++) {
+        i32 entry;
+        std::memcpy(&entry, dict_bytes + d * sizeof(i32), sizeof(i32));
+        if (entry == value) {
+          code = static_cast<i32>(d);
+          break;
+        }
+      }
+      if (code < 0) return 0;  // value not in this block at all
+      return CountCode(codes_vec, h.count, code);
+    }
+    default:
+      return CountMaterialized(block, config, [&](const DecodedBlock& d, u32 i) {
+        return d.ints[i] == value ? 1u : 0u;
+      });
+  }
+}
+
+u32 CountEqualsDouble(const u8* block, double value,
+                      const CompressionConfig& config) {
+  BlockHeader h = Parse(block);
+  BTR_CHECK(h.type == ColumnType::kDouble);
+  u64 value_bits;
+  std::memcpy(&value_bits, &value, sizeof(u64));
+  auto bits_equal = [&](double d) {
+    u64 b;
+    std::memcpy(&b, &d, sizeof(u64));
+    return b == value_bits;
+  };
+  if (NeedsNullCheck(h, bits_equal(0.0))) {
+    return CountMaterialized(block, config, [&](const DecodedBlock& d, u32 i) {
+      return bits_equal(d.doubles[i]) ? 1u : 0u;
+    });
+  }
+  switch (static_cast<DoubleSchemeCode>(h.scheme)) {
+    case DoubleSchemeCode::kOneValue: {
+      double stored;
+      std::memcpy(&stored, h.payload, sizeof(double));
+      return bits_equal(stored) ? h.count : 0;
+    }
+    case DoubleSchemeCode::kFrequency: {
+      double top;
+      u32 exception_count, bitmap_bytes;
+      std::memcpy(&top, h.payload, sizeof(double));
+      std::memcpy(&exception_count, h.payload + 8, sizeof(u32));
+      std::memcpy(&bitmap_bytes, h.payload + 12, sizeof(u32));
+      if (bits_equal(top)) return h.count - exception_count;
+      if (exception_count == 0) return 0;
+      std::vector<double> exceptions(exception_count + kDecodeSlack);
+      DecompressDoubles(h.payload + 16 + bitmap_bytes, exception_count,
+                        exceptions.data());
+      u32 matches = 0;
+      for (u32 e = 0; e < exception_count; e++) {
+        matches += bits_equal(exceptions[e]);
+      }
+      return matches;
+    }
+    case DoubleSchemeCode::kRle: {
+      u32 run_count, values_bytes;
+      std::memcpy(&run_count, h.payload, sizeof(u32));
+      std::memcpy(&values_bytes, h.payload + 4, sizeof(u32));
+      std::vector<double> run_values(run_count + kDecodeSlack);
+      std::vector<i32> run_lengths(run_count + kDecodeSlack);
+      DecompressDoubles(h.payload + 8, run_count, run_values.data());
+      DecompressInts(h.payload + 8 + values_bytes, run_count,
+                     run_lengths.data());
+      u32 matches = 0;
+      for (u32 r = 0; r < run_count; r++) {
+        if (bits_equal(run_values[r])) {
+          matches += static_cast<u32>(run_lengths[r]);
+        }
+      }
+      return matches;
+    }
+    case DoubleSchemeCode::kDict: {
+      u32 dict_count, codes_bytes;
+      std::memcpy(&dict_count, h.payload, sizeof(u32));
+      std::memcpy(&codes_bytes, h.payload + 4, sizeof(u32));
+      const u8* codes_vec = h.payload + 8;
+      const u8* dict_bytes = codes_vec + codes_bytes;
+      i32 code = -1;
+      for (u32 d = 0; d < dict_count; d++) {
+        double entry;
+        std::memcpy(&entry, dict_bytes + d * sizeof(double), sizeof(double));
+        if (bits_equal(entry)) {
+          code = static_cast<i32>(d);
+          break;
+        }
+      }
+      if (code < 0) return 0;
+      return CountCode(codes_vec, h.count, code);
+    }
+    default:
+      return CountMaterialized(block, config, [&](const DecodedBlock& d, u32 i) {
+        return bits_equal(d.doubles[i]) ? 1u : 0u;
+      });
+  }
+}
+
+u32 CountEqualsString(const u8* block, std::string_view value,
+                      const CompressionConfig& config) {
+  BlockHeader h = Parse(block);
+  BTR_CHECK(h.type == ColumnType::kString);
+  if (NeedsNullCheck(h, value.empty())) {
+    return CountMaterialized(block, config, [&](const DecodedBlock& d, u32 i) {
+      return d.strings.Get(i) == value ? 1u : 0u;
+    });
+  }
+  switch (static_cast<StringSchemeCode>(h.scheme)) {
+    case StringSchemeCode::kOneValue: {
+      u32 length;
+      std::memcpy(&length, h.payload, sizeof(u32));
+      std::string_view stored(reinterpret_cast<const char*>(h.payload + 4),
+                              length);
+      return stored == value ? h.count : 0;
+    }
+    case StringSchemeCode::kDict: {
+      u32 dict_count, pool_bytes, codes_bytes;
+      std::memcpy(&dict_count, h.payload, sizeof(u32));
+      std::memcpy(&pool_bytes, h.payload + 4, sizeof(u32));
+      std::memcpy(&codes_bytes, h.payload + 8, sizeof(u32));
+      (void)pool_bytes;
+      const u8* codes_vec = h.payload + 12;
+      const u8* tuple_bytes = codes_vec + codes_bytes;
+      const char* pool = reinterpret_cast<const char*>(
+          tuple_bytes + dict_count * sizeof(StringSlot));
+      i32 code = -1;
+      for (u32 d = 0; d < dict_count; d++) {
+        StringSlot tuple;
+        std::memcpy(&tuple, tuple_bytes + d * sizeof(StringSlot),
+                    sizeof(StringSlot));
+        if (std::string_view(pool + tuple.offset, tuple.length) == value) {
+          code = static_cast<i32>(d);
+          break;
+        }
+      }
+      if (code < 0) return 0;
+      return CountCode(codes_vec, h.count, code);
+    }
+    default:
+      return CountMaterialized(block, config, [&](const DecodedBlock& d, u32 i) {
+        return d.strings.Get(i) == value ? 1u : 0u;
+      });
+  }
+}
+
+// --- selection vectors -----------------------------------------------------
+
+namespace {
+
+// Positions of `code` in a compressed code vector, as ranges when the
+// codes are RLE-compressed.
+void SelectCode(const u8* codes_vec, u32 count, i32 code, RoaringBitmap* out) {
+  if (PeekIntScheme(codes_vec) == IntSchemeCode::kRle) {
+    const u8* payload = codes_vec + 1;
+    u32 run_count, values_bytes;
+    std::memcpy(&run_count, payload, sizeof(u32));
+    std::memcpy(&values_bytes, payload + 4, sizeof(u32));
+    std::vector<i32> run_values(run_count + kDecodeSlack);
+    std::vector<i32> run_lengths(run_count + kDecodeSlack);
+    DecompressInts(payload + 8, run_count, run_values.data());
+    DecompressInts(payload + 8 + values_bytes, run_count, run_lengths.data());
+    u32 position = 0;
+    for (u32 r = 0; r < run_count; r++) {
+      u32 length = static_cast<u32>(run_lengths[r]);
+      if (run_values[r] == code) out->AddRange(position, position + length);
+      position += length;
+    }
+    return;
+  }
+  std::vector<i32> codes(count + kDecodeSlack);
+  DecompressInts(codes_vec, count, codes.data());
+  for (u32 i = 0; i < count; i++) {
+    if (codes[i] == code) out->Add(i);
+  }
+}
+
+template <typename MatchFn>
+RoaringBitmap SelectMaterialized(const u8* block,
+                                 const CompressionConfig& config,
+                                 const MatchFn& match) {
+  DecodedBlock decoded;
+  DecompressBlock(block, &decoded, config);
+  RoaringBitmap out;
+  for (u32 i = 0; i < decoded.count; i++) {
+    if (decoded.IsNull(i)) continue;
+    if (match(decoded, i)) out.Add(i);
+  }
+  out.RunOptimize();
+  return out;
+}
+
+RoaringBitmap AllRows(u32 count) {
+  RoaringBitmap out;
+  out.AddRange(0, count);
+  out.RunOptimize();
+  return out;
+}
+
+}  // namespace
+
+RoaringBitmap SelectEqualsInt(const u8* block, i32 value,
+                              const CompressionConfig& config) {
+  BlockHeader h = Parse(block);
+  BTR_CHECK(h.type == ColumnType::kInteger);
+  if (NeedsNullCheck(h, value == 0)) {
+    return SelectMaterialized(block, config, [&](const DecodedBlock& d, u32 i) {
+      return d.ints[i] == value;
+    });
+  }
+  RoaringBitmap out;
+  switch (static_cast<IntSchemeCode>(h.scheme)) {
+    case IntSchemeCode::kOneValue: {
+      i32 stored;
+      std::memcpy(&stored, h.payload, sizeof(i32));
+      return stored == value ? AllRows(h.count) : RoaringBitmap();
+    }
+    case IntSchemeCode::kFrequency: {
+      i32 top;
+      u32 exception_count, bitmap_bytes;
+      std::memcpy(&top, h.payload, sizeof(i32));
+      std::memcpy(&exception_count, h.payload + 4, sizeof(u32));
+      std::memcpy(&bitmap_bytes, h.payload + 8, sizeof(u32));
+      RoaringBitmap exceptions =
+          RoaringBitmap::Deserialize(h.payload + 12, nullptr);
+      if (value == top) {
+        // Every row except the exception positions.
+        return RoaringBitmap::AndNot(AllRows(h.count), exceptions);
+      }
+      if (exception_count == 0) return out;
+      std::vector<i32> exception_values(exception_count + kDecodeSlack);
+      DecompressInts(h.payload + 12 + bitmap_bytes, exception_count,
+                     exception_values.data());
+      u32 e = 0;
+      exceptions.ForEach([&](u32 position) {
+        if (exception_values[e++] == value) out.Add(position);
+      });
+      out.RunOptimize();
+      return out;
+    }
+    case IntSchemeCode::kRle: {
+      u32 run_count, values_bytes;
+      std::memcpy(&run_count, h.payload, sizeof(u32));
+      std::memcpy(&values_bytes, h.payload + 4, sizeof(u32));
+      std::vector<i32> run_values(run_count + kDecodeSlack);
+      std::vector<i32> run_lengths(run_count + kDecodeSlack);
+      DecompressInts(h.payload + 8, run_count, run_values.data());
+      DecompressInts(h.payload + 8 + values_bytes, run_count,
+                     run_lengths.data());
+      u32 position = 0;
+      for (u32 r = 0; r < run_count; r++) {
+        u32 length = static_cast<u32>(run_lengths[r]);
+        if (run_values[r] == value) out.AddRange(position, position + length);
+        position += length;
+      }
+      out.RunOptimize();
+      return out;
+    }
+    case IntSchemeCode::kDict: {
+      u32 dict_count, codes_bytes;
+      std::memcpy(&dict_count, h.payload, sizeof(u32));
+      std::memcpy(&codes_bytes, h.payload + 4, sizeof(u32));
+      const u8* codes_vec = h.payload + 8;
+      const u8* dict_bytes = codes_vec + codes_bytes;
+      for (u32 d = 0; d < dict_count; d++) {
+        i32 entry;
+        std::memcpy(&entry, dict_bytes + d * sizeof(i32), sizeof(i32));
+        if (entry == value) {
+          SelectCode(codes_vec, h.count, static_cast<i32>(d), &out);
+          out.RunOptimize();
+          return out;
+        }
+      }
+      return out;
+    }
+    default:
+      return SelectMaterialized(block, config,
+                                [&](const DecodedBlock& d, u32 i) {
+                                  return d.ints[i] == value;
+                                });
+  }
+}
+
+RoaringBitmap SelectEqualsDouble(const u8* block, double value,
+                                 const CompressionConfig& config) {
+  BlockHeader h = Parse(block);
+  BTR_CHECK(h.type == ColumnType::kDouble);
+  u64 value_bits;
+  std::memcpy(&value_bits, &value, sizeof(u64));
+  auto bits_equal = [&](double d) {
+    u64 b;
+    std::memcpy(&b, &d, sizeof(u64));
+    return b == value_bits;
+  };
+  if (NeedsNullCheck(h, bits_equal(0.0))) {
+    return SelectMaterialized(block, config, [&](const DecodedBlock& d, u32 i) {
+      return bits_equal(d.doubles[i]);
+    });
+  }
+  RoaringBitmap out;
+  switch (static_cast<DoubleSchemeCode>(h.scheme)) {
+    case DoubleSchemeCode::kOneValue: {
+      double stored;
+      std::memcpy(&stored, h.payload, sizeof(double));
+      return bits_equal(stored) ? AllRows(h.count) : RoaringBitmap();
+    }
+    case DoubleSchemeCode::kFrequency: {
+      double top;
+      u32 exception_count, bitmap_bytes;
+      std::memcpy(&top, h.payload, sizeof(double));
+      std::memcpy(&exception_count, h.payload + 8, sizeof(u32));
+      std::memcpy(&bitmap_bytes, h.payload + 12, sizeof(u32));
+      RoaringBitmap exceptions =
+          RoaringBitmap::Deserialize(h.payload + 16, nullptr);
+      if (bits_equal(top)) {
+        return RoaringBitmap::AndNot(AllRows(h.count), exceptions);
+      }
+      if (exception_count == 0) return out;
+      std::vector<double> exception_values(exception_count + kDecodeSlack);
+      DecompressDoubles(h.payload + 16 + bitmap_bytes, exception_count,
+                        exception_values.data());
+      u32 e = 0;
+      exceptions.ForEach([&](u32 position) {
+        if (bits_equal(exception_values[e++])) out.Add(position);
+      });
+      out.RunOptimize();
+      return out;
+    }
+    case DoubleSchemeCode::kDict: {
+      u32 dict_count, codes_bytes;
+      std::memcpy(&dict_count, h.payload, sizeof(u32));
+      std::memcpy(&codes_bytes, h.payload + 4, sizeof(u32));
+      const u8* codes_vec = h.payload + 8;
+      const u8* dict_bytes = codes_vec + codes_bytes;
+      for (u32 d = 0; d < dict_count; d++) {
+        double entry;
+        std::memcpy(&entry, dict_bytes + d * sizeof(double), sizeof(double));
+        if (bits_equal(entry)) {
+          SelectCode(codes_vec, h.count, static_cast<i32>(d), &out);
+          out.RunOptimize();
+          return out;
+        }
+      }
+      return out;
+    }
+    default:
+      return SelectMaterialized(block, config,
+                                [&](const DecodedBlock& d, u32 i) {
+                                  return bits_equal(d.doubles[i]);
+                                });
+  }
+}
+
+RoaringBitmap SelectEqualsString(const u8* block, std::string_view value,
+                                 const CompressionConfig& config) {
+  BlockHeader h = Parse(block);
+  BTR_CHECK(h.type == ColumnType::kString);
+  if (NeedsNullCheck(h, value.empty())) {
+    return SelectMaterialized(block, config, [&](const DecodedBlock& d, u32 i) {
+      return d.strings.Get(i) == value;
+    });
+  }
+  RoaringBitmap out;
+  switch (static_cast<StringSchemeCode>(h.scheme)) {
+    case StringSchemeCode::kOneValue: {
+      u32 length;
+      std::memcpy(&length, h.payload, sizeof(u32));
+      std::string_view stored(reinterpret_cast<const char*>(h.payload + 4),
+                              length);
+      return stored == value ? AllRows(h.count) : RoaringBitmap();
+    }
+    case StringSchemeCode::kDict: {
+      u32 dict_count, pool_bytes, codes_bytes;
+      std::memcpy(&dict_count, h.payload, sizeof(u32));
+      std::memcpy(&pool_bytes, h.payload + 4, sizeof(u32));
+      std::memcpy(&codes_bytes, h.payload + 8, sizeof(u32));
+      (void)pool_bytes;
+      const u8* codes_vec = h.payload + 12;
+      const u8* tuple_bytes = codes_vec + codes_bytes;
+      const char* pool = reinterpret_cast<const char*>(
+          tuple_bytes + dict_count * sizeof(StringSlot));
+      for (u32 d = 0; d < dict_count; d++) {
+        StringSlot tuple;
+        std::memcpy(&tuple, tuple_bytes + d * sizeof(StringSlot),
+                    sizeof(StringSlot));
+        if (std::string_view(pool + tuple.offset, tuple.length) == value) {
+          SelectCode(codes_vec, h.count, static_cast<i32>(d), &out);
+          out.RunOptimize();
+          return out;
+        }
+      }
+      return out;
+    }
+    default:
+      return SelectMaterialized(block, config,
+                                [&](const DecodedBlock& d, u32 i) {
+                                  return d.strings.Get(i) == value;
+                                });
+  }
+}
+
+}  // namespace btr

@@ -1,0 +1,57 @@
+// Predicate evaluation directly on compressed blocks — the extension the
+// paper sketches in Section 7 ("BtrBlocks can, in principle, also support
+// processing compressed data if the used schemes support it").
+//
+// CountEquals* answer `count(*) where col = v` for one block without
+// materializing values whenever the root scheme permits:
+//   OneValue:   O(1) — compare once
+//   Frequency:  O(exceptions) — dominant value answered from the header
+//   RLE:        O(runs) — sum run lengths of matching run values
+//   Dictionary: probe the dictionary, then count codes (runs of codes
+//               when the code vector is RLE-compressed)
+// Other root schemes fall back to decompress-and-count, so the functions
+// are exact for every block.
+#ifndef BTR_BTR_COMPRESSED_SCAN_H_
+#define BTR_BTR_COMPRESSED_SCAN_H_
+
+#include <string_view>
+
+#include "bitmap/roaring.h"
+#include "btr/datablock.h"
+
+namespace btr {
+
+// `block` points at a serialized block (CompressIntBlock et al.). NULL
+// entries never match (SQL semantics: NULL = v is not true).
+u32 CountEqualsInt(const u8* block, i32 value, const CompressionConfig& config);
+u32 CountEqualsDouble(const u8* block, double value,
+                      const CompressionConfig& config);
+u32 CountEqualsString(const u8* block, std::string_view value,
+                      const CompressionConfig& config);
+
+// True when the block's root scheme admits a sub-linear (no full
+// materialization) path for equality predicates. Exposed for tests and
+// the ablation bench.
+bool HasFastEqualsPath(const u8* block);
+
+// SelectEquals* return the matching row positions of one block as a
+// Roaring bitmap (a selection vector). Combine predicates across columns
+// with RoaringBitmap::And/Or before materializing any values:
+//
+//   auto sel = RoaringBitmap::And(
+//       SelectEqualsString(city_block, "Berlin", config),
+//       SelectEqualsInt(year_block, 2023, config));
+//
+// Fast paths: RLE emits whole ranges per matching run; Frequency reuses
+// its exception bitmap (complement for the dominant value); OneValue is
+// all-or-nothing. NULL rows never match.
+RoaringBitmap SelectEqualsInt(const u8* block, i32 value,
+                              const CompressionConfig& config);
+RoaringBitmap SelectEqualsDouble(const u8* block, double value,
+                                 const CompressionConfig& config);
+RoaringBitmap SelectEqualsString(const u8* block, std::string_view value,
+                                 const CompressionConfig& config);
+
+}  // namespace btr
+
+#endif  // BTR_BTR_COMPRESSED_SCAN_H_

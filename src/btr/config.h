@@ -1,0 +1,116 @@
+// Compression configuration, scheme codes and telemetry.
+//
+// The scheme pool is configurable per type (a bitmask) because the paper's
+// Figure 4 experiment grows the pool one scheme at a time and measures the
+// effect on ratio and decompression speed.
+#ifndef BTR_BTR_CONFIG_H_
+#define BTR_BTR_CONFIG_H_
+
+#include "util/types.h"
+
+namespace btr {
+
+// Persisted in compressed payloads: values must never change meaning.
+enum class IntSchemeCode : u8 {
+  kUncompressed = 0,
+  kOneValue = 1,
+  kRle = 2,
+  kDict = 3,
+  kFrequency = 4,
+  kBp128 = 5,
+  kPfor = 6,
+};
+inline constexpr u32 kIntSchemeCount = 7;
+
+enum class DoubleSchemeCode : u8 {
+  kUncompressed = 0,
+  kOneValue = 1,
+  kRle = 2,
+  kDict = 3,
+  kFrequency = 4,
+  kPseudodecimal = 5,
+};
+inline constexpr u32 kDoubleSchemeCount = 6;
+
+enum class StringSchemeCode : u8 {
+  kUncompressed = 0,
+  kOneValue = 1,
+  kDict = 2,
+  kFsst = 3,
+  kDictFsst = 4,
+};
+inline constexpr u32 kStringSchemeCount = 5;
+
+const char* IntSchemeName(IntSchemeCode code);
+const char* DoubleSchemeName(DoubleSchemeCode code);
+const char* StringSchemeName(StringSchemeCode code);
+
+// Aggregated over one compression request when attached to the config.
+struct Telemetry {
+  u64 stats_ns = 0;          // statistics collection (min/max/unique/runs)
+  u64 estimate_ns = 0;       // sampling + per-scheme ratio estimation
+  u64 compress_ns = 0;       // total compression time (includes the above)
+  u64 scheme_uses[3][16] = {{0}};  // [type][scheme code] at cascade root
+
+  void Reset() { *this = Telemetry(); }
+};
+
+struct CompressionConfig {
+  // Cascading recursion budget (paper Section 3.2, default 3).
+  u8 max_cascade_depth = 3;
+
+  // Sampling strategy (paper Section 3.1: 10 runs of 64 values = 1%).
+  u32 sample_runs = 10;
+  u32 sample_run_length = 64;
+
+  // When true, schemes are estimated by compressing the entire block
+  // instead of a sample ("optimal scheme" oracle for Figures 5/6).
+  bool exhaustive_estimation = false;
+
+  // Enabled schemes per type (bit i = scheme code i). Default: everything.
+  u32 int_schemes = (1u << kIntSchemeCount) - 1;
+  u32 double_schemes = (1u << kDoubleSchemeCount) - 1;
+  u32 string_schemes = (1u << kStringSchemeCount) - 1;
+
+  // Fuse RLE-compressed dictionary codes directly into (offset, length)
+  // slot runs when decompressing strings (paper Section 5). A pure
+  // decompression-side optimization; kept in the config so benches can
+  // toggle it.
+  bool fused_rle_dict = true;
+
+  // Optional instrumentation sink; not owned.
+  Telemetry* telemetry = nullptr;
+
+  u64 sampling_seed = 42;
+
+  bool IntSchemeEnabled(IntSchemeCode c) const {
+    return (int_schemes >> static_cast<u32>(c)) & 1;
+  }
+  bool DoubleSchemeEnabled(DoubleSchemeCode c) const {
+    return (double_schemes >> static_cast<u32>(c)) & 1;
+  }
+  bool StringSchemeEnabled(StringSchemeCode c) const {
+    return (string_schemes >> static_cast<u32>(c)) & 1;
+  }
+};
+
+// Per-call compression state threaded through cascade recursion.
+struct CompressionContext {
+  const CompressionConfig* config;
+  u8 remaining_cascades;
+  // True while compressing a *sample* for ratio estimation. In this mode
+  // cascade children are chosen by cheap statistics-based rules instead of
+  // recursive sample compression — otherwise estimation fans out
+  // exponentially and stops being the paper's ~1.2% of compression time.
+  bool estimating = false;
+
+  CompressionContext Descend() const {
+    BTR_DCHECK(remaining_cascades > 0);
+    return CompressionContext{config, static_cast<u8>(remaining_cascades - 1),
+                              estimating};
+  }
+};
+
+}  // namespace btr
+
+#endif  // BTR_BTR_CONFIG_H_

@@ -1,0 +1,172 @@
+#include "btr/datablock.h"
+
+#include <cstring>
+
+#include "bitmap/roaring.h"
+#include "btr/scheme_picker.h"
+#include "util/timer.h"
+
+namespace btr {
+
+namespace {
+
+// Serializes the common block header; returns bytes appended.
+void AppendHeader(ColumnType type, u32 count, const u8* null_flags,
+                  ByteBuffer* out) {
+  out->AppendValue<u8>(static_cast<u8>(type));
+  out->AppendValue<u32>(count);
+  RoaringBitmap nulls;
+  if (null_flags != nullptr) {
+    for (u32 i = 0; i < count; i++) {
+      if (null_flags[i] != 0) nulls.Add(i);
+    }
+    nulls.RunOptimize();
+  }
+  if (nulls.Empty()) {
+    out->AppendValue<u32>(0);
+  } else {
+    out->AppendValue<u32>(static_cast<u32>(nulls.SerializedSizeBytes()));
+    nulls.SerializeTo(out);
+  }
+}
+
+struct Header {
+  ColumnType type;
+  u32 count;
+  u32 null_bytes;
+  const u8* null_blob;
+  const u8* body;
+};
+
+Header ParseHeader(const u8* data) {
+  Header h;
+  h.type = static_cast<ColumnType>(data[0]);
+  std::memcpy(&h.count, data + 1, sizeof(u32));
+  std::memcpy(&h.null_bytes, data + 5, sizeof(u32));
+  h.null_blob = data + 9;
+  h.body = h.null_blob + h.null_bytes;
+  return h;
+}
+
+void RecordTelemetry(const CompressionConfig& config, ColumnType type,
+                     u8 root_scheme, double elapsed_ns) {
+  if (config.telemetry == nullptr) return;
+  config.telemetry->compress_ns += static_cast<u64>(elapsed_ns);
+  config.telemetry->scheme_uses[static_cast<u8>(type)][root_scheme]++;
+}
+
+}  // namespace
+
+size_t CompressIntBlock(const i32* values, const u8* null_flags, u32 count,
+                        ByteBuffer* out, const CompressionConfig& config,
+                        BlockCompressionInfo* info) {
+  Timer timer;
+  size_t start = out->size();
+  AppendHeader(ColumnType::kInteger, count, null_flags, out);
+  CompressionContext ctx{&config, config.max_cascade_depth};
+  IntSchemeCode chosen;
+  CompressInts(values, count, out, ctx, &chosen);
+  RecordTelemetry(config, ColumnType::kInteger, static_cast<u8>(chosen),
+                  timer.ElapsedNanos());
+  if (info != nullptr) {
+    info->root_scheme = static_cast<u8>(chosen);
+    info->compressed_bytes = out->size() - start;
+  }
+  return out->size() - start;
+}
+
+size_t CompressDoubleBlock(const double* values, const u8* null_flags, u32 count,
+                           ByteBuffer* out, const CompressionConfig& config,
+                           BlockCompressionInfo* info) {
+  Timer timer;
+  size_t start = out->size();
+  AppendHeader(ColumnType::kDouble, count, null_flags, out);
+  CompressionContext ctx{&config, config.max_cascade_depth};
+  DoubleSchemeCode chosen;
+  CompressDoubles(values, count, out, ctx, &chosen);
+  RecordTelemetry(config, ColumnType::kDouble, static_cast<u8>(chosen),
+                  timer.ElapsedNanos());
+  if (info != nullptr) {
+    info->root_scheme = static_cast<u8>(chosen);
+    info->compressed_bytes = out->size() - start;
+  }
+  return out->size() - start;
+}
+
+size_t CompressStringBlock(const StringsView& values, const u8* null_flags,
+                           ByteBuffer* out, const CompressionConfig& config,
+                           BlockCompressionInfo* info) {
+  Timer timer;
+  size_t start = out->size();
+  AppendHeader(ColumnType::kString, values.count, null_flags, out);
+  CompressionContext ctx{&config, config.max_cascade_depth};
+  StringSchemeCode chosen;
+  CompressStrings(values, out, ctx, &chosen);
+  RecordTelemetry(config, ColumnType::kString, static_cast<u8>(chosen),
+                  timer.ElapsedNanos());
+  if (info != nullptr) {
+    info->root_scheme = static_cast<u8>(chosen);
+    info->compressed_bytes = out->size() - start;
+  }
+  return out->size() - start;
+}
+
+u64 DecodedBlock::ValueBytes() const {
+  switch (type) {
+    case ColumnType::kInteger: return static_cast<u64>(count) * sizeof(i32);
+    case ColumnType::kDouble: return static_cast<u64>(count) * sizeof(double);
+    case ColumnType::kString: {
+      // Logical size, not pool size: dictionary decoding shares one pool
+      // entry across repeated values, but the scan output is count slots
+      // of the full string lengths.
+      u64 bytes = static_cast<u64>(count) * sizeof(u32);
+      for (const StringSlot& slot : strings.slots) bytes += slot.length;
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+void DecodedBlock::Clear() {
+  count = 0;
+  ints.clear();
+  doubles.clear();
+  strings.slots.clear();
+  strings.pool.Clear();
+  null_flags.clear();
+}
+
+void DecompressBlock(const u8* data, DecodedBlock* out,
+                     const CompressionConfig& config) {
+  Header h = ParseHeader(data);
+  out->Clear();
+  out->type = h.type;
+  out->count = h.count;
+  if (h.null_bytes > 0) {
+    RoaringBitmap nulls = RoaringBitmap::Deserialize(h.null_blob, nullptr);
+    out->null_flags.assign(h.count, 0);
+    nulls.ForEach([&](u32 i) { out->null_flags[i] = 1; });
+  }
+  switch (h.type) {
+    case ColumnType::kInteger:
+      out->ints.resize(h.count + kDecodeSlack);
+      DecompressInts(h.body, h.count, out->ints.data());
+      out->ints.resize(h.count);
+      break;
+    case ColumnType::kDouble:
+      out->doubles.resize(h.count + kDecodeSlack);
+      DecompressDoubles(h.body, h.count, out->doubles.data());
+      out->doubles.resize(h.count);
+      break;
+    case ColumnType::kString:
+      DecompressStrings(h.body, h.count, &out->strings, config);
+      break;
+  }
+}
+
+u8 PeekBlockScheme(const u8* data) {
+  Header h = ParseHeader(data);
+  return h.body[0];
+}
+
+}  // namespace btr

@@ -1,0 +1,176 @@
+#include "btr/file_format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace btr {
+
+namespace {
+
+constexpr char kColumnMagic[4] = {'B', 'T', 'R', 'C'};
+constexpr char kMetaMagic[4] = {'B', 'T', 'R', 'M'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const void* data, size_t len) {
+  if (len > 0 && std::fwrite(data, 1, len, f) != len) {
+    return Status::IoError("short write");
+  }
+  return Status::Ok();
+}
+
+Status ReadAll(std::FILE* f, void* data, size_t len) {
+  if (len > 0 && std::fread(data, 1, len, f) != len) {
+    return Status::IoError("short read");
+  }
+  return Status::Ok();
+}
+
+std::string ColumnPath(const std::string& directory, const std::string& table,
+                       size_t column_index) {
+  return directory + "/" + table + "." + std::to_string(column_index) + ".btr";
+}
+
+std::string MetaPath(const std::string& directory, const std::string& table) {
+  return directory + "/" + table + ".btrmeta";
+}
+
+}  // namespace
+
+Status WriteCompressedRelation(const CompressedRelation& relation,
+                               const std::string& directory) {
+  // Metadata file.
+  {
+    FilePtr f(std::fopen(MetaPath(directory, relation.name).c_str(), "wb"));
+    if (f == nullptr) return Status::IoError("cannot open metadata file");
+    BTR_RETURN_IF_ERROR(WriteAll(f.get(), kMetaMagic, 4));
+    u32 column_count = static_cast<u32>(relation.columns.size());
+    BTR_RETURN_IF_ERROR(WriteAll(f.get(), &column_count, 4));
+    BTR_RETURN_IF_ERROR(WriteAll(f.get(), &relation.row_count, 4));
+    for (const CompressedColumn& column : relation.columns) {
+      u16 name_len = static_cast<u16>(column.name.size());
+      BTR_RETURN_IF_ERROR(WriteAll(f.get(), &name_len, 2));
+      BTR_RETURN_IF_ERROR(WriteAll(f.get(), column.name.data(), name_len));
+      u8 type = static_cast<u8>(column.type);
+      BTR_RETURN_IF_ERROR(WriteAll(f.get(), &type, 1));
+      BTR_RETURN_IF_ERROR(WriteAll(f.get(), &column.uncompressed_bytes, 8));
+      u32 block_count = static_cast<u32>(column.blocks.size());
+      BTR_RETURN_IF_ERROR(WriteAll(f.get(), &block_count, 4));
+      BTR_RETURN_IF_ERROR(WriteAll(f.get(), column.block_value_counts.data(),
+                                   block_count * sizeof(u32)));
+    }
+  }
+  // One file per column.
+  for (size_t i = 0; i < relation.columns.size(); i++) {
+    const CompressedColumn& column = relation.columns[i];
+    FilePtr f(std::fopen(ColumnPath(directory, relation.name, i).c_str(), "wb"));
+    if (f == nullptr) return Status::IoError("cannot open column file");
+    BTR_RETURN_IF_ERROR(WriteAll(f.get(), kColumnMagic, 4));
+    u32 block_count = static_cast<u32>(column.blocks.size());
+    BTR_RETURN_IF_ERROR(WriteAll(f.get(), &block_count, 4));
+    for (const ByteBuffer& block : column.blocks) {
+      u32 size = static_cast<u32>(block.size());
+      BTR_RETURN_IF_ERROR(WriteAll(f.get(), &size, 4));
+    }
+    for (const ByteBuffer& block : column.blocks) {
+      BTR_RETURN_IF_ERROR(WriteAll(f.get(), block.data(), block.size()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ReadTableMeta(const std::string& directory,
+                     const std::string& table_name, TableMeta* out) {
+  FilePtr f(std::fopen(MetaPath(directory, table_name).c_str(), "rb"));
+  if (f == nullptr) return Status::NotFound("metadata file missing");
+  char magic[4];
+  BTR_RETURN_IF_ERROR(ReadAll(f.get(), magic, 4));
+  if (std::memcmp(magic, kMetaMagic, 4) != 0) {
+    return Status::Corruption("bad metadata magic");
+  }
+  u32 column_count;
+  BTR_RETURN_IF_ERROR(ReadAll(f.get(), &column_count, 4));
+  BTR_RETURN_IF_ERROR(ReadAll(f.get(), &out->row_count, 4));
+  out->columns.resize(column_count);
+  for (TableMeta::ColumnMeta& column : out->columns) {
+    u16 name_len;
+    BTR_RETURN_IF_ERROR(ReadAll(f.get(), &name_len, 2));
+    column.name.resize(name_len);
+    BTR_RETURN_IF_ERROR(ReadAll(f.get(), column.name.data(), name_len));
+    u8 type;
+    BTR_RETURN_IF_ERROR(ReadAll(f.get(), &type, 1));
+    if (type > 2) return Status::Corruption("bad column type");
+    column.type = static_cast<ColumnType>(type);
+    BTR_RETURN_IF_ERROR(ReadAll(f.get(), &column.uncompressed_bytes, 8));
+    u32 block_count;
+    BTR_RETURN_IF_ERROR(ReadAll(f.get(), &block_count, 4));
+    column.block_value_counts.resize(block_count);
+    BTR_RETURN_IF_ERROR(ReadAll(f.get(), column.block_value_counts.data(),
+                                block_count * sizeof(u32)));
+  }
+  return Status::Ok();
+}
+
+Status ReadCompressedColumn(const std::string& directory,
+                            const std::string& table_name,
+                            const TableMeta& meta, size_t column_index,
+                            CompressedColumn* out) {
+  if (column_index >= meta.columns.size()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  const TableMeta::ColumnMeta& cm = meta.columns[column_index];
+  out->name = cm.name;
+  out->type = cm.type;
+  out->uncompressed_bytes = cm.uncompressed_bytes;
+  out->block_value_counts = cm.block_value_counts;
+
+  FilePtr f(
+      std::fopen(ColumnPath(directory, table_name, column_index).c_str(), "rb"));
+  if (f == nullptr) return Status::NotFound("column file missing");
+  char magic[4];
+  BTR_RETURN_IF_ERROR(ReadAll(f.get(), magic, 4));
+  if (std::memcmp(magic, kColumnMagic, 4) != 0) {
+    return Status::Corruption("bad column magic");
+  }
+  u32 block_count;
+  BTR_RETURN_IF_ERROR(ReadAll(f.get(), &block_count, 4));
+  if (block_count != cm.block_value_counts.size()) {
+    return Status::Corruption("metadata/column block count mismatch");
+  }
+  std::vector<u32> sizes(block_count);
+  BTR_RETURN_IF_ERROR(ReadAll(f.get(), sizes.data(), block_count * sizeof(u32)));
+  out->blocks.clear();
+  out->blocks.reserve(block_count);
+  out->block_root_schemes.resize(block_count);
+  for (u32 b = 0; b < block_count; b++) {
+    ByteBuffer block(sizes[b]);  // keeps SIMD read padding
+    BTR_RETURN_IF_ERROR(ReadAll(f.get(), block.data(), sizes[b]));
+    out->block_root_schemes[b] = PeekBlockScheme(block.data());
+    out->blocks.push_back(std::move(block));
+  }
+  return Status::Ok();
+}
+
+Status ReadCompressedRelation(const std::string& directory,
+                              const std::string& table_name,
+                              CompressedRelation* out) {
+  TableMeta meta;
+  BTR_RETURN_IF_ERROR(ReadTableMeta(directory, table_name, &meta));
+  out->name = table_name;
+  out->row_count = meta.row_count;
+  out->columns.clear();
+  out->columns.resize(meta.columns.size());
+  for (size_t i = 0; i < meta.columns.size(); i++) {
+    BTR_RETURN_IF_ERROR(
+        ReadCompressedColumn(directory, table_name, meta, i, &out->columns[i]));
+  }
+  return Status::Ok();
+}
+
+}  // namespace btr

@@ -1,0 +1,55 @@
+// On-disk layout. Following the paper (Sections 2.1 and 6.7), BtrBlocks
+// keeps data files free of metadata: each column is written to its own
+// file of size-framed blocks, and table metadata (column names, types,
+// row counts) lives in one separate metadata file.
+//
+//   <dir>/<table>.btrmeta            table metadata
+//   <dir>/<table>.<column_idx>.btr   one file per column
+//
+// Column file: "BTRC" | u32 block_count | block_count * u32 sizes |
+//              concatenated block payloads.
+// Metadata:    "BTRM" | u32 column_count | u32 row_count | per column:
+//              u16 name_len | name | u8 type | u64 uncompressed_bytes |
+//              u32 block_count | block_count * u32 value_counts.
+#ifndef BTR_BTR_FILE_FORMAT_H_
+#define BTR_BTR_FILE_FORMAT_H_
+
+#include <string>
+
+#include "btr/relation.h"
+#include "util/status.h"
+
+namespace btr {
+
+Status WriteCompressedRelation(const CompressedRelation& relation,
+                               const std::string& directory);
+
+Status ReadCompressedRelation(const std::string& directory,
+                              const std::string& table_name,
+                              CompressedRelation* out);
+
+// Table metadata only (column names/types/row counts) — the cheap read a
+// query planner performs before deciding which column files to fetch.
+struct TableMeta {
+  u32 row_count = 0;
+  struct ColumnMeta {
+    std::string name;
+    ColumnType type;
+    u64 uncompressed_bytes;
+    std::vector<u32> block_value_counts;
+  };
+  std::vector<ColumnMeta> columns;
+};
+Status ReadTableMeta(const std::string& directory,
+                     const std::string& table_name, TableMeta* out);
+
+// Projection read: fetches exactly one column file (OLAP queries rarely
+// read entire tables — paper Section 6.7, "Loading individual columns").
+Status ReadCompressedColumn(const std::string& directory,
+                            const std::string& table_name,
+                            const TableMeta& meta, size_t column_index,
+                            CompressedColumn* out);
+
+}  // namespace btr
+
+#endif  // BTR_BTR_FILE_FORMAT_H_

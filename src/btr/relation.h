@@ -1,0 +1,106 @@
+// Relation (table) level API: compress every column of a table block by
+// block, hold the compressed form in memory, and decompress it back.
+// This is the surface the evaluation harnesses drive.
+#ifndef BTR_BTR_RELATION_H_
+#define BTR_BTR_RELATION_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "btr/datablock.h"
+#include "exec/thread_pool.h"
+
+namespace btr {
+
+class Relation {
+ public:
+  explicit Relation(std::string name) : name_(std::move(name)) {}
+
+  // The returned reference stays valid across further AddColumn calls
+  // (columns are kept in a deque).
+  Column& AddColumn(std::string name, ColumnType type) {
+    columns_.emplace_back(std::move(name), type);
+    return columns_.back();
+  }
+
+  const std::string& name() const { return name_; }
+  const std::deque<Column>& columns() const { return columns_; }
+  std::deque<Column>& columns() { return columns_; }
+  u32 row_count() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  u64 UncompressedBytes() const {
+    u64 total = 0;
+    for (const Column& c : columns_) total += c.UncompressedBytes();
+    return total;
+  }
+
+ private:
+  std::string name_;
+  std::deque<Column> columns_;
+};
+
+// One column's compressed blocks.
+struct CompressedColumn {
+  std::string name;
+  ColumnType type = ColumnType::kInteger;
+  u64 uncompressed_bytes = 0;
+  std::vector<ByteBuffer> blocks;       // one buffer per 64k-value block
+  std::vector<u32> block_value_counts;  // values per block
+  std::vector<u8> block_root_schemes;   // root scheme code per block
+
+  u64 CompressedBytes() const {
+    u64 total = 0;
+    for (const ByteBuffer& b : blocks) total += b.size();
+    return total;
+  }
+};
+
+struct CompressedRelation {
+  std::string name;
+  u32 row_count = 0;
+  std::vector<CompressedColumn> columns;
+
+  u64 CompressedBytes() const {
+    u64 total = 0;
+    for (const CompressedColumn& c : columns) total += c.CompressedBytes();
+    return total;
+  }
+  u64 UncompressedBytes() const {
+    u64 total = 0;
+    for (const CompressedColumn& c : columns) total += c.uncompressed_bytes;
+    return total;
+  }
+  double CompressionRatio() const {
+    u64 compressed = CompressedBytes();
+    return compressed == 0 ? 0.0
+                           : static_cast<double>(UncompressedBytes()) / compressed;
+  }
+};
+
+// Compresses one column into blocks of kBlockCapacity values.
+CompressedColumn CompressColumn(const Column& column,
+                                const CompressionConfig& config);
+
+// Compresses every column; with a pool, columns compress in parallel.
+CompressedRelation CompressRelation(const Relation& relation,
+                                    const CompressionConfig& config,
+                                    exec::ThreadPool* pool = nullptr);
+
+// Decompresses every block of a column, reusing `scratch`. Returns the
+// total uncompressed value bytes produced (throughput accounting).
+u64 DecompressColumn(const CompressedColumn& column,
+                     const CompressionConfig& config, DecodedBlock* scratch);
+
+// Decompresses the whole relation; returns total value bytes produced.
+u64 DecompressRelation(const CompressedRelation& relation,
+                       const CompressionConfig& config,
+                       exec::ThreadPool* pool = nullptr);
+
+// Full materialization back into a Relation (round-trip tests, examples).
+Relation MaterializeRelation(const CompressedRelation& compressed,
+                             const CompressionConfig& config);
+
+}  // namespace btr
+
+#endif  // BTR_BTR_RELATION_H_

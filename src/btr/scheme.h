@@ -1,0 +1,78 @@
+// Encoding scheme interfaces and the per-type scheme pools.
+//
+// Mirrors the paper's Listing 1: every scheme can (a) estimate its
+// compression ratio on a sample — returning 0 when statistics rule it out —
+// and (b) compress/decompress a full block, possibly cascading into
+// recursive CompressInts/CompressDoubles/CompressStrings calls with a
+// decremented recursion budget.
+//
+// Payload framing convention: a "compressed vector" is [u8 scheme code]
+// [payload]. Parents that embed child vectors store the child's byte size
+// themselves. Decompression output buffers must provide kDecodeSlack
+// elements of slack past the logical end: vectorized kernels intentionally
+// overshoot and correct the cursor afterwards (paper Section 5).
+#ifndef BTR_BTR_SCHEME_H_
+#define BTR_BTR_SCHEME_H_
+
+#include "btr/config.h"
+#include "btr/sampling.h"
+#include "btr/stats.h"
+#include "util/buffer.h"
+
+namespace btr {
+
+// Elements (not bytes) of writable slack required past decompression
+// output ends.
+inline constexpr u32 kDecodeSlack = 16;
+
+class IntScheme {
+ public:
+  virtual ~IntScheme() = default;
+  virtual IntSchemeCode code() const = 0;
+  virtual const char* name() const = 0;
+  // Estimated compression ratio (input bytes / output bytes) on the
+  // sample; 0 if the scheme is not viable for this block.
+  virtual double EstimateRatio(const IntStats& stats, const IntSample& sample,
+                               const CompressionContext& ctx) const = 0;
+  // Appends [payload] (scheme byte written by the picker). Returns bytes.
+  virtual size_t Compress(const i32* in, u32 count, ByteBuffer* out,
+                          const CompressionContext& ctx) const = 0;
+  virtual void Decompress(const u8* in, u32 count, i32* out) const = 0;
+};
+
+class DoubleScheme {
+ public:
+  virtual ~DoubleScheme() = default;
+  virtual DoubleSchemeCode code() const = 0;
+  virtual const char* name() const = 0;
+  virtual double EstimateRatio(const DoubleStats& stats,
+                               const DoubleSample& sample,
+                               const CompressionContext& ctx) const = 0;
+  virtual size_t Compress(const double* in, u32 count, ByteBuffer* out,
+                          const CompressionContext& ctx) const = 0;
+  virtual void Decompress(const u8* in, u32 count, double* out) const = 0;
+};
+
+class StringScheme {
+ public:
+  virtual ~StringScheme() = default;
+  virtual StringSchemeCode code() const = 0;
+  virtual const char* name() const = 0;
+  virtual double EstimateRatio(const StringStats& stats,
+                               const StringSample& sample,
+                               const CompressionContext& ctx) const = 0;
+  virtual size_t Compress(const StringsView& in, ByteBuffer* out,
+                          const CompressionContext& ctx) const = 0;
+  // `count` strings; appends bytes to out->pool and slots to out->slots.
+  virtual void Decompress(const u8* in, u32 count, DecodedStrings* out,
+                          const CompressionConfig& config) const = 0;
+};
+
+// Process-lifetime scheme registries.
+const IntScheme& GetIntScheme(IntSchemeCode code);
+const DoubleScheme& GetDoubleScheme(DoubleSchemeCode code);
+const StringScheme& GetStringScheme(StringSchemeCode code);
+
+}  // namespace btr
+
+#endif  // BTR_BTR_SCHEME_H_

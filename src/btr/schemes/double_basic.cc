@@ -1,0 +1,319 @@
+// Uncompressed, OneValue, RLE, Dictionary and Frequency for doubles.
+// All value comparisons are on bit patterns: the format is lossless down
+// to NaN payloads and signed zeros.
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "bitmap/roaring.h"
+#include "btr/scheme_picker.h"
+#include "btr/schemes/double_schemes.h"
+#include "btr/schemes/estimate_util.h"
+
+namespace btr {
+
+namespace {
+inline u64 BitsOf(double d) {
+  u64 b;
+  std::memcpy(&b, &d, 8);
+  return b;
+}
+inline double DoubleOf(u64 b) {
+  double d;
+  std::memcpy(&d, &b, 8);
+  return d;
+}
+}  // namespace
+
+// --- Uncompressed ------------------------------------------------------------
+
+double DoubleUncompressed::EstimateRatio(const DoubleStats&, const DoubleSample&,
+                                         const CompressionContext&) const {
+  return 1.0;
+}
+
+size_t DoubleUncompressed::Compress(const double* in, u32 count, ByteBuffer* out,
+                                    const CompressionContext&) const {
+  out->Append(in, count * sizeof(double));
+  return count * sizeof(double);
+}
+
+void DoubleUncompressed::Decompress(const u8* in, u32 count, double* out) const {
+  std::memcpy(out, in, count * sizeof(double));
+}
+
+// --- OneValue -------------------------------------------------------------------
+
+double DoubleOneValue::EstimateRatio(const DoubleStats& stats, const DoubleSample&,
+                                     const CompressionContext&) const {
+  if (stats.unique_count != 1) return 0.0;
+  return RatioOf(stats.count * sizeof(double), sizeof(double));
+}
+
+size_t DoubleOneValue::Compress(const double* in, u32 count, ByteBuffer* out,
+                                const CompressionContext&) const {
+  BTR_CHECK(count > 0);
+  out->AppendValue<double>(in[0]);
+  return sizeof(double);
+}
+
+void DoubleOneValue::Decompress(const u8* in, u32 count, double* out) const {
+  double value;
+  std::memcpy(&value, in, sizeof(double));
+#if BTR_HAS_AVX2
+  if (SimdPolicy::Enabled()) {
+    const __m256d v = _mm256_set1_pd(value);
+    double* end = out + count;
+    for (double* p = out; p < end; p += 4) {
+      _mm256_storeu_pd(p, v);
+    }
+    return;
+  }
+#endif
+  for (u32 i = 0; i < count; i++) out[i] = value;
+}
+
+// --- RLE -------------------------------------------------------------------------
+// Payload: [u32 run_count][u32 values_bytes][values vector][lengths vector]
+
+double DoubleRle::EstimateRatio(const DoubleStats& stats,
+                                const DoubleSample& sample,
+                                const CompressionContext& ctx) const {
+  if (stats.AverageRunLength() < 2.0) return 0.0;
+  return EstimateDoubleBySample(*this, sample, ctx);
+}
+
+size_t DoubleRle::Compress(const double* in, u32 count, ByteBuffer* out,
+                           const CompressionContext& ctx) const {
+  size_t start = out->size();
+  std::vector<double> values;
+  std::vector<i32> lengths;
+  u32 i = 0;
+  while (i < count) {
+    u32 run_start = i;
+    u64 bits = BitsOf(in[i]);
+    while (i < count && BitsOf(in[i]) == bits) i++;
+    values.push_back(DoubleOf(bits));
+    lengths.push_back(static_cast<i32>(i - run_start));
+  }
+  u32 run_count = static_cast<u32>(values.size());
+  out->AppendValue<u32>(run_count);
+  size_t size_slot = out->size();
+  out->AppendValue<u32>(0);
+  u32 values_bytes = static_cast<u32>(
+      CompressDoubles(values.data(), run_count, out, ctx.Descend()));
+  std::memcpy(out->data() + size_slot, &values_bytes, sizeof(u32));
+  CompressInts(lengths.data(), run_count, out, ctx.Descend());
+  return out->size() - start;
+}
+
+void DoubleRle::Decompress(const u8* in, u32 count, double* out) const {
+  u32 run_count, values_bytes;
+  std::memcpy(&run_count, in, sizeof(u32));
+  std::memcpy(&values_bytes, in + 4, sizeof(u32));
+  const u8* values_blob = in + 8;
+  const u8* lengths_blob = values_blob + values_bytes;
+
+  std::vector<double> values(run_count + kDecodeSlack);
+  std::vector<i32> lengths(run_count + kDecodeSlack);
+  DecompressDoubles(values_blob, run_count, values.data());
+  DecompressInts(lengths_blob, run_count, lengths.data());
+
+#if BTR_HAS_AVX2
+  if (SimdPolicy::Enabled()) {
+    double* dst = out;
+    for (u32 run = 0; run < run_count; run++) {
+      double* target = dst + lengths[run];
+      const __m256d v = _mm256_set1_pd(values[run]);
+      for (; dst < target; dst += 4) {
+        _mm256_storeu_pd(dst, v);
+      }
+      dst = target;
+    }
+    BTR_DCHECK(dst == out + count);
+    (void)count;
+    return;
+  }
+#endif
+  double* dst = out;
+  for (u32 run = 0; run < run_count; run++) {
+    double value = values[run];
+    for (i32 j = 0; j < lengths[run]; j++) *dst++ = value;
+  }
+  BTR_DCHECK(dst == out + count);
+  (void)count;
+}
+
+// --- Dictionary -------------------------------------------------------------------
+// Payload: [u32 dict_count][u32 codes_bytes][codes vector][raw dict doubles]
+
+double DoubleDict::EstimateRatio(const DoubleStats& stats,
+                                 const DoubleSample& sample,
+                                 const CompressionContext& ctx) const {
+  if (stats.unique_count == stats.count) return 0.0;
+  return EstimateDoubleBySample(*this, sample, ctx);
+}
+
+size_t DoubleDict::Compress(const double* in, u32 count, ByteBuffer* out,
+                            const CompressionContext& ctx) const {
+  size_t start = out->size();
+  std::unordered_map<u64, i32> code_of;
+  code_of.reserve(1024);
+  std::vector<double> dict;
+  std::vector<i32> codes(count);
+  for (u32 i = 0; i < count; i++) {
+    auto [it, inserted] =
+        code_of.try_emplace(BitsOf(in[i]), static_cast<i32>(dict.size()));
+    if (inserted) dict.push_back(in[i]);
+    codes[i] = it->second;
+  }
+  out->AppendValue<u32>(static_cast<u32>(dict.size()));
+  size_t size_slot = out->size();
+  out->AppendValue<u32>(0);
+  u32 codes_bytes =
+      static_cast<u32>(CompressInts(codes.data(), count, out, ctx.Descend()));
+  std::memcpy(out->data() + size_slot, &codes_bytes, sizeof(u32));
+  out->Append(dict.data(), dict.size() * sizeof(double));
+  return out->size() - start;
+}
+
+void DoubleDict::Decompress(const u8* in, u32 count, double* out) const {
+  u32 dict_count, codes_bytes;
+  std::memcpy(&dict_count, in, sizeof(u32));
+  std::memcpy(&codes_bytes, in + 4, sizeof(u32));
+  const u8* codes_blob = in + 8;
+  std::vector<double> dict_values(dict_count);
+  std::memcpy(dict_values.data(), codes_blob + codes_bytes,
+              dict_count * sizeof(double));
+  const double* dict = dict_values.data();
+
+  // Fused RLE+Dict, as for integers (paper Section 5).
+  if (PeekIntScheme(codes_blob) == IntSchemeCode::kRle) {
+    const u8* rle = codes_blob + 1;
+    u32 run_count, values_bytes;
+    std::memcpy(&run_count, rle, sizeof(u32));
+    std::memcpy(&values_bytes, rle + 4, sizeof(u32));
+    if (run_count * 3 <= count) {
+      std::vector<i32> run_codes(run_count + kDecodeSlack);
+      std::vector<i32> run_lengths(run_count + kDecodeSlack);
+      DecompressInts(rle + 8, run_count, run_codes.data());
+      DecompressInts(rle + 8 + values_bytes, run_count, run_lengths.data());
+      double* dst = out;
+#if BTR_HAS_AVX2
+      if (SimdPolicy::Enabled()) {
+        for (u32 r = 0; r < run_count; r++) {
+          const __m256d v = _mm256_set1_pd(dict[run_codes[r]]);
+          double* target = dst + run_lengths[r];
+          for (; dst < target; dst += 4) {
+            _mm256_storeu_pd(dst, v);
+          }
+          dst = target;
+        }
+        BTR_DCHECK(dst == out + count);
+        return;
+      }
+#endif
+      for (u32 r = 0; r < run_count; r++) {
+        double value = dict[run_codes[r]];
+        for (i32 j = 0; j < run_lengths[r]; j++) *dst++ = value;
+      }
+      BTR_DCHECK(dst == out + count);
+      return;
+    }
+  }
+
+  std::vector<i32> codes(count + kDecodeSlack);
+  DecompressInts(codes_blob, count, codes.data());
+
+#if BTR_HAS_AVX2
+  if (SimdPolicy::Enabled() && count >= 4) {
+    u32 i = 0;
+    for (; i + 16 <= count; i += 16) {
+      for (u32 u = 0; u < 4; u++) {
+        __m128i c = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(codes.data() + i + u * 4));
+        __m256d v = _mm256_i32gather_pd(dict, c, 8);
+        _mm256_storeu_pd(out + i + u * 4, v);
+      }
+    }
+    for (; i + 4 <= count; i += 4) {
+      __m128i c =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes.data() + i));
+      __m256d v = _mm256_i32gather_pd(dict, c, 8);
+      _mm256_storeu_pd(out + i, v);
+    }
+    for (; i < count; i++) out[i] = dict[codes[i]];
+    return;
+  }
+#endif
+  for (u32 i = 0; i < count; i++) out[i] = dict[codes[i]];
+}
+
+// --- Frequency ----------------------------------------------------------------------
+// Payload: [double top][u32 exception_count][u32 bitmap_bytes][bitmap]
+//          [exceptions vector]
+
+double DoubleFrequency::EstimateRatio(const DoubleStats& stats,
+                                      const DoubleSample& sample,
+                                      const CompressionContext& ctx) const {
+  if (stats.unique_count * 2 > stats.count) return 0.0;
+  return EstimateDoubleBySample(*this, sample, ctx);
+}
+
+size_t DoubleFrequency::Compress(const double* in, u32 count, ByteBuffer* out,
+                                 const CompressionContext& ctx) const {
+  size_t start = out->size();
+  std::unordered_map<u64, u32> freq;
+  freq.reserve(1024);
+  for (u32 i = 0; i < count; i++) freq[BitsOf(in[i])]++;
+  u64 top_bits = BitsOf(in[0]);
+  u32 top_count = 0;
+  for (const auto& [bits, n] : freq) {
+    if (n > top_count) {
+      top_count = n;
+      top_bits = bits;
+    }
+  }
+  RoaringBitmap exceptions_bitmap;
+  std::vector<double> exceptions;
+  exceptions.reserve(count - top_count);
+  for (u32 i = 0; i < count; i++) {
+    if (BitsOf(in[i]) != top_bits) {
+      exceptions_bitmap.Add(i);
+      exceptions.push_back(in[i]);
+    }
+  }
+  exceptions_bitmap.RunOptimize();
+
+  out->AppendValue<double>(DoubleOf(top_bits));
+  out->AppendValue<u32>(static_cast<u32>(exceptions.size()));
+  out->AppendValue<u32>(static_cast<u32>(exceptions_bitmap.SerializedSizeBytes()));
+  exceptions_bitmap.SerializeTo(out);
+  if (!exceptions.empty()) {
+    CompressDoubles(exceptions.data(), static_cast<u32>(exceptions.size()), out,
+                    ctx.Descend());
+  }
+  return out->size() - start;
+}
+
+void DoubleFrequency::Decompress(const u8* in, u32 count, double* out) const {
+  double top;
+  u32 exception_count, bitmap_bytes;
+  std::memcpy(&top, in, sizeof(double));
+  std::memcpy(&exception_count, in + 8, sizeof(u32));
+  std::memcpy(&bitmap_bytes, in + 12, sizeof(u32));
+  const u8* bitmap_blob = in + 16;
+  RoaringBitmap bitmap = RoaringBitmap::Deserialize(bitmap_blob, nullptr);
+
+  for (u32 i = 0; i < count; i++) out[i] = top;
+  if (exception_count > 0) {
+    std::vector<double> exceptions(exception_count + kDecodeSlack);
+    DecompressDoubles(bitmap_blob + bitmap_bytes, exception_count,
+                      exceptions.data());
+    u32 e = 0;
+    bitmap.ForEach([&](u32 position) { out[position] = exceptions[e++]; });
+    BTR_DCHECK(e == exception_count);
+  }
+}
+
+}  // namespace btr

@@ -1,0 +1,83 @@
+// Run-Length Encoding for integers with cascaded value and run-length
+// vectors (paper Listing 1) and vectorized run expansion (paper Listing 3,
+// top): AVX2 stores intentionally overrun short runs and the cursor is
+// corrected afterwards, relying on the caller's kDecodeSlack.
+//
+// Payload: [u32 run_count][u32 values_bytes][values vector][lengths vector]
+#include <cstring>
+#include <vector>
+
+#include "btr/scheme_picker.h"
+#include "btr/schemes/estimate_util.h"
+#include "btr/schemes/int_schemes.h"
+
+namespace btr {
+
+double IntRle::EstimateRatio(const IntStats& stats, const IntSample& sample,
+                             const CompressionContext& ctx) const {
+  if (stats.AverageRunLength() < 2.0) return 0.0;  // paper Section 3.1
+  return EstimateIntBySample(*this, sample, ctx);
+}
+
+size_t IntRle::Compress(const i32* in, u32 count, ByteBuffer* out,
+                        const CompressionContext& ctx) const {
+  size_t start = out->size();
+  std::vector<i32> values;
+  std::vector<i32> lengths;
+  u32 i = 0;
+  while (i < count) {
+    u32 run_start = i;
+    i32 value = in[i];
+    while (i < count && in[i] == value) i++;
+    values.push_back(value);
+    lengths.push_back(static_cast<i32>(i - run_start));
+  }
+  u32 run_count = static_cast<u32>(values.size());
+  out->AppendValue<u32>(run_count);
+  size_t size_slot = out->size();
+  out->AppendValue<u32>(0);  // patched below
+  u32 values_bytes = static_cast<u32>(
+      CompressInts(values.data(), run_count, out, ctx.Descend()));
+  std::memcpy(out->data() + size_slot, &values_bytes, sizeof(u32));
+  CompressInts(lengths.data(), run_count, out, ctx.Descend());
+  return out->size() - start;
+}
+
+void IntRle::Decompress(const u8* in, u32 count, i32* out) const {
+  u32 run_count, values_bytes;
+  std::memcpy(&run_count, in, sizeof(u32));
+  std::memcpy(&values_bytes, in + 4, sizeof(u32));
+  const u8* values_blob = in + 8;
+  const u8* lengths_blob = values_blob + values_bytes;
+
+  std::vector<i32> values(run_count + kDecodeSlack);
+  std::vector<i32> lengths(run_count + kDecodeSlack);
+  DecompressInts(values_blob, run_count, values.data());
+  DecompressInts(lengths_blob, run_count, lengths.data());
+
+#if BTR_HAS_AVX2
+  if (SimdPolicy::Enabled()) {
+    i32* dst = out;
+    for (u32 run = 0; run < run_count; run++) {
+      i32* target = dst + lengths[run];
+      const __m256i v = _mm256_set1_epi32(values[run]);
+      for (; dst < target; dst += 8) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), v);
+      }
+      dst = target;  // correct the overshoot (paper Listing 3)
+    }
+    BTR_DCHECK(dst == out + count);
+    (void)count;
+    return;
+  }
+#endif
+  i32* dst = out;
+  for (u32 run = 0; run < run_count; run++) {
+    i32 value = values[run];
+    for (i32 j = 0; j < lengths[run]; j++) *dst++ = value;
+  }
+  BTR_DCHECK(dst == out + count);
+  (void)count;
+}
+
+}  // namespace btr

@@ -1,0 +1,90 @@
+// The integer scheme pool (paper Figure 3, left-to-right):
+// Uncompressed, OneValue, RLE, Dictionary, Frequency, SIMD-FastBP128,
+// SIMD-FastPFOR. One class per scheme; registry in registry.cc.
+#ifndef BTR_BTR_SCHEMES_INT_SCHEMES_H_
+#define BTR_BTR_SCHEMES_INT_SCHEMES_H_
+
+#include "btr/scheme.h"
+
+namespace btr {
+
+class IntUncompressed final : public IntScheme {
+ public:
+  IntSchemeCode code() const override { return IntSchemeCode::kUncompressed; }
+  const char* name() const override { return "uncompressed"; }
+  double EstimateRatio(const IntStats&, const IntSample&,
+                       const CompressionContext&) const override;
+  size_t Compress(const i32* in, u32 count, ByteBuffer* out,
+                  const CompressionContext& ctx) const override;
+  void Decompress(const u8* in, u32 count, i32* out) const override;
+};
+
+class IntOneValue final : public IntScheme {
+ public:
+  IntSchemeCode code() const override { return IntSchemeCode::kOneValue; }
+  const char* name() const override { return "one_value"; }
+  double EstimateRatio(const IntStats&, const IntSample&,
+                       const CompressionContext&) const override;
+  size_t Compress(const i32* in, u32 count, ByteBuffer* out,
+                  const CompressionContext& ctx) const override;
+  void Decompress(const u8* in, u32 count, i32* out) const override;
+};
+
+class IntRle final : public IntScheme {
+ public:
+  IntSchemeCode code() const override { return IntSchemeCode::kRle; }
+  const char* name() const override { return "rle"; }
+  double EstimateRatio(const IntStats&, const IntSample&,
+                       const CompressionContext&) const override;
+  size_t Compress(const i32* in, u32 count, ByteBuffer* out,
+                  const CompressionContext& ctx) const override;
+  void Decompress(const u8* in, u32 count, i32* out) const override;
+};
+
+class IntDict final : public IntScheme {
+ public:
+  IntSchemeCode code() const override { return IntSchemeCode::kDict; }
+  const char* name() const override { return "dict"; }
+  double EstimateRatio(const IntStats&, const IntSample&,
+                       const CompressionContext&) const override;
+  size_t Compress(const i32* in, u32 count, ByteBuffer* out,
+                  const CompressionContext& ctx) const override;
+  void Decompress(const u8* in, u32 count, i32* out) const override;
+};
+
+class IntFrequency final : public IntScheme {
+ public:
+  IntSchemeCode code() const override { return IntSchemeCode::kFrequency; }
+  const char* name() const override { return "frequency"; }
+  double EstimateRatio(const IntStats&, const IntSample&,
+                       const CompressionContext&) const override;
+  size_t Compress(const i32* in, u32 count, ByteBuffer* out,
+                  const CompressionContext& ctx) const override;
+  void Decompress(const u8* in, u32 count, i32* out) const override;
+};
+
+class IntBp128 final : public IntScheme {
+ public:
+  IntSchemeCode code() const override { return IntSchemeCode::kBp128; }
+  const char* name() const override { return "fastbp128"; }
+  double EstimateRatio(const IntStats&, const IntSample&,
+                       const CompressionContext&) const override;
+  size_t Compress(const i32* in, u32 count, ByteBuffer* out,
+                  const CompressionContext& ctx) const override;
+  void Decompress(const u8* in, u32 count, i32* out) const override;
+};
+
+class IntPfor final : public IntScheme {
+ public:
+  IntSchemeCode code() const override { return IntSchemeCode::kPfor; }
+  const char* name() const override { return "fastpfor"; }
+  double EstimateRatio(const IntStats&, const IntSample&,
+                       const CompressionContext&) const override;
+  size_t Compress(const i32* in, u32 count, ByteBuffer* out,
+                  const CompressionContext& ctx) const override;
+  void Decompress(const u8* in, u32 count, i32* out) const override;
+};
+
+}  // namespace btr
+
+#endif  // BTR_BTR_SCHEMES_INT_SCHEMES_H_

@@ -1,0 +1,292 @@
+// Dictionary string schemes. Decompression replaces each code with a
+// fixed-size (offset, length) slot into the shared pool — no string copies
+// (paper Section 5, "String Dictionaries": >10x on low-cardinality
+// columns). The code vector cascades into the integer pool; when it lands
+// on RLE with average run length > 3, the fused RLE+Dict path writes slot
+// runs directly, skipping the intermediate code array.
+//
+// Dict payload:      [u32 dict_count][u32 pool_bytes][u32 codes_bytes]
+//                    [codes vector][dict tuples][dict pool]
+// DictFsst payload:  [u32 dict_count][u32 pool_bytes][u32 codes_bytes]
+//                    [codes vector][u32 lens_bytes][dict lengths vector]
+//                    [fsst table][u32 compressed_pool_bytes][compressed pool]
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "fsst/fsst.h"
+#include "btr/scheme_picker.h"
+#include "btr/schemes/estimate_util.h"
+#include "btr/schemes/string_schemes.h"
+
+namespace btr {
+
+namespace string_detail {
+
+DictBuild BuildDictionary(const StringsView& in) {
+  DictBuild build;
+  build.codes.resize(in.count);
+  build.entry_offsets.push_back(0);
+  std::unordered_map<std::string_view, i32> code_of;
+  code_of.reserve(1024);
+  for (u32 i = 0; i < in.count; i++) {
+    std::string_view s = in.Get(i);
+    auto [it, inserted] =
+        code_of.try_emplace(s, static_cast<i32>(build.entry_offsets.size() - 1));
+    if (inserted) {
+      build.pool.insert(build.pool.end(), s.begin(), s.end());
+      build.entry_offsets.push_back(static_cast<u32>(build.pool.size()));
+    }
+    build.codes[i] = it->second;
+  }
+  return build;
+}
+
+namespace {
+
+// Reads the RLE payload the integer cascade produced for the codes.
+// Returns false when the blob is not RLE or fusion does not pay off.
+bool TryFusedRleDecode(const u8* codes_blob, u32 count, const StringSlot* tuples,
+                       u32 base, const CompressionConfig& config,
+                       StringSlot* out) {
+  if (!config.fused_rle_dict) return false;
+  if (PeekIntScheme(codes_blob) != IntSchemeCode::kRle) return false;
+  const u8* payload = codes_blob + 1;
+  u32 run_count, values_bytes;
+  std::memcpy(&run_count, payload, sizeof(u32));
+  std::memcpy(&values_bytes, payload + 4, sizeof(u32));
+  // Paper Section 5: fusing hurts below an average run length of 3.
+  if (run_count * 3 > count) return false;
+
+  std::vector<i32> run_codes(run_count + kDecodeSlack);
+  std::vector<i32> run_lengths(run_count + kDecodeSlack);
+  DecompressInts(payload + 8, run_count, run_codes.data());
+  DecompressInts(payload + 8 + values_bytes, run_count, run_lengths.data());
+
+#if BTR_HAS_AVX2
+  if (SimdPolicy::Enabled()) {
+    StringSlot* dst = out;
+    for (u32 run = 0; run < run_count; run++) {
+      StringSlot slot = tuples[run_codes[run]];
+      slot.offset += base;
+      u64 slot_bits;
+      std::memcpy(&slot_bits, &slot, sizeof(u64));
+      const __m256i v = _mm256_set1_epi64x(static_cast<long long>(slot_bits));
+      StringSlot* target = dst + run_lengths[run];
+      for (; dst < target; dst += 4) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), v);
+      }
+      dst = target;
+    }
+    BTR_DCHECK(dst == out + count);
+    return true;
+  }
+#endif
+  StringSlot* dst = out;
+  for (u32 run = 0; run < run_count; run++) {
+    StringSlot slot = tuples[run_codes[run]];
+    slot.offset += base;
+    for (i32 j = 0; j < run_lengths[run]; j++) *dst++ = slot;
+  }
+  BTR_DCHECK(dst == out + count);
+  return true;
+}
+
+}  // namespace
+
+void DecodeCodesToSlots(const u8* codes_blob, u32 count,
+                        const StringSlot* tuples, u32 base,
+                        const CompressionConfig& config, StringSlot* out) {
+  if (TryFusedRleDecode(codes_blob, count, tuples, base, config, out)) return;
+
+  std::vector<i32> codes(count + kDecodeSlack);
+  DecompressInts(codes_blob, count, codes.data());
+
+#if BTR_HAS_AVX2
+  if (SimdPolicy::Enabled() && count >= 4) {
+    // Slots are 64-bit tuples: gather 4 per step, then add the pool base
+    // to the offset halves (no carry: offsets stay below 2^32).
+    const __m256i base_v = _mm256_set1_epi64x(static_cast<long long>(base));
+    const long long* tuple_base = reinterpret_cast<const long long*>(tuples);
+    u32 i = 0;
+    for (; i + 16 <= count; i += 16) {
+      for (u32 u = 0; u < 4; u++) {
+        __m128i c = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(codes.data() + i + u * 4));
+        __m256i v = _mm256_i32gather_epi64(tuple_base, c, 8);
+        v = _mm256_add_epi64(v, base_v);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + u * 4), v);
+      }
+    }
+    for (; i + 4 <= count; i += 4) {
+      __m128i c =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes.data() + i));
+      __m256i v = _mm256_i32gather_epi64(tuple_base, c, 8);
+      v = _mm256_add_epi64(v, base_v);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    }
+    for (; i < count; i++) {
+      StringSlot slot = tuples[codes[i]];
+      slot.offset += base;
+      out[i] = slot;
+    }
+    return;
+  }
+#endif
+  for (u32 i = 0; i < count; i++) {
+    StringSlot slot = tuples[codes[i]];
+    slot.offset += base;
+    out[i] = slot;
+  }
+}
+
+}  // namespace string_detail
+
+using string_detail::BuildDictionary;
+using string_detail::DecodeCodesToSlots;
+using string_detail::DictBuild;
+
+// --- Dict ------------------------------------------------------------------------
+
+double StringDict::EstimateRatio(const StringStats& stats,
+                                 const StringSample& sample,
+                                 const CompressionContext& ctx) const {
+  if (stats.unique_count == stats.count) return 0.0;
+  return EstimateStringBySample(*this, sample, ctx);
+}
+
+size_t StringDict::Compress(const StringsView& in, ByteBuffer* out,
+                            const CompressionContext& ctx) const {
+  size_t start = out->size();
+  DictBuild dict = BuildDictionary(in);
+  out->AppendValue<u32>(dict.dict_count());
+  out->AppendValue<u32>(static_cast<u32>(dict.pool.size()));
+  size_t size_slot = out->size();
+  out->AppendValue<u32>(0);
+  u32 codes_bytes = static_cast<u32>(
+      CompressInts(dict.codes.data(), in.count, out, ctx.Descend()));
+  std::memcpy(out->data() + size_slot, &codes_bytes, sizeof(u32));
+  for (u32 d = 0; d < dict.dict_count(); d++) {
+    StringSlot tuple{dict.entry_offsets[d],
+                     dict.entry_offsets[d + 1] - dict.entry_offsets[d]};
+    out->AppendValue<StringSlot>(tuple);
+  }
+  out->Append(dict.pool.data(), dict.pool.size());
+  return out->size() - start;
+}
+
+void StringDict::Decompress(const u8* in, u32 count, DecodedStrings* out,
+                            const CompressionConfig& config) const {
+  u32 dict_count, pool_bytes, codes_bytes;
+  std::memcpy(&dict_count, in, sizeof(u32));
+  std::memcpy(&pool_bytes, in + 4, sizeof(u32));
+  std::memcpy(&codes_bytes, in + 8, sizeof(u32));
+  const u8* codes_blob = in + 12;
+  const u8* tuple_bytes = codes_blob + codes_bytes;
+  const u8* pool = tuple_bytes + dict_count * sizeof(StringSlot);
+
+  // Tuples may be unaligned in the payload; copy to an aligned scratch.
+  std::vector<StringSlot> tuples(dict_count);
+  std::memcpy(tuples.data(), tuple_bytes, dict_count * sizeof(StringSlot));
+
+  u32 base = static_cast<u32>(out->pool.size());
+  out->pool.Append(pool, pool_bytes);
+  size_t slot_base = out->slots.size();
+  out->slots.resize(slot_base + count + kDecodeSlack);
+  DecodeCodesToSlots(codes_blob, count, tuples.data(), base, config,
+                     out->slots.data() + slot_base);
+  out->slots.resize(slot_base + count);
+}
+
+// --- DictFsst ----------------------------------------------------------------------
+
+double StringDictFsst::EstimateRatio(const StringStats& stats,
+                                     const StringSample& sample,
+                                     const CompressionContext& ctx) const {
+  if (stats.unique_count == stats.count) return 0.0;
+  // FSST needs material to learn from; tiny dictionaries go to plain Dict.
+  if (stats.unique_bytes < 256) return 0.0;
+  return EstimateStringBySample(*this, sample, ctx);
+}
+
+size_t StringDictFsst::Compress(const StringsView& in, ByteBuffer* out,
+                                const CompressionContext& ctx) const {
+  size_t start = out->size();
+  DictBuild dict = BuildDictionary(in);
+  out->AppendValue<u32>(dict.dict_count());
+  out->AppendValue<u32>(static_cast<u32>(dict.pool.size()));
+  size_t size_slot = out->size();
+  out->AppendValue<u32>(0);
+  u32 codes_bytes = static_cast<u32>(
+      CompressInts(dict.codes.data(), in.count, out, ctx.Descend()));
+  std::memcpy(out->data() + size_slot, &codes_bytes, sizeof(u32));
+
+  std::vector<i32> lengths(dict.dict_count());
+  for (u32 d = 0; d < dict.dict_count(); d++) {
+    lengths[d] =
+        static_cast<i32>(dict.entry_offsets[d + 1] - dict.entry_offsets[d]);
+  }
+  size_t lens_slot = out->size();
+  out->AppendValue<u32>(0);
+  u32 lens_bytes = static_cast<u32>(CompressInts(
+      lengths.data(), dict.dict_count(), out, ctx.Descend()));
+  std::memcpy(out->data() + lens_slot, &lens_bytes, sizeof(u32));
+
+  size_t train_bytes = ctx.estimating
+                           ? std::min<size_t>(dict.pool.size(), 2048)
+                           : dict.pool.size();
+  fsst::SymbolTable table =
+      fsst::SymbolTable::Build(dict.pool.data(), train_bytes);
+  table.SerializeTo(out);
+  size_t compressed_slot = out->size();
+  out->AppendValue<u32>(0);
+  u32 compressed_bytes = static_cast<u32>(
+      fsst::CompressBlock(table, dict.pool.data(), dict.pool.size(), out));
+  std::memcpy(out->data() + compressed_slot, &compressed_bytes, sizeof(u32));
+  return out->size() - start;
+}
+
+void StringDictFsst::Decompress(const u8* in, u32 count, DecodedStrings* out,
+                                const CompressionConfig& config) const {
+  u32 dict_count, pool_bytes, codes_bytes;
+  std::memcpy(&dict_count, in, sizeof(u32));
+  std::memcpy(&pool_bytes, in + 4, sizeof(u32));
+  std::memcpy(&codes_bytes, in + 8, sizeof(u32));
+  const u8* codes_blob = in + 12;
+  const u8* cursor = codes_blob + codes_bytes;
+  u32 lens_bytes;
+  std::memcpy(&lens_bytes, cursor, sizeof(u32));
+  const u8* lens_blob = cursor + 4;
+  cursor = lens_blob + lens_bytes;
+  size_t table_bytes;
+  fsst::SymbolTable table = fsst::SymbolTable::Deserialize(cursor, &table_bytes);
+  cursor += table_bytes;
+  u32 compressed_bytes;
+  std::memcpy(&compressed_bytes, cursor, sizeof(u32));
+  const u8* compressed_pool = cursor + 4;
+
+  // Decompress the dictionary pool once (paper Section 5: one block-wise
+  // FSST call instead of per-string calls).
+  u32 base = static_cast<u32>(out->pool.size());
+  out->pool.Resize(base + pool_bytes);
+  size_t produced =
+      table.Decompress(compressed_pool, compressed_bytes, out->pool.data() + base);
+  BTR_CHECK(produced == pool_bytes);
+
+  std::vector<i32> lengths(dict_count + kDecodeSlack);
+  DecompressInts(lens_blob, dict_count, lengths.data());
+  std::vector<StringSlot> tuples(dict_count);
+  u32 offset = 0;
+  for (u32 d = 0; d < dict_count; d++) {
+    tuples[d] = StringSlot{offset, static_cast<u32>(lengths[d])};
+    offset += static_cast<u32>(lengths[d]);
+  }
+
+  size_t slot_base = out->slots.size();
+  out->slots.resize(slot_base + count + kDecodeSlack);
+  DecodeCodesToSlots(codes_blob, count, tuples.data(), base, config,
+                     out->slots.data() + slot_base);
+  out->slots.resize(slot_base + count);
+}
+
+}  // namespace btr

@@ -1,0 +1,52 @@
+// Single-pass block statistics (paper Section 3, step 1): min, max, unique
+// count and average run length. Schemes use these to filter non-viable
+// candidates before any sample is compressed.
+#ifndef BTR_BTR_STATS_H_
+#define BTR_BTR_STATS_H_
+
+#include "btr/column.h"
+#include "util/types.h"
+
+namespace btr {
+
+struct IntStats {
+  u32 count = 0;
+  i32 min = 0;
+  i32 max = 0;
+  u32 unique_count = 0;
+  u32 run_count = 0;
+  double AverageRunLength() const {
+    return run_count == 0 ? 0.0 : static_cast<double>(count) / run_count;
+  }
+};
+
+struct DoubleStats {
+  u32 count = 0;
+  double min = 0;
+  double max = 0;
+  u32 unique_count = 0;
+  u32 run_count = 0;
+  double AverageRunLength() const {
+    return run_count == 0 ? 0.0 : static_cast<double>(count) / run_count;
+  }
+};
+
+struct StringStats {
+  u32 count = 0;
+  u32 unique_count = 0;
+  u32 run_count = 0;
+  u32 total_bytes = 0;
+  u32 max_length = 0;
+  u64 unique_bytes = 0;  // total bytes of distinct values
+  double AverageRunLength() const {
+    return run_count == 0 ? 0.0 : static_cast<double>(count) / run_count;
+  }
+};
+
+IntStats ComputeIntStats(const i32* data, u32 count);
+DoubleStats ComputeDoubleStats(const double* data, u32 count);
+StringStats ComputeStringStats(const StringsView& view);
+
+}  // namespace btr
+
+#endif  // BTR_BTR_STATS_H_

@@ -1,0 +1,172 @@
+#include "btr/zonemap.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace btr {
+
+namespace {
+
+void FillPrefix(std::string_view s, u8 prefix[8], u8* len) {
+  *len = static_cast<u8>(std::min<size_t>(s.size(), 8));
+  std::memset(prefix, 0, 8);
+  std::memcpy(prefix, s.data(), *len);
+}
+
+// Compares a full value against a stored 8-byte prefix; returns -1/0/+1
+// where 0 means "undecidable from the prefix" (value extends past it).
+int ComparePrefix(std::string_view value, const u8 prefix[8], u8 prefix_len,
+                  bool prefix_is_truncated) {
+  size_t common = std::min<size_t>(value.size(), prefix_len);
+  int cmp = common == 0 ? 0
+                        : std::memcmp(value.data(), prefix, common);
+  if (cmp != 0) return cmp;
+  if (value.size() < prefix_len) return -1;  // value is a shorter prefix
+  if (value.size() == prefix_len && !prefix_is_truncated) return 0;
+  // value >= stored prefix, but the stored string may continue.
+  return prefix_is_truncated ? 0 : (value.size() > prefix_len ? 1 : 0);
+}
+
+}  // namespace
+
+ColumnZoneMap ComputeColumnZoneMap(const Column& column) {
+  ColumnZoneMap map;
+  map.type = column.type();
+  u32 row_count = column.size();
+  for (u32 begin = 0; begin < row_count; begin += kBlockCapacity) {
+    u32 count = std::min(kBlockCapacity, row_count - begin);
+    BlockZone zone;
+    zone.row_count = count;
+    bool first = true;
+    std::string_view string_min, string_max;
+    for (u32 i = 0; i < count; i++) {
+      u32 row = begin + i;
+      if (column.IsNull(row)) {
+        zone.null_count++;
+        continue;
+      }
+      switch (column.type()) {
+        case ColumnType::kInteger: {
+          i32 v = column.ints()[row];
+          if (first || v < zone.int_min) zone.int_min = v;
+          if (first || v > zone.int_max) zone.int_max = v;
+          break;
+        }
+        case ColumnType::kDouble: {
+          double v = column.doubles()[row];
+          // NaNs have no order; a block containing NaN keeps min/max of
+          // the remaining values and pruning stays conservative because
+          // equality probes for NaN never match anyway (NaN != NaN).
+          if (v != v) break;
+          if (first || v < zone.double_min) zone.double_min = v;
+          if (first || v > zone.double_max) zone.double_max = v;
+          break;
+        }
+        case ColumnType::kString: {
+          std::string_view v = column.GetString(row);
+          if (first || v < string_min) string_min = v;
+          if (first || v > string_max) string_max = v;
+          break;
+        }
+      }
+      first = false;
+    }
+    zone.all_null = zone.null_count == count;
+    if (!zone.all_null && column.type() == ColumnType::kString) {
+      FillPrefix(string_min, zone.string_min, &zone.string_min_len);
+      FillPrefix(string_max, zone.string_max, &zone.string_max_len);
+      // Record truncation in the length byte's high bit-free side channel:
+      // a stored prefix shorter than the string means "truncated"; we
+      // reuse len==8 as potentially-truncated (conservative).
+    }
+    map.zones.push_back(zone);
+  }
+  return map;
+}
+
+bool ZoneMayContainInt(const BlockZone& zone, i32 value) {
+  if (zone.all_null) return false;
+  return value >= zone.int_min && value <= zone.int_max;
+}
+
+bool ZoneMayContainDouble(const BlockZone& zone, double value) {
+  if (zone.all_null) return false;
+  if (value != value) return true;  // NaN probe: stay conservative
+  return value >= zone.double_min && value <= zone.double_max;
+}
+
+bool ZoneMayContainString(const BlockZone& zone, std::string_view value) {
+  if (zone.all_null) return false;
+  // value < min  => cannot match; value > max => cannot match. Prefix
+  // comparisons with len == 8 are treated as truncated (conservative).
+  int vs_min = ComparePrefix(value, zone.string_min, zone.string_min_len,
+                             zone.string_min_len == 8);
+  if (vs_min < 0) return false;
+  int vs_max = ComparePrefix(value, zone.string_max, zone.string_max_len,
+                             zone.string_max_len == 8);
+  if (vs_max > 0) return false;
+  return true;
+}
+
+bool ZoneMayOverlapIntRange(const BlockZone& zone, i32 lo, i32 hi) {
+  if (zone.all_null) return false;
+  return hi >= zone.int_min && lo <= zone.int_max;
+}
+
+namespace {
+constexpr char kZoneMagic[4] = {'B', 'T', 'R', 'Z'};
+
+std::string ZonePath(const std::string& dir, const std::string& table) {
+  return dir + "/" + table + ".zones";
+}
+}  // namespace
+
+Status WriteTableZoneMap(const TableZoneMap& zonemap, const std::string& dir,
+                         const std::string& table_name) {
+  std::FILE* f = std::fopen(ZonePath(dir, table_name).c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open zone map file");
+  auto write = [&](const void* p, size_t n) {
+    return n == 0 || std::fwrite(p, 1, n, f) == n;
+  };
+  bool ok = write(kZoneMagic, 4);
+  u32 column_count = static_cast<u32>(zonemap.columns.size());
+  ok = ok && write(&column_count, 4);
+  for (const ColumnZoneMap& column : zonemap.columns) {
+    u8 type = static_cast<u8>(column.type);
+    u32 zone_count = static_cast<u32>(column.zones.size());
+    ok = ok && write(&type, 1) && write(&zone_count, 4) &&
+         write(column.zones.data(), zone_count * sizeof(BlockZone));
+  }
+  std::fclose(f);
+  return ok ? Status::Ok() : Status::IoError("short zone map write");
+}
+
+Status ReadTableZoneMap(const std::string& dir, const std::string& table_name,
+                        TableZoneMap* out) {
+  std::FILE* f = std::fopen(ZonePath(dir, table_name).c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("zone map file missing");
+  auto read = [&](void* p, size_t n) {
+    return n == 0 || std::fread(p, 1, n, f) == n;
+  };
+  char magic[4];
+  u32 column_count = 0;
+  bool ok = read(magic, 4) && std::memcmp(magic, kZoneMagic, 4) == 0 &&
+            read(&column_count, 4);
+  out->columns.clear();
+  for (u32 c = 0; ok && c < column_count; c++) {
+    u8 type;
+    u32 zone_count = 0;
+    ok = read(&type, 1) && type <= 2 && read(&zone_count, 4);
+    if (!ok) break;
+    ColumnZoneMap column;
+    column.type = static_cast<ColumnType>(type);
+    column.zones.resize(zone_count);
+    ok = read(column.zones.data(), zone_count * sizeof(BlockZone));
+    out->columns.push_back(std::move(column));
+  }
+  std::fclose(f);
+  return ok ? Status::Ok() : Status::Corruption("bad zone map file");
+}
+
+}  // namespace btr

@@ -1,0 +1,70 @@
+// Zone maps: per-block min/max/null statistics kept *outside* the data
+// blocks. The paper (Section 2.1) deliberately excludes statistics and
+// indices from BtrBlocks files — "one would like to prune data using
+// statistics and indices before accessing a file through a high-latency
+// network" — and treats them as an orthogonal layer. This module is that
+// layer: zone maps are computed at compression time, serialized to a
+// sidecar, and let a scan skip fetching/decompressing blocks that cannot
+// contain matching values.
+//
+// String zones keep the first 8 bytes of the lexicographic min/max, which
+// is sufficient for conservative pruning.
+#ifndef BTR_BTR_ZONEMAP_H_
+#define BTR_BTR_ZONEMAP_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "btr/column.h"
+#include "util/status.h"
+
+namespace btr {
+
+struct BlockZone {
+  u32 row_count = 0;
+  u32 null_count = 0;
+  // Only the fields matching the column type are meaningful.
+  i32 int_min = 0;
+  i32 int_max = 0;
+  double double_min = 0;
+  double double_max = 0;
+  u8 string_min[8] = {0};  // zero-padded 8-byte prefixes
+  u8 string_max[8] = {0};
+  u8 string_min_len = 0;   // bytes of prefix actually present
+  u8 string_max_len = 0;
+  // True when every row in the block is NULL (min/max undefined).
+  bool all_null = false;
+};
+
+struct ColumnZoneMap {
+  ColumnType type = ColumnType::kInteger;
+  std::vector<BlockZone> zones;  // one per kBlockCapacity block
+};
+
+struct TableZoneMap {
+  std::vector<ColumnZoneMap> columns;
+};
+
+// Computes zones from the uncompressed column (at compression time).
+ColumnZoneMap ComputeColumnZoneMap(const Column& column);
+
+// --- pruning predicates ---------------------------------------------------
+// Conservative: false means the block certainly has no equal value;
+// true means it may.
+bool ZoneMayContainInt(const BlockZone& zone, i32 value);
+bool ZoneMayContainDouble(const BlockZone& zone, double value);
+bool ZoneMayContainString(const BlockZone& zone, std::string_view value);
+// Range overlap [lo, hi] for integers (range scans / BETWEEN).
+bool ZoneMayOverlapIntRange(const BlockZone& zone, i32 lo, i32 hi);
+
+// --- sidecar persistence ----------------------------------------------------
+// <dir>/<table>.zones
+Status WriteTableZoneMap(const TableZoneMap& zonemap, const std::string& dir,
+                         const std::string& table_name);
+Status ReadTableZoneMap(const std::string& dir, const std::string& table_name,
+                        TableZoneMap* out);
+
+}  // namespace btr
+
+#endif  // BTR_BTR_ZONEMAP_H_

@@ -1,0 +1,310 @@
+#include "datagen/archetypes.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace btr::datagen {
+
+const char* IntArchetypeName(IntArchetype a) {
+  switch (a) {
+    case IntArchetype::kAllZero: return "all_zero";
+    case IntArchetype::kSequential: return "sequential";
+    case IntArchetype::kForeignKeyRuns: return "fk_runs";
+    case IntArchetype::kSupplyAmounts: return "supply_amounts";
+    case IntArchetype::kSevenDigitCodes: return "seven_digit_codes";
+    case IntArchetype::kSkewedCategory: return "skewed_category";
+    case IntArchetype::kSegmented: return "segmented";
+  }
+  return "unknown";
+}
+
+const char* DoubleArchetypeName(DoubleArchetype a) {
+  switch (a) {
+    case DoubleArchetype::kZeroDominant: return "zero_dominant";
+    case DoubleArchetype::kPrice2Decimals: return "price_2dec";
+    case DoubleArchetype::kPriceRuns: return "price_runs";
+    case DoubleArchetype::kFrequencyTail: return "frequency_tail";
+    case DoubleArchetype::kCoordinates: return "coordinates";
+    case DoubleArchetype::kMixedWithNulls: return "mixed_nulls";
+    case DoubleArchetype::kSegmented: return "segmented";
+  }
+  return "unknown";
+}
+
+const char* StringArchetypeName(StringArchetype a) {
+  switch (a) {
+    case StringArchetype::kOneValue: return "one_value";
+    case StringArchetype::kNullHeavy: return "null_heavy";
+    case StringArchetype::kLowCardinality: return "low_cardinality";
+    case StringArchetype::kCityNames: return "city_names";
+    case StringArchetype::kStreetAddresses: return "street_addresses";
+    case StringArchetype::kUrls: return "urls";
+    case StringArchetype::kCategoryRuns: return "category_runs";
+    case StringArchetype::kSegmented: return "segmented";
+  }
+  return "unknown";
+}
+
+std::vector<i32> MakeInts(IntArchetype archetype, u32 rows, u64 seed) {
+  Random rng(seed ^ 0x1111);
+  std::vector<i32> v;
+  v.reserve(rows);
+  switch (archetype) {
+    case IntArchetype::kAllZero:
+      v.assign(rows, 0);
+      break;
+    case IntArchetype::kSequential:
+      for (u32 i = 0; i < rows; i++) v.push_back(static_cast<i32>(i + 1));
+      break;
+    case IntArchetype::kForeignKeyRuns: {
+      // Denormalized join output: each key repeats for its join fan-out.
+      while (v.size() < rows) {
+        i32 key = static_cast<i32>(rng.NextBounded(50000));
+        u64 fanout = 1 + rng.NextZipf(40, 1.1);
+        for (u64 i = 0; i < fanout && v.size() < rows; i++) v.push_back(key);
+      }
+      break;
+    }
+    case IntArchetype::kSupplyAmounts:
+      for (u32 i = 0; i < rows; i++) {
+        // Log-uniform amounts: 1 .. ~30000, like day-supply counts.
+        double magnitude = rng.NextDouble() * 4.5;
+        v.push_back(static_cast<i32>(std::pow(10.0, magnitude)));
+      }
+      break;
+    case IntArchetype::kSevenDigitCodes: {
+      // A few hundred distinct 7-digit administrative codes.
+      std::vector<i32> codes;
+      for (int i = 0; i < 400; i++) {
+        codes.push_back(1000000 + static_cast<i32>(rng.NextBounded(9000000)));
+      }
+      for (u32 i = 0; i < rows; i++) {
+        v.push_back(codes[rng.NextZipf(codes.size(), 1.1)]);
+      }
+      break;
+    }
+    case IntArchetype::kSkewedCategory:
+      for (u32 i = 0; i < rows; i++) {
+        // ~80% the dominant category, exponentially less for the rest.
+        v.push_back(rng.NextBounded(5) != 0
+                        ? 1
+                        : static_cast<i32>(2 + rng.NextZipf(500, 1.5)));
+      }
+      break;
+    case IntArchetype::kSegmented: {
+      // Alternating ~6k-value segments: long runs, then near-unique noise.
+      // Data like this is why the sample must cover the whole block while
+      // preserving locality (paper Figure 2).
+      bool runs = true;
+      while (v.size() < rows) {
+        u32 segment = 4000 + static_cast<u32>(rng.NextBounded(4000));
+        for (u32 i = 0; i < segment && v.size() < rows;) {
+          if (runs) {
+            i32 value = static_cast<i32>(rng.NextBounded(100));
+            u32 run = 30 + static_cast<u32>(rng.NextBounded(200));
+            for (u32 j = 0; j < run && i < segment && v.size() < rows; j++, i++) {
+              v.push_back(value);
+            }
+          } else {
+            v.push_back(static_cast<i32>(rng.Next() & 0xFFFFF));
+            i++;
+          }
+        }
+        runs = !runs;
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+std::vector<double> MakeDoubles(DoubleArchetype archetype, u32 rows, u64 seed) {
+  Random rng(seed ^ 0x2222);
+  std::vector<double> v;
+  v.reserve(rows);
+  switch (archetype) {
+    case DoubleArchetype::kZeroDominant:
+      for (u32 i = 0; i < rows; i++) {
+        v.push_back(rng.NextBounded(20) == 0
+                        ? static_cast<double>(rng.NextBounded(5000)) / 100.0
+                        : 0.0);
+      }
+      break;
+    case DoubleArchetype::kPrice2Decimals:
+      for (u32 i = 0; i < rows; i++) {
+        v.push_back(static_cast<double>(rng.NextBounded(100000)) / 100.0);
+      }
+      break;
+    case DoubleArchetype::kPriceRuns: {
+      while (v.size() < rows) {
+        double price = static_cast<double>(rng.NextBounded(10000)) / 100.0;
+        u64 run = 1 + rng.NextZipf(30, 1.2);
+        for (u64 i = 0; i < run && v.size() < rows; i++) v.push_back(price);
+      }
+      break;
+    }
+    case DoubleArchetype::kFrequencyTail: {
+      const double dominant = 83.2833;
+      for (u32 i = 0; i < rows; i++) {
+        v.push_back(rng.NextBounded(4) != 0
+                        ? dominant
+                        : static_cast<double>(rng.NextBounded(100000)) / 1000.0);
+      }
+      break;
+    }
+    case DoubleArchetype::kCoordinates:
+      for (u32 i = 0; i < rows; i++) {
+        v.push_back(-74.0 + rng.NextDouble() * 0.5);  // NYC-ish longitudes
+      }
+      break;
+    case DoubleArchetype::kMixedWithNulls:
+      // NULL handling lives in FillDouble; the raw array mixes a few
+      // round percentages with higher-precision deltas.
+      for (u32 i = 0; i < rows; i++) {
+        if (rng.NextBounded(3) == 0) {
+          v.push_back(0.0);
+        } else if (rng.NextBounded(2) == 0) {
+          v.push_back(static_cast<double>(rng.NextRange(-500, 500)) / 10.0);
+        } else {
+          v.push_back(rng.NextDouble() * 2.0 - 1.0);
+        }
+      }
+      break;
+    case DoubleArchetype::kSegmented: {
+      bool constant = true;
+      while (v.size() < rows) {
+        u32 segment = 4000 + static_cast<u32>(rng.NextBounded(4000));
+        if (constant) {
+          double value = static_cast<double>(rng.NextBounded(500)) / 10.0;
+          for (u32 i = 0; i < segment && v.size() < rows; i++) v.push_back(value);
+        } else {
+          for (u32 i = 0; i < segment && v.size() < rows; i++) {
+            v.push_back(rng.NextDouble() * 1e6);
+          }
+        }
+        constant = !constant;
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+void FillInt(Column* column, IntArchetype archetype, u32 rows, u64 seed) {
+  for (i32 v : MakeInts(archetype, rows, seed)) column->AppendInt(v);
+}
+
+void FillDouble(Column* column, DoubleArchetype archetype, u32 rows, u64 seed) {
+  std::vector<double> values = MakeDoubles(archetype, rows, seed);
+  Random rng(seed ^ 0x3333);
+  bool nullable = archetype == DoubleArchetype::kMixedWithNulls;
+  for (double v : values) {
+    if (nullable && rng.NextBounded(3) == 0) {
+      column->AppendNull();
+    } else {
+      column->AppendDouble(v);
+    }
+  }
+}
+
+namespace {
+
+std::string MakeUrl(Random* rng) {
+  static const char* hosts[] = {"https://data.example.org",
+                                "https://public.tableau.com",
+                                "https://www.cityofnewyork.us"};
+  static const char* paths[] = {"/views/", "/workbooks/", "/api/v1/items/"};
+  return std::string(hosts[rng->NextBounded(3)]) + paths[rng->NextBounded(3)] +
+         std::to_string(rng->NextBounded(100000));
+}
+
+std::string MakeAddress(Random* rng) {
+  static const char* streets[] = {"E MAYO BLVD", "W 42ND ST", "N MAIN ST",
+                                  "PEACHTREE RD", "SUNSET BLVD", "OAK AVE"};
+  static const char* suffixes[] = {"", " APT 1", " STE 200", " UNIT B"};
+  return std::to_string(100 + rng->NextBounded(9900)) + " " +
+         streets[rng->NextBounded(6)] + suffixes[rng->NextBounded(4)];
+}
+
+}  // namespace
+
+void FillString(Column* column, StringArchetype archetype, u32 rows, u64 seed) {
+  Random rng(seed ^ 0x4444);
+  static const char* cities[] = {"01 BRONX",  "04 BRONX",   "PHOENIX",
+                                 "RALEIGH",   "BETHESDA",   "ATHENS",
+                                 "Curitiba",  "Macei\xc3\xb3", "SEATTLE",
+                                 "02 QUEENS", "05 BROOKLYN", "PORTLAND"};
+  static const char* categories[] = {"All Residential", "Condo/Co-op",
+                                     "Single Family Residential",
+                                     "Townhouse", "Multi-Family (2-4 Unit)"};
+  switch (archetype) {
+    case StringArchetype::kOneValue:
+      for (u32 i = 0; i < rows; i++) column->AppendString("CABLE,CABLE");
+      break;
+    case StringArchetype::kNullHeavy:
+      for (u32 i = 0; i < rows; i++) {
+        if (rng.NextBounded(10) < 8) {
+          column->AppendString("null");
+        } else {
+          column->AppendString("LIBDOM" + std::to_string(rng.NextBounded(30)));
+        }
+      }
+      break;
+    case StringArchetype::kLowCardinality:
+      for (u32 i = 0; i < rows; i++) {
+        column->AppendString(categories[rng.NextZipf(5, 1.3)]);
+      }
+      break;
+    case StringArchetype::kCityNames:
+      for (u32 i = 0; i < rows; i++) {
+        column->AppendString(cities[rng.NextZipf(12, 1.1)]);
+      }
+      break;
+    case StringArchetype::kStreetAddresses:
+      for (u32 i = 0; i < rows; i++) {
+        std::string addr = MakeAddress(&rng);
+        column->AppendString(addr);
+      }
+      break;
+    case StringArchetype::kUrls:
+      for (u32 i = 0; i < rows; i++) {
+        std::string url = MakeUrl(&rng);
+        column->AppendString(url);
+      }
+      break;
+    case StringArchetype::kCategoryRuns: {
+      u32 added = 0;
+      while (added < rows) {
+        const char* value = categories[rng.NextBounded(5)];
+        u64 run = 2 + rng.NextZipf(60, 1.1);
+        for (u64 i = 0; i < run && added < rows; i++, added++) {
+          column->AppendString(value);
+        }
+      }
+      break;
+    }
+    case StringArchetype::kSegmented: {
+      u32 added = 0;
+      bool constant = true;
+      while (added < rows) {
+        u32 segment = 4000 + static_cast<u32>(rng.NextBounded(4000));
+        if (constant) {
+          const char* value = categories[rng.NextBounded(5)];
+          for (u32 i = 0; i < segment && added < rows; i++, added++) {
+            column->AppendString(value);
+          }
+        } else {
+          for (u32 i = 0; i < segment && added < rows; i++, added++) {
+            std::string s = MakeAddress(&rng) + "#" + std::to_string(rng.Next() & 0xFFFFF);
+            column->AppendString(s);
+          }
+        }
+        constant = !constant;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace btr::datagen

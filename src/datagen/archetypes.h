@@ -1,0 +1,81 @@
+// Synthetic column archetypes replicating the Public BI Benchmark's
+// distribution families (paper Section 6.1, Table 4). The real 119.5 GB
+// corpus is not available offline; these archetypes preserve the decision
+// problems the scheme selector faces: long runs from denormalized joins,
+// dominant-value skew, low- and high-cardinality structured strings,
+// decimal-like prices stored as doubles, high-precision coordinates, and
+// heavy NULLs.
+#ifndef BTR_DATAGEN_ARCHETYPES_H_
+#define BTR_DATAGEN_ARCHETYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "btr/column.h"
+
+namespace btr::datagen {
+
+enum class IntArchetype {
+  kAllZero,        // "RealEstate1/New Build?": one value (paper Table 4)
+  kSequential,     // dense ids
+  kForeignKeyRuns, // denormalized join keys: runs + repeats (paper 6.1)
+  kSupplyAmounts,  // wide-range amounts, FastPFOR territory
+  kSevenDigitCodes,// "cod_ibge_da_ue": 7-digit admin codes
+  kSkewedCategory, // one dominant category + exponential tail (Frequency)
+  kSegmented,      // alternating run-heavy and noisy segments: the case
+                   // where sampling strategy matters (paper Section 3.1)
+};
+inline constexpr IntArchetype kAllIntArchetypes[] = {
+    IntArchetype::kAllZero,         IntArchetype::kSequential,
+    IntArchetype::kForeignKeyRuns,  IntArchetype::kSupplyAmounts,
+    IntArchetype::kSevenDigitCodes, IntArchetype::kSkewedCategory,
+    IntArchetype::kSegmented};
+
+enum class DoubleArchetype {
+  kZeroDominant,   // "Telco/CHARGD_SMS_P3": mostly 0 (paper Table 4)
+  kPrice2Decimals, // price data, PDE's favorable case (paper Section 4)
+  kPriceRuns,      // prices with runs (denormalized)
+  kFrequencyTail,  // dominant value + exceptions (Frequency)
+  kCoordinates,    // high-precision longitudes: nearly incompressible
+  kMixedWithNulls, // "median_sale_price_mom": many NULLs, low ratio
+  kSegmented,      // alternating constant and high-precision segments
+};
+inline constexpr DoubleArchetype kAllDoubleArchetypes[] = {
+    DoubleArchetype::kZeroDominant,  DoubleArchetype::kPrice2Decimals,
+    DoubleArchetype::kPriceRuns,     DoubleArchetype::kFrequencyTail,
+    DoubleArchetype::kCoordinates,   DoubleArchetype::kMixedWithNulls,
+    DoubleArchetype::kSegmented};
+
+enum class StringArchetype {
+  kOneValue,       // "Motos/Medio": single value (paper Table 4)
+  kNullHeavy,      // the literal string "null" proliferating
+  kLowCardinality, // property types / categories, dictionary-friendly
+  kCityNames,      // "01 BRONX": structured, Dict+FSST
+  kStreetAddresses,// "5777 E MAYO BLVD": many distinct structured strings
+  kUrls,           // common-prefix URLs (paper Section 6.1)
+  kCategoryRuns,   // low-cardinality with long runs (fused RLE+Dict case)
+  kSegmented,      // constant region followed by high-cardinality region
+};
+inline constexpr StringArchetype kAllStringArchetypes[] = {
+    StringArchetype::kOneValue,        StringArchetype::kNullHeavy,
+    StringArchetype::kLowCardinality,  StringArchetype::kCityNames,
+    StringArchetype::kStreetAddresses, StringArchetype::kUrls,
+    StringArchetype::kCategoryRuns,    StringArchetype::kSegmented};
+
+const char* IntArchetypeName(IntArchetype a);
+const char* DoubleArchetypeName(DoubleArchetype a);
+const char* StringArchetypeName(StringArchetype a);
+
+// Fill `column` (of matching type) with `rows` archetype values.
+void FillInt(Column* column, IntArchetype archetype, u32 rows, u64 seed);
+void FillDouble(Column* column, DoubleArchetype archetype, u32 rows, u64 seed);
+void FillString(Column* column, StringArchetype archetype, u32 rows, u64 seed);
+
+// Convenience: a fresh single-column vector<double>/vector<i32> without a
+// Column wrapper (Table 3 / Section 6.5 benches operate on raw arrays).
+std::vector<double> MakeDoubles(DoubleArchetype archetype, u32 rows, u64 seed);
+std::vector<i32> MakeInts(IntArchetype archetype, u32 rows, u64 seed);
+
+}  // namespace btr::datagen
+
+#endif  // BTR_DATAGEN_ARCHETYPES_H_

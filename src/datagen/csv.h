@@ -1,0 +1,27 @@
+// Minimal CSV I/O for the Section 6.4 compression-speed experiment
+// (compression measured "from CSV" and "from binary"). Values are
+// separated by '|' (dbgen style) so no quoting is needed; NULLs are empty
+// fields.
+#ifndef BTR_DATAGEN_CSV_H_
+#define BTR_DATAGEN_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "btr/relation.h"
+#include "util/status.h"
+
+namespace btr::datagen {
+
+// Serializes the relation; first line is "name:type" headers.
+std::string WriteCsv(const Relation& relation);
+Status WriteCsvFile(const Relation& relation, const std::string& path);
+
+// Parses what WriteCsv produced (schema taken from the header line).
+Status ReadCsv(const std::string& text, Relation* out);
+Status ReadCsvFile(const std::string& path, const std::string& table_name,
+                   Relation* out);
+
+}  // namespace btr::datagen
+
+#endif  // BTR_DATAGEN_CSV_H_

@@ -1,0 +1,58 @@
+#include "datagen/public_bi.h"
+
+#include <iterator>
+
+#include "util/random.h"
+
+namespace btr::datagen {
+
+Relation MakePublicBiTable(const std::string& name, u32 rows, u64 seed) {
+  Relation relation(name);
+  Random rng(seed);
+  // Column plan per table: 8 strings, 3 doubles, 3 ints. With typical
+  // value widths this lands near the paper's by-volume type shares.
+  constexpr u32 kStringColumns = 8;
+  constexpr u32 kDoubleColumns = 3;
+  constexpr u32 kIntColumns = 3;
+  for (u32 c = 0; c < kStringColumns; c++) {
+    StringArchetype archetype =
+        kAllStringArchetypes[rng.NextBounded(std::size(kAllStringArchetypes))];
+    Column& column = relation.AddColumn(
+        std::string("s_") + StringArchetypeName(archetype) + "_" +
+            std::to_string(c),
+        ColumnType::kString);
+    FillString(&column, archetype, rows, seed * 131 + c);
+  }
+  for (u32 c = 0; c < kDoubleColumns; c++) {
+    DoubleArchetype archetype =
+        kAllDoubleArchetypes[rng.NextBounded(std::size(kAllDoubleArchetypes))];
+    Column& column = relation.AddColumn(
+        std::string("d_") + DoubleArchetypeName(archetype) + "_" +
+            std::to_string(c),
+        ColumnType::kDouble);
+    FillDouble(&column, archetype, rows, seed * 137 + c);
+  }
+  for (u32 c = 0; c < kIntColumns; c++) {
+    IntArchetype archetype =
+        kAllIntArchetypes[rng.NextBounded(std::size(kAllIntArchetypes))];
+    Column& column = relation.AddColumn(
+        std::string("i_") + IntArchetypeName(archetype) + "_" +
+            std::to_string(c),
+        ColumnType::kInteger);
+    FillInt(&column, archetype, rows, seed * 139 + c);
+  }
+  return relation;
+}
+
+std::vector<Relation> MakePublicBiCorpus(const PublicBiOptions& options) {
+  std::vector<Relation> corpus;
+  corpus.reserve(options.tables);
+  for (u32 t = 0; t < options.tables; t++) {
+    corpus.push_back(MakePublicBiTable("pbi_table_" + std::to_string(t),
+                                       options.rows_per_table,
+                                       options.seed + t * 7919));
+  }
+  return corpus;
+}
+
+}  // namespace btr::datagen

@@ -1,0 +1,29 @@
+// Synthetic Public-BI-like corpus (paper Section 6.1): a set of tables
+// whose column mix approximates the benchmark's type-volume shares
+// (~71.5% strings, ~14.4% doubles, ~14.1% integers) and whose columns are
+// drawn from the archetype families in datagen/archetypes.h.
+#ifndef BTR_DATAGEN_PUBLIC_BI_H_
+#define BTR_DATAGEN_PUBLIC_BI_H_
+
+#include <vector>
+
+#include "btr/relation.h"
+#include "datagen/archetypes.h"
+
+namespace btr::datagen {
+
+struct PublicBiOptions {
+  u32 tables = 5;
+  u32 rows_per_table = 256000;  // 4 blocks per column
+  u64 seed = 2023;
+};
+
+// One table mixing archetypes deterministically by (seed, index).
+Relation MakePublicBiTable(const std::string& name, u32 rows, u64 seed);
+
+// The corpus the evaluation harnesses use ("the five largest datasets").
+std::vector<Relation> MakePublicBiCorpus(const PublicBiOptions& options);
+
+}  // namespace btr::datagen
+
+#endif  // BTR_DATAGEN_PUBLIC_BI_H_

@@ -1,0 +1,140 @@
+#include "datagen/tpch.h"
+
+#include <iterator>
+#include <string>
+
+#include "util/random.h"
+
+namespace btr::datagen {
+
+namespace {
+
+// dbgen-style comment: random words from a fixed vocabulary, weakly
+// structured (the paper notes TPC-H comments are "random samples from a
+// pool of test data" and compress far worse than real-world strings).
+const char* kWords[] = {
+    "furiously", "carefully", "express",  "pending",  "regular", "ironic",
+    "deposits",  "accounts",  "packages", "requests", "theodolites", "pinto",
+    "beans",     "foxes",     "instructions", "dependencies", "platelets",
+    "sometimes", "blithely",  "quickly",  "final",    "bold",    "silent",
+    "unusual",   "even",      "special",  "sly"};
+
+std::string MakeComment(Random* rng, u32 min_words, u32 max_words) {
+  std::string comment;
+  u32 words = min_words + static_cast<u32>(
+                              rng->NextBounded(max_words - min_words + 1));
+  for (u32 w = 0; w < words; w++) {
+    if (w > 0) comment.push_back(' ');
+    comment += kWords[rng->NextBounded(std::size(kWords))];
+    // dbgen's grammar yields far more variety than a word list; emulate
+    // with occasional random tokens so comments stay weakly compressible.
+    if (rng->NextBounded(3) == 0) {
+      comment.push_back(' ');
+      u32 len = 3 + static_cast<u32>(rng->NextBounded(6));
+      for (u32 i = 0; i < len; i++) {
+        comment.push_back(static_cast<char>('a' + rng->NextBounded(26)));
+      }
+    }
+  }
+  return comment;
+}
+
+double Cents(Random* rng, u64 max_cents) {
+  return static_cast<double>(rng->NextBounded(max_cents)) / 100.0;
+}
+
+}  // namespace
+
+Relation MakeLineitem(const TpchOptions& options) {
+  Random rng(options.seed);
+  Relation relation("lineitem");
+  Column& orderkey = relation.AddColumn("l_orderkey", ColumnType::kInteger);
+  Column& partkey = relation.AddColumn("l_partkey", ColumnType::kInteger);
+  Column& suppkey = relation.AddColumn("l_suppkey", ColumnType::kInteger);
+  Column& linenumber = relation.AddColumn("l_linenumber", ColumnType::kInteger);
+  Column& quantity = relation.AddColumn("l_quantity", ColumnType::kDouble);
+  Column& extendedprice =
+      relation.AddColumn("l_extendedprice", ColumnType::kDouble);
+  Column& discount = relation.AddColumn("l_discount", ColumnType::kDouble);
+  Column& tax = relation.AddColumn("l_tax", ColumnType::kDouble);
+  Column& returnflag = relation.AddColumn("l_returnflag", ColumnType::kString);
+  Column& linestatus = relation.AddColumn("l_linestatus", ColumnType::kString);
+  Column& shipdate = relation.AddColumn("l_shipdate", ColumnType::kInteger);
+  Column& shipinstruct =
+      relation.AddColumn("l_shipinstruct", ColumnType::kString);
+  Column& shipmode = relation.AddColumn("l_shipmode", ColumnType::kString);
+  Column& comment = relation.AddColumn("l_comment", ColumnType::kString);
+
+  static const char* kReturnFlags[] = {"R", "A", "N"};
+  static const char* kLineStatus[] = {"O", "F"};
+  static const char* kInstruct[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                    "NONE", "TAKE BACK RETURN"};
+  static const char* kModes[] = {"TRUCK", "MAIL", "SHIP", "AIR", "REG AIR",
+                                 "FOB", "RAIL"};
+
+  u32 order = 1;
+  u32 rows = 0;
+  while (rows < options.lineitem_rows) {
+    u32 lines = 1 + static_cast<u32>(rng.NextBounded(7));
+    for (u32 l = 0; l < lines && rows < options.lineitem_rows; l++, rows++) {
+      orderkey.AppendInt(static_cast<i32>(order));
+      partkey.AppendInt(static_cast<i32>(1 + rng.NextBounded(200000)));
+      suppkey.AppendInt(static_cast<i32>(1 + rng.NextBounded(10000)));
+      linenumber.AppendInt(static_cast<i32>(l + 1));
+      quantity.AppendDouble(static_cast<double>(1 + rng.NextBounded(50)));
+      extendedprice.AppendDouble(Cents(&rng, 10000000));
+      discount.AppendDouble(static_cast<double>(rng.NextBounded(11)) / 100.0);
+      tax.AppendDouble(static_cast<double>(rng.NextBounded(9)) / 100.0);
+      returnflag.AppendString(kReturnFlags[rng.NextBounded(3)]);
+      linestatus.AppendString(kLineStatus[rng.NextBounded(2)]);
+      shipdate.AppendInt(static_cast<i32>(8035 + rng.NextBounded(2557)));
+      shipinstruct.AppendString(kInstruct[rng.NextBounded(4)]);
+      shipmode.AppendString(kModes[rng.NextBounded(7)]);
+      std::string text = MakeComment(&rng, 3, 7);
+      comment.AppendString(text);
+    }
+    order += 1 + static_cast<u32>(rng.NextBounded(3));  // sparse orderkeys
+  }
+  return relation;
+}
+
+Relation MakeOrders(const TpchOptions& options) {
+  Random rng(options.seed * 31);
+  Relation relation("orders");
+  u32 rows = options.lineitem_rows / 4;
+  Column& orderkey = relation.AddColumn("o_orderkey", ColumnType::kInteger);
+  Column& custkey = relation.AddColumn("o_custkey", ColumnType::kInteger);
+  Column& orderstatus = relation.AddColumn("o_orderstatus", ColumnType::kString);
+  Column& totalprice = relation.AddColumn("o_totalprice", ColumnType::kDouble);
+  Column& orderdate = relation.AddColumn("o_orderdate", ColumnType::kInteger);
+  Column& orderpriority =
+      relation.AddColumn("o_orderpriority", ColumnType::kString);
+  Column& clerk = relation.AddColumn("o_clerk", ColumnType::kString);
+  Column& comment = relation.AddColumn("o_comment", ColumnType::kString);
+
+  static const char* kStatus[] = {"O", "F", "P"};
+  static const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                      "4-NOT SPECIFIED", "5-LOW"};
+  for (u32 i = 0; i < rows; i++) {
+    orderkey.AppendInt(static_cast<i32>(i * 4 + 1));
+    custkey.AppendInt(static_cast<i32>(1 + rng.NextBounded(150000)));
+    orderstatus.AppendString(kStatus[rng.NextBounded(3)]);
+    totalprice.AppendDouble(Cents(&rng, 50000000));
+    orderdate.AppendInt(static_cast<i32>(8035 + rng.NextBounded(2400)));
+    orderpriority.AppendString(kPriorities[rng.NextBounded(5)]);
+    std::string clerk_name = "Clerk#" + std::to_string(rng.NextBounded(1000));
+    clerk.AppendString(clerk_name);
+    std::string text = MakeComment(&rng, 5, 12);
+    comment.AppendString(text);
+  }
+  return relation;
+}
+
+std::vector<Relation> MakeTpchCorpus(const TpchOptions& options) {
+  std::vector<Relation> corpus;
+  corpus.push_back(MakeLineitem(options));
+  corpus.push_back(MakeOrders(options));
+  return corpus;
+}
+
+}  // namespace btr::datagen

@@ -1,0 +1,27 @@
+// TPC-H-like data generator (paper Section 6.1): normalized tables with
+// unique/foreign integer keys, uniform price doubles, and comment strings
+// sampled from a random word pool — the synthetic shape the paper
+// contrasts with the Public BI Benchmark (few runs, weak string structure,
+// poor integer compressibility).
+#ifndef BTR_DATAGEN_TPCH_H_
+#define BTR_DATAGEN_TPCH_H_
+
+#include "btr/relation.h"
+
+namespace btr::datagen {
+
+struct TpchOptions {
+  // Rows of lineitem; other tables scale from it (orders = rows / 4).
+  u32 lineitem_rows = 600000;
+  u64 seed = 19920601;
+};
+
+Relation MakeLineitem(const TpchOptions& options);
+Relation MakeOrders(const TpchOptions& options);
+
+// lineitem + orders, the two largest tables dominating the data volume.
+std::vector<Relation> MakeTpchCorpus(const TpchOptions& options);
+
+}  // namespace btr::datagen
+
+#endif  // BTR_DATAGEN_TPCH_H_

@@ -1,0 +1,70 @@
+#include "exec/thread_pool.h"
+
+namespace btr::exec {
+
+ThreadPool::ThreadPool(u32 thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(thread_count);
+  for (u32 i = 0; i < thread_count; i++) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    pending_++;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      pending_--;
+      if (pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, u64 begin, u64 end,
+                 const std::function<void(u64)>& fn) {
+  if (begin >= end) return;
+  if (pool == nullptr || pool->thread_count() <= 1) {
+    for (u64 i = begin; i < end; i++) fn(i);
+    return;
+  }
+  for (u64 i = begin; i < end; i++) {
+    pool->Submit([i, &fn] { fn(i); });
+  }
+  pool->Wait();
+}
+
+}  // namespace btr::exec

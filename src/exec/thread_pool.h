@@ -1,0 +1,53 @@
+// Minimal thread pool + parallel_for, standing in for the TBB dependency
+// the paper uses for parallel (de)compression (Section 6 test setup).
+#ifndef BTR_EXEC_THREAD_POOL_H_
+#define BTR_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/types.h"
+
+namespace btr::exec {
+
+class ThreadPool {
+ public:
+  // thread_count == 0 uses the hardware concurrency.
+  explicit ThreadPool(u32 thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; tasks may not block on other tasks.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  u32 thread_count() const { return static_cast<u32>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  u64 pending_ = 0;
+  bool shutdown_ = false;
+};
+
+// Runs fn(i) for i in [begin, end) across the pool, blocking until done.
+// With a null pool or a single thread, runs inline.
+void ParallelFor(ThreadPool* pool, u64 begin, u64 end,
+                 const std::function<void(u64)>& fn);
+
+}  // namespace btr::exec
+
+#endif  // BTR_EXEC_THREAD_POOL_H_

@@ -1,0 +1,249 @@
+#include "floatcomp/chimp.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/bitstream.h"
+
+namespace btr::floatcomp {
+
+namespace {
+
+// Rounded leading-zero representation shared by Chimp and Chimp128.
+constexpr u8 kLeadingRound[] = {0, 8, 12, 16, 18, 20, 22, 24};
+
+u32 LeadingCode(u32 clz) {
+  if (clz >= 24) return 7;
+  if (clz >= 22) return 6;
+  if (clz >= 20) return 5;
+  if (clz >= 18) return 4;
+  if (clz >= 16) return 3;
+  if (clz >= 12) return 2;
+  if (clz >= 8) return 1;
+  return 0;
+}
+
+void WriteWords(BitWriter* writer, ByteBuffer* out) {
+  std::vector<u64> words = writer->Finish();
+  out->AppendValue<u32>(static_cast<u32>(words.size()));
+  out->Append(words.data(), words.size() * sizeof(u64));
+}
+
+std::vector<u64> ReadWords(const u8* in, size_t* header_bytes) {
+  u32 word_count;
+  std::memcpy(&word_count, in, sizeof(u32));
+  std::vector<u64> words(word_count);
+  std::memcpy(words.data(), in + 4, word_count * sizeof(u64));
+  *header_bytes = 4 + word_count * sizeof(u64);
+  return words;
+}
+
+}  // namespace
+
+// --- Chimp -------------------------------------------------------------------
+
+size_t ChimpCompress(const double* in, u32 count, ByteBuffer* out) {
+  size_t start_size = out->size();
+  BitWriter writer;
+  u64 prev = 0;
+  u32 stored_leading = 65;  // sentinel
+  for (u32 i = 0; i < count; i++) {
+    u64 bits;
+    std::memcpy(&bits, &in[i], 8);
+    if (i == 0) {
+      writer.Write(bits, 64);
+      prev = bits;
+      continue;
+    }
+    u64 x = bits ^ prev;
+    prev = bits;
+    if (x == 0) {
+      writer.Write(0b00, 2);
+      stored_leading = 65;
+      continue;
+    }
+    u32 trailing = CountTrailingZeros64(x);
+    u32 lead_code = LeadingCode(CountLeadingZeros64(x));
+    u32 leading = kLeadingRound[lead_code];
+    if (trailing > 6) {
+      // Center bits only; resets the leading window.
+      u32 significant = 64 - leading - trailing;
+      writer.Write(0b01, 2);
+      writer.Write(lead_code, 3);
+      writer.Write(significant, 6);
+      writer.Write(x >> trailing, significant);
+      stored_leading = 65;
+    } else if (leading == stored_leading) {
+      writer.Write(0b10, 2);
+      writer.Write(x, 64 - leading);
+    } else {
+      stored_leading = leading;
+      writer.Write(0b11, 2);
+      writer.Write(lead_code, 3);
+      writer.Write(x, 64 - leading);
+    }
+  }
+  WriteWords(&writer, out);
+  return out->size() - start_size;
+}
+
+size_t ChimpDecompress(const u8* in, u32 count, double* out) {
+  if (count == 0) return 0;
+  size_t header_bytes;
+  std::vector<u64> words = ReadWords(in, &header_bytes);
+  BitReader reader(words.data(), words.size());
+  u64 prev = 0;
+  u32 stored_leading = 0;
+  for (u32 i = 0; i < count; i++) {
+    if (i == 0) {
+      prev = reader.Read(64);
+      std::memcpy(&out[0], &prev, 8);
+      continue;
+    }
+    u32 flag = static_cast<u32>(reader.Read(2));
+    u64 x = 0;
+    switch (flag) {
+      case 0b00:
+        break;
+      case 0b01: {
+        u32 leading = kLeadingRound[reader.Read(3)];
+        u32 significant = static_cast<u32>(reader.Read(6));
+        if (significant == 0) significant = 64;
+        u32 trailing = 64 - leading - significant;
+        x = reader.Read(significant) << trailing;
+        break;
+      }
+      case 0b10:
+        x = reader.Read(64 - stored_leading);
+        break;
+      case 0b11:
+        stored_leading = kLeadingRound[reader.Read(3)];
+        x = reader.Read(64 - stored_leading);
+        break;
+    }
+    prev ^= x;
+    std::memcpy(&out[i], &prev, 8);
+  }
+  return header_bytes;
+}
+
+// --- Chimp128 ------------------------------------------------------------------
+
+namespace {
+constexpr u32 kWindow = 128;          // previous values searched
+constexpr u32 kIndexBits = 7;          // log2(kWindow)
+constexpr u32 kKeyBits = 14;           // low bits indexing the hash
+constexpr u32 kTrailingThreshold = 13; // 6 + kIndexBits: index must pay off
+}  // namespace
+
+size_t Chimp128Compress(const double* in, u32 count, ByteBuffer* out) {
+  size_t start_size = out->size();
+  BitWriter writer;
+  std::vector<u64> ring(kWindow, 0);
+  std::vector<i64> key_index(1u << kKeyBits, -1);
+  u32 stored_leading = 65;
+  for (u32 i = 0; i < count; i++) {
+    u64 bits;
+    std::memcpy(&bits, &in[i], 8);
+    if (i == 0) {
+      writer.Write(bits, 64);
+      ring[0] = bits;
+      key_index[bits & ((1u << kKeyBits) - 1)] = 0;
+      continue;
+    }
+    u64 key = bits & ((1u << kKeyBits) - 1);
+    i64 candidate_pos = key_index[key];
+    bool used_candidate = false;
+    if (candidate_pos >= 0 && i - candidate_pos <= kWindow) {
+      u64 ref = ring[candidate_pos % kWindow];
+      u64 x = bits ^ ref;
+      if (x == 0) {
+        writer.Write(0b00, 2);
+        writer.Write(candidate_pos % kWindow, kIndexBits);
+        used_candidate = true;
+        stored_leading = 65;
+      } else if (CountTrailingZeros64(x) > kTrailingThreshold) {
+        u32 trailing = CountTrailingZeros64(x);
+        u32 lead_code = LeadingCode(CountLeadingZeros64(x));
+        u32 leading = kLeadingRound[lead_code];
+        u32 significant = 64 - leading - trailing;
+        writer.Write(0b01, 2);
+        writer.Write(candidate_pos % kWindow, kIndexBits);
+        writer.Write(lead_code, 3);
+        writer.Write(significant, 6);
+        writer.Write(x >> trailing, significant);
+        used_candidate = true;
+        stored_leading = 65;
+      }
+    }
+    if (!used_candidate) {
+      u64 x = bits ^ ring[(i - 1) % kWindow];
+      u32 lead_code = LeadingCode(CountLeadingZeros64(x));
+      u32 leading = kLeadingRound[lead_code];
+      if (leading == stored_leading) {
+        writer.Write(0b10, 2);
+        writer.Write(x, 64 - leading);
+      } else {
+        stored_leading = leading;
+        writer.Write(0b11, 2);
+        writer.Write(lead_code, 3);
+        writer.Write(x, 64 - leading);
+      }
+    }
+    ring[i % kWindow] = bits;
+    key_index[key] = i;
+  }
+  WriteWords(&writer, out);
+  return out->size() - start_size;
+}
+
+size_t Chimp128Decompress(const u8* in, u32 count, double* out) {
+  if (count == 0) return 0;
+  size_t header_bytes;
+  std::vector<u64> words = ReadWords(in, &header_bytes);
+  BitReader reader(words.data(), words.size());
+  std::vector<u64> ring(kWindow, 0);
+  u32 stored_leading = 0;
+  for (u32 i = 0; i < count; i++) {
+    u64 bits;
+    if (i == 0) {
+      bits = reader.Read(64);
+    } else {
+      u32 flag = static_cast<u32>(reader.Read(2));
+      switch (flag) {
+        case 0b00: {
+          u32 index = static_cast<u32>(reader.Read(kIndexBits));
+          bits = ring[index];
+          break;
+        }
+        case 0b01: {
+          u32 index = static_cast<u32>(reader.Read(kIndexBits));
+          u32 leading = kLeadingRound[reader.Read(3)];
+          u32 significant = static_cast<u32>(reader.Read(6));
+          if (significant == 0) significant = 64;
+          u32 trailing = 64 - leading - significant;
+          u64 x = reader.Read(significant) << trailing;
+          bits = ring[index] ^ x;
+          break;
+        }
+        case 0b10: {
+          u64 x = reader.Read(64 - stored_leading);
+          bits = ring[(i - 1) % kWindow] ^ x;
+          break;
+        }
+        default: {
+          stored_leading = kLeadingRound[reader.Read(3)];
+          u64 x = reader.Read(64 - stored_leading);
+          bits = ring[(i - 1) % kWindow] ^ x;
+          break;
+        }
+      }
+    }
+    ring[i % kWindow] = bits;
+    std::memcpy(&out[i], &bits, 8);
+  }
+  return header_bytes;
+}
+
+}  // namespace btr::floatcomp

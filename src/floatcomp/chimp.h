@@ -1,0 +1,25 @@
+// Chimp and Chimp128 double compressors (Liakos, Papakonstantinopoulou,
+// Kotidis: "Chimp: Efficient Lossless Floating Point Compression for Time
+// Series Databases", VLDB 2022). Baselines for the paper's Table 3.
+//
+// Chimp refines Gorilla's XOR scheme with a 2-bit flag per value and a
+// rounded 3-bit leading-zero code. Chimp128 additionally searches the 128
+// most recent values (indexed by the 14 low bits) for a reference whose
+// XOR has a long trailing-zero run, paying 7 index bits for it.
+#ifndef BTR_FLOATCOMP_CHIMP_H_
+#define BTR_FLOATCOMP_CHIMP_H_
+
+#include "util/buffer.h"
+#include "util/types.h"
+
+namespace btr::floatcomp {
+
+size_t ChimpCompress(const double* in, u32 count, ByteBuffer* out);
+size_t ChimpDecompress(const u8* in, u32 count, double* out);
+
+size_t Chimp128Compress(const double* in, u32 count, ByteBuffer* out);
+size_t Chimp128Decompress(const u8* in, u32 count, double* out);
+
+}  // namespace btr::floatcomp
+
+#endif  // BTR_FLOATCOMP_CHIMP_H_

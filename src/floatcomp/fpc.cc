@@ -1,0 +1,103 @@
+#include "floatcomp/fpc.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace btr::floatcomp {
+
+namespace {
+
+constexpr u32 kTableBits = 16;
+constexpr u32 kTableSize = 1u << kTableBits;
+
+// Shared predictor state; compression and decompression must evolve it
+// identically.
+struct Predictors {
+  std::vector<u64> fcm = std::vector<u64>(kTableSize, 0);
+  std::vector<u64> dfcm = std::vector<u64>(kTableSize, 0);
+  u64 fcm_hash = 0;
+  u64 dfcm_hash = 0;
+  u64 last = 0;
+
+  u64 PredictFcm() const { return fcm[fcm_hash]; }
+  u64 PredictDfcm() const { return dfcm[dfcm_hash] + last; }
+
+  void Update(u64 actual) {
+    fcm[fcm_hash] = actual;
+    fcm_hash = ((fcm_hash << 6) ^ (actual >> 48)) & (kTableSize - 1);
+    u64 delta = actual - last;
+    dfcm[dfcm_hash] = delta;
+    dfcm_hash = ((dfcm_hash << 2) ^ (delta >> 40)) & (kTableSize - 1);
+    last = actual;
+  }
+};
+
+// 3-bit code for a leading-zero-byte count; 4 is rounded down to 3.
+inline u32 LzbToCode(u32 lzb) {
+  if (lzb == 4) return 3;
+  return lzb <= 3 ? lzb : lzb - 1;
+}
+inline u32 CodeToLzb(u32 code) { return code <= 3 ? code : code + 1; }
+
+struct Encoded {
+  u8 header;   // [pred:1 | code:3] in the low 4 bits
+  u64 residual;
+  u32 residual_bytes;
+};
+
+Encoded EncodeOne(Predictors* preds, u64 bits) {
+  u64 fcm_xor = bits ^ preds->PredictFcm();
+  u64 dfcm_xor = bits ^ preds->PredictDfcm();
+  bool use_dfcm = CountLeadingZeros64(dfcm_xor) > CountLeadingZeros64(fcm_xor);
+  u64 residual = use_dfcm ? dfcm_xor : fcm_xor;
+  u32 lzb = CountLeadingZeros64(residual) / 8;
+  u32 code = LzbToCode(lzb);
+  preds->Update(bits);
+  return Encoded{static_cast<u8>((use_dfcm ? 8 : 0) | code), residual,
+                 8 - CodeToLzb(code)};
+}
+
+}  // namespace
+
+size_t FpcCompress(const double* in, u32 count, ByteBuffer* out) {
+  size_t start_size = out->size();
+  Predictors preds;
+  for (u32 i = 0; i < count; i += 2) {
+    u64 a_bits, b_bits = 0;
+    std::memcpy(&a_bits, &in[i], 8);
+    bool has_b = i + 1 < count;
+    if (has_b) std::memcpy(&b_bits, &in[i + 1], 8);
+    Encoded a = EncodeOne(&preds, a_bits);
+    Encoded b = has_b ? EncodeOne(&preds, b_bits) : Encoded{0, 0, 0};
+    out->AppendValue<u8>(static_cast<u8>((a.header << 4) | b.header));
+    out->Append(&a.residual, a.residual_bytes);
+    if (has_b) out->Append(&b.residual, b.residual_bytes);
+  }
+  return out->size() - start_size;
+}
+
+size_t FpcDecompress(const u8* in, u32 count, double* out) {
+  if (count == 0) return 0;
+  Predictors preds;
+  const u8* cursor = in;
+  for (u32 i = 0; i < count; i += 2) {
+    u8 header = *cursor++;
+    for (u32 half = 0; half < 2 && i + half < count; half++) {
+      u8 h = half == 0 ? (header >> 4) : (header & 0xF);
+      bool use_dfcm = (h & 8) != 0;
+      u32 residual_bytes = 8 - CodeToLzb(h & 7);
+      u64 residual = 0;
+      std::memcpy(&residual, cursor, residual_bytes);
+      cursor += residual_bytes;
+      u64 pred = use_dfcm ? preds.PredictDfcm() : preds.PredictFcm();
+      u64 bits = pred ^ residual;
+      preds.Update(bits);
+      std::memcpy(&out[i + half], &bits, 8);
+    }
+  }
+  return static_cast<size_t>(cursor - in);
+}
+
+}  // namespace btr::floatcomp

@@ -1,0 +1,23 @@
+// FPC double compressor (Burtscher & Ratanaworabhan, "High Throughput
+// Compression of Double-Precision Floating-Point Data", DCC 2007).
+// Baseline for the paper's Table 3.
+//
+// Two predictors (FCM and DFCM hash tables) guess each value; the better
+// one's XOR residual is stored with leading zero bytes elided. Headers are
+// packed two-per-byte: [pred:1 | lzb-code:3] per value, where the 3-bit
+// code maps {0,1,2,3,5,6,7,8} leading zero bytes (4 is rounded down to 3),
+// exactly as in the original.
+#ifndef BTR_FLOATCOMP_FPC_H_
+#define BTR_FLOATCOMP_FPC_H_
+
+#include "util/buffer.h"
+#include "util/types.h"
+
+namespace btr::floatcomp {
+
+size_t FpcCompress(const double* in, u32 count, ByteBuffer* out);
+size_t FpcDecompress(const u8* in, u32 count, double* out);
+
+}  // namespace btr::floatcomp
+
+#endif  // BTR_FLOATCOMP_FPC_H_

@@ -1,0 +1,90 @@
+#include "floatcomp/gorilla.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/bitstream.h"
+
+namespace btr::floatcomp {
+
+size_t GorillaCompress(const double* in, u32 count, ByteBuffer* out) {
+  size_t start_size = out->size();
+  BitWriter writer;
+  u64 prev = 0;
+  u32 prev_leading = 65;  // sentinel: no reusable window yet
+  u32 prev_meaningful = 0;
+  for (u32 i = 0; i < count; i++) {
+    u64 bits;
+    std::memcpy(&bits, &in[i], 8);
+    if (i == 0) {
+      writer.Write(bits, 64);
+      prev = bits;
+      continue;
+    }
+    u64 x = bits ^ prev;
+    prev = bits;
+    if (x == 0) {
+      writer.WriteBit(false);
+      continue;
+    }
+    writer.WriteBit(true);
+    u32 leading = CountLeadingZeros64(x);
+    u32 trailing = CountTrailingZeros64(x);
+    if (leading > 31) leading = 31;  // 5-bit field
+    u32 meaningful = 64 - leading - trailing;
+    if (prev_leading <= leading &&
+        (64 - prev_leading - prev_meaningful) <= trailing) {
+      // Fits the previous window.
+      writer.WriteBit(false);
+      writer.Write(x >> (64 - prev_leading - prev_meaningful), prev_meaningful);
+    } else {
+      writer.WriteBit(true);
+      writer.Write(leading, 5);
+      writer.Write(meaningful & 63, 6);  // 64 encodes as 0
+      writer.Write(x >> trailing, meaningful);
+      prev_leading = leading;
+      prev_meaningful = meaningful;
+    }
+  }
+  std::vector<u64> words = writer.Finish();
+  out->AppendValue<u32>(static_cast<u32>(words.size()));
+  out->Append(words.data(), words.size() * sizeof(u64));
+  return out->size() - start_size;
+}
+
+size_t GorillaDecompress(const u8* in, u32 count, double* out) {
+  if (count == 0) return 0;
+  u32 word_count;
+  std::memcpy(&word_count, in, sizeof(u32));
+  std::vector<u64> words(word_count);
+  std::memcpy(words.data(), in + 4, word_count * sizeof(u64));
+  BitReader reader(words.data(), words.size());
+
+  u64 prev = 0;
+  u32 prev_leading = 0;
+  u32 prev_meaningful = 0;
+  for (u32 i = 0; i < count; i++) {
+    if (i == 0) {
+      prev = reader.Read(64);
+      std::memcpy(&out[0], &prev, 8);
+      continue;
+    }
+    if (!reader.ReadBit()) {
+      std::memcpy(&out[i], &prev, 8);
+      continue;
+    }
+    if (reader.ReadBit()) {
+      prev_leading = static_cast<u32>(reader.Read(5));
+      prev_meaningful = static_cast<u32>(reader.Read(6));
+      if (prev_meaningful == 0) prev_meaningful = 64;
+    }
+    u64 value_bits = reader.Read(prev_meaningful);
+    u64 x = value_bits << (64 - prev_leading - prev_meaningful);
+    prev ^= x;
+    std::memcpy(&out[i], &prev, 8);
+  }
+  return 4 + word_count * sizeof(u64);
+}
+
+}  // namespace btr::floatcomp

@@ -1,0 +1,18 @@
+// Gorilla double compressor (Pelkonen et al., VLDB 2015), baseline for
+// the paper's Table 3. XOR with the previous value; reuse the previous
+// (leading, meaningful-bits) window when the new residual fits, otherwise
+// emit a fresh 5-bit leading count + 6-bit length.
+#ifndef BTR_FLOATCOMP_GORILLA_H_
+#define BTR_FLOATCOMP_GORILLA_H_
+
+#include "util/buffer.h"
+#include "util/types.h"
+
+namespace btr::floatcomp {
+
+size_t GorillaCompress(const double* in, u32 count, ByteBuffer* out);
+size_t GorillaDecompress(const u8* in, u32 count, double* out);
+
+}  // namespace btr::floatcomp
+
+#endif  // BTR_FLOATCOMP_GORILLA_H_

@@ -1,0 +1,53 @@
+#include "gpc/codec.h"
+
+#include <cstring>
+
+#include "gpc/entropy_lz.h"
+#include "gpc/lz77.h"
+
+namespace btr::gpc {
+
+namespace {
+
+class NoneCodec final : public Codec {
+ public:
+  size_t Compress(const u8* in, size_t len, ByteBuffer* out) const override {
+    out->Append(in, len);
+    return len;
+  }
+  size_t Decompress(const u8* in, size_t compressed_len, u8* out,
+                    size_t decompressed_len) const override {
+    BTR_DCHECK(compressed_len == decompressed_len);
+    (void)compressed_len;
+    if (decompressed_len > 0) std::memcpy(out, in, decompressed_len);
+    return decompressed_len;
+  }
+  CodecKind kind() const override { return CodecKind::kNone; }
+  std::string name() const override { return "none"; }
+};
+
+}  // namespace
+
+const Codec& GetCodec(CodecKind kind) {
+  static const NoneCodec* none = new NoneCodec();
+  static const Lz77Codec* lz77 = new Lz77Codec();
+  static const EntropyLzCodec* entropy = new EntropyLzCodec();
+  switch (kind) {
+    case CodecKind::kNone: return *none;
+    case CodecKind::kLz77: return *lz77;
+    case CodecKind::kEntropyLz: return *entropy;
+  }
+  BTR_CHECK_MSG(false, "unknown codec kind");
+  return *none;
+}
+
+const char* CodecName(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kNone: return "none";
+    case CodecKind::kLz77: return "lz77";
+    case CodecKind::kEntropyLz: return "entropy_lz";
+  }
+  return "unknown";
+}
+
+}  // namespace btr::gpc

@@ -1,0 +1,45 @@
+// General-purpose byte codec interface. These stand in for the
+// heavyweight codecs the paper layers on Parquet/ORC (Snappy, LZ4, Zstd):
+// no dev headers are available offline, so both trade-off corners are
+// reimplemented from scratch (see gpc/lz77.h and gpc/entropy_lz.h).
+#ifndef BTR_GPC_CODEC_H_
+#define BTR_GPC_CODEC_H_
+
+#include <string>
+
+#include "util/buffer.h"
+#include "util/types.h"
+
+namespace btr::gpc {
+
+enum class CodecKind : u8 {
+  kNone = 0,       // memcpy passthrough
+  kLz77 = 1,       // Snappy/LZ4-class: fast, modest ratio
+  kEntropyLz = 2,  // Zstd-class: slower, denser
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  // Appends the compressed form of in[0..len) to *out; returns bytes added.
+  virtual size_t Compress(const u8* in, size_t len, ByteBuffer* out) const = 0;
+
+  // Decompresses exactly `decompressed_len` bytes (stored by the caller's
+  // framing). `out` must have decompressed_len + kSimdPadding capacity.
+  // Returns bytes consumed from `in`.
+  virtual size_t Decompress(const u8* in, size_t compressed_len,
+                            u8* out, size_t decompressed_len) const = 0;
+
+  virtual CodecKind kind() const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Returns a process-lifetime singleton for the codec kind.
+const Codec& GetCodec(CodecKind kind);
+
+const char* CodecName(CodecKind kind);
+
+}  // namespace btr::gpc
+
+#endif  // BTR_GPC_CODEC_H_

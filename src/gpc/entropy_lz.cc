@@ -1,0 +1,206 @@
+#include "gpc/entropy_lz.h"
+
+#include <cstring>
+#include <vector>
+
+#include "gpc/huffman.h"
+
+namespace btr::gpc {
+
+namespace {
+
+constexpr u32 kHashBits = 16;
+constexpr u32 kHashSize = 1u << kHashBits;
+constexpr u32 kMinMatch = 4;
+constexpr u32 kMaxOffset = 65535;
+constexpr size_t kTailLiterals = 12;
+
+inline u32 Hash4(const u8* p) {
+  u32 v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+struct Sequence {
+  u32 literal_len;
+  u32 match_len;  // 0 for the final literal-only sequence
+  u16 offset;
+};
+
+void AppendLengthExt(size_t len, std::vector<u8>* ext) {
+  while (len >= 255) {
+    ext->push_back(255);
+    len -= 255;
+  }
+  ext->push_back(static_cast<u8>(len));
+}
+
+size_t ReadLengthExt(const u8*& cursor) {
+  size_t total = 0;
+  u8 b;
+  do {
+    b = *cursor++;
+    total += b;
+  } while (b == 255);
+  return total;
+}
+
+}  // namespace
+
+size_t EntropyLzCodec::Compress(const u8* in, size_t len, ByteBuffer* out) const {
+  size_t start_size = out->size();
+
+  // --- Parse: greedy with one-step lazy evaluation. ------------------------
+  std::vector<Sequence> sequences;
+  std::vector<u8> literals;
+  literals.reserve(len / 2);
+
+  std::vector<u32> table(kHashSize, 0xFFFFFFFFu);
+  size_t pos = 0;
+  size_t literal_start = 0;
+  size_t match_limit = len > kTailLiterals ? len - kTailLiterals : 0;
+
+  auto find_match = [&](size_t at, u32* out_offset) -> size_t {
+    u32 h = Hash4(in + at);
+    u32 candidate = table[h];
+    table[h] = static_cast<u32>(at);
+    if (candidate == 0xFFFFFFFFu || at - candidate > kMaxOffset ||
+        std::memcmp(in + candidate, in + at, kMinMatch) != 0) {
+      return 0;
+    }
+    size_t match_len = kMinMatch;
+    while (at + match_len < match_limit &&
+           in[candidate + match_len] == in[at + match_len]) {
+      match_len++;
+    }
+    *out_offset = static_cast<u32>(at - candidate);
+    return match_len;
+  };
+
+  while (pos + kMinMatch <= match_limit) {
+    u32 offset = 0;
+    size_t match_len = find_match(pos, &offset);
+    if (match_len == 0) {
+      pos++;
+      continue;
+    }
+    // One-step lazy: a longer match starting one byte later wins.
+    if (pos + 1 + kMinMatch <= match_limit) {
+      u32 next_offset = 0;
+      size_t next_len = find_match(pos + 1, &next_offset);
+      if (next_len > match_len + 1) {
+        pos++;
+        match_len = next_len;
+        offset = next_offset;
+      }
+    }
+    literals.insert(literals.end(), in + literal_start, in + pos);
+    sequences.push_back(Sequence{static_cast<u32>(pos - literal_start),
+                                 static_cast<u32>(match_len),
+                                 static_cast<u16>(offset)});
+    for (size_t p = pos + 2; p + kMinMatch <= pos + match_len && p < match_limit;
+         p += 2) {
+      table[Hash4(in + p)] = static_cast<u32>(p);
+    }
+    pos += match_len;
+    literal_start = pos;
+  }
+  literals.insert(literals.end(), in + literal_start, in + len);
+  sequences.push_back(
+      Sequence{static_cast<u32>(len - literal_start), 0, 0});
+
+  // --- Serialize streams. ----------------------------------------------------
+  std::vector<u8> tokens;
+  std::vector<u8> extensions;
+  std::vector<u16> offsets;
+  tokens.reserve(sequences.size());
+  for (const Sequence& seq : sequences) {
+    u8 token = 0;
+    if (seq.literal_len >= 15) {
+      token = 15 << 4;
+    } else {
+      token = static_cast<u8>(seq.literal_len) << 4;
+    }
+    if (seq.match_len > 0) {
+      u32 stored = seq.match_len - kMinMatch;
+      token |= stored >= 15 ? 15 : static_cast<u8>(stored);
+    }
+    tokens.push_back(token);
+    if (seq.literal_len >= 15) AppendLengthExt(seq.literal_len - 15, &extensions);
+    if (seq.match_len > 0 && seq.match_len - kMinMatch >= 15) {
+      AppendLengthExt(seq.match_len - kMinMatch - 15, &extensions);
+    }
+    if (seq.match_len > 0) offsets.push_back(seq.offset);
+  }
+
+  out->AppendValue<u32>(static_cast<u32>(literals.size()));
+  out->AppendValue<u32>(static_cast<u32>(sequences.size()));
+  out->AppendValue<u32>(static_cast<u32>(extensions.size()));
+  HuffmanEncode(literals.data(), literals.size(), out);
+  out->Append(tokens.data(), tokens.size());
+  out->Append(extensions.data(), extensions.size());
+  out->Append(offsets.data(), offsets.size() * sizeof(u16));
+  return out->size() - start_size;
+}
+
+size_t EntropyLzCodec::Decompress(const u8* in, size_t compressed_len, u8* out,
+                                  size_t decompressed_len) const {
+  (void)compressed_len;
+  const u8* cursor = in;
+  u32 literal_count, sequence_count, extension_bytes;
+  std::memcpy(&literal_count, cursor, 4);
+  std::memcpy(&sequence_count, cursor + 4, 4);
+  std::memcpy(&extension_bytes, cursor + 8, 4);
+  cursor += 12;
+
+  std::vector<u8> literals(literal_count + 16);
+  cursor += HuffmanDecode(cursor, literal_count, literals.data());
+
+  const u8* tokens = cursor;
+  cursor += sequence_count;
+  const u8* ext = cursor;
+  cursor += extension_bytes;
+  const u8* offsets = cursor;
+
+  const u8* lit_src = literals.data();
+  u8* dst = out;
+  u8* dst_end = out + decompressed_len;
+  for (u32 s = 0; s < sequence_count; s++) {
+    u8 token = tokens[s];
+    size_t literal_len = token >> 4;
+    if (literal_len == 15) literal_len += ReadLengthExt(ext);
+    std::memcpy(dst, lit_src, literal_len);
+    dst += literal_len;
+    lit_src += literal_len;
+    bool is_final = (s == sequence_count - 1);
+    if (is_final) break;
+    size_t match_len = token & 15;
+    if (match_len == 15) match_len += ReadLengthExt(ext);
+    match_len += kMinMatch;
+    u16 offset;
+    std::memcpy(&offset, offsets, 2);
+    offsets += 2;
+    const u8* match_src = dst - offset;
+    if (offset >= 8) {
+      u8* mdst = dst;
+      const u8* msrc = match_src;
+      size_t remaining = match_len;
+      while (true) {
+        std::memcpy(mdst, msrc, 8);
+        if (remaining <= 8) break;
+        mdst += 8;
+        msrc += 8;
+        remaining -= 8;
+      }
+    } else {
+      for (size_t i = 0; i < match_len; i++) dst[i] = match_src[i];
+    }
+    dst += match_len;
+  }
+  BTR_DCHECK(dst == dst_end);
+  (void)dst_end;
+  size_t consumed = static_cast<size_t>(offsets - in);
+  return consumed;
+}
+
+}  // namespace btr::gpc

@@ -1,0 +1,30 @@
+// Zstd-class codec: LZ77 parse into separated sequence streams with a
+// canonical-Huffman entropy stage over the literal stream. Denser than the
+// Snappy-class Lz77Codec, slower to decompress — it occupies the same
+// trade-off corner Zstd does in the paper's Parquet+Zstd configuration.
+//
+// Frame layout:
+//   u32 literal_count | u32 sequence_count
+//   Huffman-encoded literal stream (gpc/huffman.h framing)
+//   sequence tokens   (1 byte each: litlen nibble | matchlen nibble)
+//   extension bytes   (255-continued, lit-ext then match-ext per sequence)
+//   offsets           (u16 per sequence with a match)
+#ifndef BTR_GPC_ENTROPY_LZ_H_
+#define BTR_GPC_ENTROPY_LZ_H_
+
+#include "gpc/codec.h"
+
+namespace btr::gpc {
+
+class EntropyLzCodec final : public Codec {
+ public:
+  size_t Compress(const u8* in, size_t len, ByteBuffer* out) const override;
+  size_t Decompress(const u8* in, size_t compressed_len, u8* out,
+                    size_t decompressed_len) const override;
+  CodecKind kind() const override { return CodecKind::kEntropyLz; }
+  std::string name() const override { return "entropy_lz"; }
+};
+
+}  // namespace btr::gpc
+
+#endif  // BTR_GPC_ENTROPY_LZ_H_

@@ -1,0 +1,175 @@
+#include "gpc/huffman.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+
+#include "util/bits.h"
+#include "util/bitstream.h"
+
+namespace btr::gpc {
+
+namespace {
+
+// Computes Huffman code lengths for the 256-symbol alphabet, limited to
+// kHuffMaxCodeLength by iterative frequency scaling.
+void ComputeCodeLengths(const u64 freq_in[256], u8 lengths[256]) {
+  u64 freq[256];
+  std::memcpy(freq, freq_in, sizeof(freq));
+  while (true) {
+    std::memset(lengths, 0, 256);
+    // Heap of (weight, node). Leaves are 0..255, internal nodes 256+.
+    struct Node {
+      u64 weight;
+      u16 left, right;  // children, 0xFFFF for leaves
+    };
+    std::vector<Node> nodes;
+    nodes.reserve(512);
+    using Entry = std::pair<u64, u16>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (u32 s = 0; s < 256; s++) {
+      nodes.push_back(Node{freq[s], 0xFFFF, 0xFFFF});
+      if (freq[s] > 0) heap.push({freq[s], static_cast<u16>(s)});
+    }
+    if (heap.empty()) return;  // no symbols at all
+    if (heap.size() == 1) {
+      lengths[heap.top().second] = 1;
+      return;
+    }
+    while (heap.size() > 1) {
+      Entry a = heap.top();
+      heap.pop();
+      Entry b = heap.top();
+      heap.pop();
+      u16 id = static_cast<u16>(nodes.size());
+      nodes.push_back(Node{a.first + b.first, a.second, b.second});
+      heap.push({a.first + b.first, id});
+    }
+    // Depth-assign via explicit stack.
+    std::vector<std::pair<u16, u8>> stack;
+    stack.push_back({heap.top().second, 0});
+    u8 max_len = 0;
+    while (!stack.empty()) {
+      auto [id, depth] = stack.back();
+      stack.pop_back();
+      const Node& n = nodes[id];
+      if (n.left == 0xFFFF) {
+        lengths[id] = depth == 0 ? 1 : depth;
+        max_len = std::max(max_len, lengths[id]);
+      } else {
+        stack.push_back({n.left, static_cast<u8>(depth + 1)});
+        stack.push_back({n.right, static_cast<u8>(depth + 1)});
+      }
+    }
+    if (max_len <= kHuffMaxCodeLength) return;
+    // Flatten the distribution and retry.
+    for (u32 s = 0; s < 256; s++) {
+      if (freq[s] > 0) freq[s] = freq[s] / 2 + 1;
+    }
+  }
+}
+
+// Canonical code assignment: shorter codes first, ties by symbol value.
+void AssignCanonicalCodes(const u8 lengths[256], u16 codes[256]) {
+  u32 length_count[kHuffMaxCodeLength + 1] = {0};
+  for (u32 s = 0; s < 256; s++) length_count[lengths[s]]++;
+  length_count[0] = 0;  // unused symbols must not shift the code space
+  u16 next_code[kHuffMaxCodeLength + 1] = {0};
+  u16 code = 0;
+  for (u32 len = 1; len <= kHuffMaxCodeLength; len++) {
+    code = static_cast<u16>((code + length_count[len - 1]) << 1);
+    next_code[len] = code;
+  }
+  for (u32 s = 0; s < 256; s++) {
+    if (lengths[s] > 0) codes[s] = next_code[lengths[s]]++;
+  }
+}
+
+struct DecodeEntry {
+  u8 symbol;
+  u8 length;
+};
+
+void BuildDecodeTable(const u8 lengths[256],
+                      std::vector<DecodeEntry>* table) {
+  u16 codes[256] = {0};
+  AssignCanonicalCodes(lengths, codes);
+  table->assign(size_t{1} << kHuffMaxCodeLength, DecodeEntry{0, 0});
+  for (u32 s = 0; s < 256; s++) {
+    u8 len = lengths[s];
+    if (len == 0) continue;
+    u32 shift = kHuffMaxCodeLength - len;
+    u32 base = static_cast<u32>(codes[s]) << shift;
+    for (u32 i = 0; i < (1u << shift); i++) {
+      (*table)[base + i] = DecodeEntry{static_cast<u8>(s), len};
+    }
+  }
+}
+
+}  // namespace
+
+size_t HuffmanEncode(const u8* in, size_t len, ByteBuffer* out) {
+  size_t start_size = out->size();
+  u64 freq[256] = {0};
+  for (size_t i = 0; i < len; i++) freq[in[i]]++;
+  u8 lengths[256] = {0};
+  ComputeCodeLengths(freq, lengths);
+  u16 codes[256] = {0};
+  AssignCanonicalCodes(lengths, codes);
+
+  out->Append(lengths, 256);
+  BitWriter writer;
+  for (size_t i = 0; i < len; i++) {
+    writer.Write(codes[in[i]], lengths[in[i]]);
+  }
+  u64 bit_count = writer.bit_count();
+  std::vector<u64> words = writer.Finish();
+  out->AppendValue<u64>(bit_count);
+  out->Append(words.data(), words.size() * sizeof(u64));
+  return out->size() - start_size;
+}
+
+size_t HuffmanEncodedSize(const u8* in, size_t len) {
+  u64 freq[256] = {0};
+  for (size_t i = 0; i < len; i++) freq[in[i]]++;
+  u8 lengths[256] = {0};
+  ComputeCodeLengths(freq, lengths);
+  u64 bits = 0;
+  for (u32 s = 0; s < 256; s++) bits += freq[s] * lengths[s];
+  return 256 + sizeof(u64) + CeilDiv(bits, 64) * sizeof(u64);
+}
+
+size_t HuffmanDecode(const u8* in, size_t decoded_len, u8* out) {
+  const u8* lengths = in;
+  const u8* cursor = in + 256;
+  u64 bit_count;
+  std::memcpy(&bit_count, cursor, sizeof(u64));
+  cursor += sizeof(u64);
+  size_t word_count = CeilDiv(bit_count, 64);
+
+  std::vector<DecodeEntry> table;
+  BuildDecodeTable(lengths, &table);
+
+  // The word stream is byte-aligned in the buffer; copy-free access.
+  std::vector<u64> words(word_count + 1, 0);
+  std::memcpy(words.data(), cursor, word_count * sizeof(u64));
+
+  size_t index = 0;
+  u32 offset = 0;
+  for (size_t i = 0; i < decoded_len; i++) {
+    u64 window = words[index] << offset;
+    if (offset > 0) window |= words[index + 1] >> (64 - offset);
+    u32 peek = static_cast<u32>(window >> (64 - kHuffMaxCodeLength));
+    DecodeEntry e = table[peek];
+    BTR_DCHECK(e.length > 0);
+    out[i] = e.symbol;
+    offset += e.length;
+    if (offset >= 64) {
+      offset -= 64;
+      index++;
+    }
+  }
+  return 256 + sizeof(u64) + word_count * sizeof(u64);
+}
+
+}  // namespace btr::gpc

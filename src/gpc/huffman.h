@@ -1,0 +1,30 @@
+// Canonical Huffman coder over byte alphabets, used by the Zstd-class
+// EntropyLzCodec's literal stream. Encoder limits code lengths to
+// kMaxCodeLength by frequency scaling; decoder uses a full single-level
+// lookup table (peek kMaxCodeLength bits -> symbol, length).
+#ifndef BTR_GPC_HUFFMAN_H_
+#define BTR_GPC_HUFFMAN_H_
+
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/types.h"
+
+namespace btr::gpc {
+
+inline constexpr u32 kHuffMaxCodeLength = 12;
+
+// Appends: [u8 256 code lengths][u32 bit count][packed bitstream].
+// Degenerate inputs (zero or one distinct symbol) are handled.
+// Returns bytes appended.
+size_t HuffmanEncode(const u8* in, size_t len, ByteBuffer* out);
+
+// Decodes exactly `decoded_len` symbols; returns bytes consumed.
+size_t HuffmanDecode(const u8* in, size_t decoded_len, u8* out);
+
+// Encoded size (header + bitstream bytes) without materializing output.
+size_t HuffmanEncodedSize(const u8* in, size_t len);
+
+}  // namespace btr::gpc
+
+#endif  // BTR_GPC_HUFFMAN_H_

@@ -1,0 +1,30 @@
+// Snappy/LZ4-class byte-oriented LZ77 codec, implemented from scratch.
+//
+// Block format (LZ4-style):
+//   token byte: high nibble = literal length (15 => extension bytes follow),
+//               low nibble  = match length - 4 (15 => extension bytes follow)
+//   [literal length extension bytes (255-continued)]
+//   literal bytes
+//   [2-byte little-endian match offset]   (absent for the final sequence)
+//   [match length extension bytes]
+// Greedy parse with a 2^15-entry hash table over 4-byte windows, 64 KiB
+// offsets. Decompression is a tight copy loop with 8-byte wild copies.
+#ifndef BTR_GPC_LZ77_H_
+#define BTR_GPC_LZ77_H_
+
+#include "gpc/codec.h"
+
+namespace btr::gpc {
+
+class Lz77Codec final : public Codec {
+ public:
+  size_t Compress(const u8* in, size_t len, ByteBuffer* out) const override;
+  size_t Decompress(const u8* in, size_t compressed_len, u8* out,
+                    size_t decompressed_len) const override;
+  CodecKind kind() const override { return CodecKind::kLz77; }
+  std::string name() const override { return "lz77"; }
+};
+
+}  // namespace btr::gpc
+
+#endif  // BTR_GPC_LZ77_H_

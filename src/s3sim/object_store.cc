@@ -1,0 +1,74 @@
+#include "s3sim/object_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace btr::s3sim {
+
+void ObjectStore::Put(const std::string& key, const u8* data, size_t size) {
+  objects_[key].assign(data, data + size);
+}
+
+bool ObjectStore::Contains(const std::string& key) const {
+  return objects_.count(key) > 0;
+}
+
+size_t ObjectStore::ObjectSize(const std::string& key) const {
+  auto it = objects_.find(key);
+  BTR_CHECK_MSG(it != objects_.end(), "object not found");
+  return it->second.size();
+}
+
+void ObjectStore::GetChunk(const std::string& key, u64 offset, u64 length,
+                           std::vector<u8>* out) {
+  auto it = objects_.find(key);
+  BTR_CHECK_MSG(it != objects_.end(), "object not found");
+  const std::vector<u8>& object = it->second;
+  BTR_CHECK(offset <= object.size());
+  length = std::min<u64>(length, object.size() - offset);
+  out->resize(length);
+  std::memcpy(out->data(), object.data() + offset, length);
+  total_requests_++;
+  total_bytes_fetched_ += length;
+  network_seconds_ +=
+      static_cast<double>(length) * 8.0 / (config_.network_gbps * 1e9);
+}
+
+void ObjectStore::GetObject(const std::string& key, std::vector<u8>* out) {
+  size_t size = ObjectSize(key);
+  out->clear();
+  out->reserve(size);
+  std::vector<u8> chunk;
+  for (u64 offset = 0; offset < size; offset += config_.chunk_bytes) {
+    GetChunk(key, offset, config_.chunk_bytes, &chunk);
+    out->insert(out->end(), chunk.begin(), chunk.end());
+  }
+}
+
+void ObjectStore::ResetAccounting() {
+  total_requests_ = 0;
+  total_bytes_fetched_ = 0;
+  network_seconds_ = 0;
+}
+
+ScanResult SimulateScan(const ScanMeasurement& m, const S3Config& config) {
+  ScanResult result;
+  double network_seconds =
+      static_cast<double>(m.compressed_bytes) * 8.0 / (config.network_gbps * 1e9);
+  double decompress_seconds =
+      m.single_thread_decompress_seconds / std::max(1u, config.cores);
+  result.network_bound = network_seconds >= decompress_seconds;
+  result.seconds = std::max(network_seconds, decompress_seconds) +
+                   config.first_byte_latency_s;
+  result.requests =
+      (m.compressed_bytes + config.chunk_bytes - 1) / config.chunk_bytes;
+  result.cost_usd =
+      result.seconds / 3600.0 * config.instance_cost_per_hour +
+      static_cast<double>(result.requests) * config.request_cost_usd;
+  result.tr_gbps = static_cast<double>(m.uncompressed_bytes) / result.seconds / 1e9;
+  result.tc_gbit =
+      static_cast<double>(m.compressed_bytes) * 8.0 / result.seconds / 1e9;
+  return result;
+}
+
+}  // namespace btr::s3sim

@@ -1,0 +1,92 @@
+// Simulated S3-style object store and end-to-end scan cost model
+// (paper Section 6.7). AWS is unavailable offline, so network transfer
+// and billing are *modeled* with the constants the paper states, while
+// decompression time is *measured* on this machine:
+//   - c5n.18xlarge: 100 Gbit/s network, $3.89/h instance rate,
+//   - $0.0004 per 1000 GET requests, 16 MiB chunks per request
+//     (S3 performance guidelines),
+//   - decompression parallelized over columns/blocks across `cores`
+//     (the paper's instance has 36 cores; measured single-thread seconds
+//     are divided by the modeled core count).
+//
+// The distinction the paper draws between T_r (uncompressed bytes /
+// scan time — what the consumer sees) and T_c (compressed bytes / scan
+// time — what the network must sustain) falls out of the model directly.
+#ifndef BTR_S3SIM_OBJECT_STORE_H_
+#define BTR_S3SIM_OBJECT_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/types.h"
+
+namespace btr::s3sim {
+
+struct S3Config {
+  double network_gbps = 100.0;            // instance NIC, Gbit/s
+  double request_cost_usd = 0.0004 / 1000.0;  // per GET
+  double instance_cost_per_hour = 3.89;   // c5n.18xlarge on-demand
+  u64 chunk_bytes = 16ull << 20;          // bytes fetched per GET
+  double first_byte_latency_s = 0.030;    // pipeline fill, paid once
+  u32 cores = 36;                         // modeled decompression cores
+};
+
+// In-memory object store with request accounting. Objects are opaque
+// byte blobs; GetChunk models one ranged GET.
+class ObjectStore {
+ public:
+  explicit ObjectStore(const S3Config& config = S3Config()) : config_(config) {}
+
+  void Put(const std::string& key, const u8* data, size_t size);
+  bool Contains(const std::string& key) const;
+  size_t ObjectSize(const std::string& key) const;
+
+  // Reads [offset, offset+length) into out (resized). Accounts one GET
+  // request and the modeled transfer time.
+  void GetChunk(const std::string& key, u64 offset, u64 length,
+                std::vector<u8>* out);
+
+  // Fetches a whole object as a sequence of chunk_bytes GETs.
+  void GetObject(const std::string& key, std::vector<u8>* out);
+
+  u64 total_requests() const { return total_requests_; }
+  u64 total_bytes_fetched() const { return total_bytes_fetched_; }
+  // Modeled seconds the network was busy (requests overlap; latency
+  // is handled by the scan model, not accumulated per request).
+  double network_seconds() const { return network_seconds_; }
+  void ResetAccounting();
+
+  const S3Config& config() const { return config_; }
+
+ private:
+  S3Config config_;
+  std::unordered_map<std::string, std::vector<u8>> objects_;
+  u64 total_requests_ = 0;
+  u64 total_bytes_fetched_ = 0;
+  double network_seconds_ = 0;
+};
+
+// One scan's inputs: sizes plus the measured single-thread CPU cost.
+struct ScanMeasurement {
+  u64 compressed_bytes = 0;
+  u64 uncompressed_bytes = 0;
+  double single_thread_decompress_seconds = 0;
+};
+
+struct ScanResult {
+  double seconds = 0;       // end-to-end scan wall clock (modeled)
+  u64 requests = 0;
+  double cost_usd = 0;      // instance time + request cost
+  double tr_gbps = 0;       // T_r: uncompressed GB/s delivered
+  double tc_gbit = 0;       // T_c: compressed Gbit/s over the network
+  bool network_bound = false;
+};
+
+// Network transfer overlaps decompression; the slower side dominates.
+ScanResult SimulateScan(const ScanMeasurement& m, const S3Config& config);
+
+}  // namespace btr::s3sim
+
+#endif  // BTR_S3SIM_OBJECT_STORE_H_

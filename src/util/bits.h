@@ -1,0 +1,32 @@
+// Bit-twiddling helpers shared by the bit-packing, floating-point and
+// bitmap modules.
+#ifndef BTR_UTIL_BITS_H_
+#define BTR_UTIL_BITS_H_
+
+#include <bit>
+
+#include "util/types.h"
+
+namespace btr {
+
+// Number of bits required to represent `v` (0 needs 0 bits).
+inline u32 BitWidth(u32 v) { return v == 0 ? 0 : 32 - std::countl_zero(v); }
+inline u32 BitWidth64(u64 v) { return v == 0 ? 0 : 64 - std::countl_zero(v); }
+
+inline u32 CountLeadingZeros64(u64 v) { return v == 0 ? 64 : std::countl_zero(v); }
+inline u32 CountTrailingZeros64(u64 v) { return v == 0 ? 64 : std::countr_zero(v); }
+inline u32 CountLeadingZeros32(u32 v) { return v == 0 ? 32 : std::countl_zero(v); }
+inline u32 PopCount64(u64 v) { return std::popcount(v); }
+
+// Zigzag maps signed to unsigned so small-magnitude values stay small.
+inline u32 ZigzagEncode(i32 v) { return (static_cast<u32>(v) << 1) ^ static_cast<u32>(v >> 31); }
+inline i32 ZigzagDecode(u32 v) { return static_cast<i32>(v >> 1) ^ -static_cast<i32>(v & 1); }
+inline u64 ZigzagEncode64(i64 v) { return (static_cast<u64>(v) << 1) ^ static_cast<u64>(v >> 63); }
+inline i64 ZigzagDecode64(u64 v) { return static_cast<i64>(v >> 1) ^ -static_cast<i64>(v & 1); }
+
+inline u64 RoundUp(u64 v, u64 multiple) { return (v + multiple - 1) / multiple * multiple; }
+inline u64 CeilDiv(u64 a, u64 b) { return (a + b - 1) / b; }
+
+}  // namespace btr
+
+#endif  // BTR_UTIL_BITS_H_

@@ -1,0 +1,100 @@
+// Bit-granular writer/reader used by the floating-point baseline codecs
+// (Gorilla, Chimp, ...) and the Huffman entropy stage. Bits are packed MSB
+// first within 64-bit words, matching the usual time-series codec layout.
+#ifndef BTR_UTIL_BITSTREAM_H_
+#define BTR_UTIL_BITSTREAM_H_
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace btr {
+
+class BitWriter {
+ public:
+  // Appends the `bits` low-order bits of `value`, MSB first. bits <= 64.
+  void Write(u64 value, u32 bits) {
+    BTR_DCHECK(bits <= 64);
+    if (bits == 0) return;
+    if (bits < 64) value &= (u64{1} << bits) - 1;
+    if (fill_ + bits <= 64) {
+      current_ = (fill_ == 64) ? current_ : (current_ | (value << (64 - fill_ - bits)));
+      fill_ += bits;
+      if (fill_ == 64) Flush();
+    } else {
+      u32 first = 64 - fill_;
+      current_ |= value >> (bits - first);
+      fill_ = 64;
+      Flush();
+      current_ = value << (64 - (bits - first));
+      fill_ = bits - first;
+    }
+  }
+
+  void WriteBit(bool bit) { Write(bit ? 1 : 0, 1); }
+
+  // Pads to a word boundary and returns the finished stream.
+  std::vector<u64> Finish() {
+    if (fill_ > 0) Flush();
+    return std::move(words_);
+  }
+
+  // Total number of bits written so far.
+  u64 bit_count() const { return words_.size() * 64 + fill_; }
+
+ private:
+  void Flush() {
+    words_.push_back(current_);
+    current_ = 0;
+    fill_ = 0;
+  }
+
+  std::vector<u64> words_;
+  u64 current_ = 0;
+  u32 fill_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const u64* words, size_t word_count)
+      : words_(words), word_count_(word_count) {}
+
+  // Reads `bits` bits (<= 64), MSB first.
+  u64 Read(u32 bits) {
+    BTR_DCHECK(bits <= 64);
+    if (bits == 0) return 0;
+    u64 result;
+    u32 available = 64 - offset_;
+    BTR_DCHECK(index_ < word_count_);
+    if (bits <= available) {
+      result = (words_[index_] << offset_) >> (64 - bits);
+      offset_ += bits;
+      if (offset_ == 64) {
+        offset_ = 0;
+        index_++;
+      }
+    } else {
+      u64 high = available == 0 ? 0 : ((words_[index_] << offset_) >> (64 - available));
+      index_++;
+      offset_ = bits - available;
+      BTR_DCHECK(index_ < word_count_);
+      u64 low = words_[index_] >> (64 - offset_);
+      result = (high << offset_) | low;
+    }
+    return result;
+  }
+
+  bool ReadBit() { return Read(1) != 0; }
+
+  u64 bits_consumed() const { return index_ * 64 + offset_; }
+
+ private:
+  const u64* words_;
+  size_t word_count_;
+  size_t index_ = 0;
+  u32 offset_ = 0;
+};
+
+}  // namespace btr
+
+#endif  // BTR_UTIL_BITSTREAM_H_

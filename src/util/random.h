@@ -1,0 +1,74 @@
+// Deterministic PRNG used by the data generators and the sampling module.
+// splitmix64 for seeding, xoshiro256** for the stream: fast, reproducible,
+// and independent of the standard library's unspecified distributions.
+#ifndef BTR_UTIL_RANDOM_H_
+#define BTR_UTIL_RANDOM_H_
+
+#include <cmath>
+
+#include "util/types.h"
+
+namespace btr {
+
+class Random {
+ public:
+  explicit Random(u64 seed = 0x9E3779B97F4A7C15ULL) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 Next() {
+    u64 result = Rotl(state_[1] * 5, 7) * 9;
+    u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  u64 NextBounded(u64 bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  i64 NextRange(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(NextBounded(static_cast<u64>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Zipf-distributed rank in [0, n) with parameter s (~1.0 is classic skew).
+  // Uses rejection-inversion; good enough for workload generation.
+  u64 NextZipf(u64 n, double s) {
+    // Simple inverse-CDF on a precomputed-free approximation: draw u and
+    // walk the harmonic tail analytically.
+    double u = NextDouble();
+    if (s == 1.0) s = 1.0000001;
+    double t = std::pow(static_cast<double>(n), 1.0 - s);
+    double p = 1.0 - u * (1.0 - t);  // inverse CDF over ranks [1, n]
+    double rank = std::pow(p, 1.0 / (1.0 - s));
+    u64 r = static_cast<u64>(rank);
+    if (r < 1) r = 1;
+    if (r > n) r = n;
+    return r - 1;
+  }
+
+ private:
+  static u64 Rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  u64 state_[4];
+};
+
+}  // namespace btr
+
+#endif  // BTR_UTIL_RANDOM_H_

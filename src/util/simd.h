@@ -1,0 +1,47 @@
+// Runtime SIMD policy. Every vectorized decompression routine in this
+// library has a scalar twin; which one runs is decided by SimdPolicy. This
+// enables the paper's Section 6.8 ablation ("is BtrBlocks only fast because
+// of SIMD?") on any machine and keeps the scalar paths tested.
+#ifndef BTR_UTIL_SIMD_H_
+#define BTR_UTIL_SIMD_H_
+
+#if defined(__AVX2__)
+#define BTR_HAS_AVX2 1
+#include <immintrin.h>
+#else
+#define BTR_HAS_AVX2 0
+#endif
+
+namespace btr {
+
+class SimdPolicy {
+ public:
+  // Returns true if vectorized kernels should be used.
+  static bool Enabled() { return enabled_; }
+
+  // Globally disables/enables SIMD kernels (used by the --scalar ablation
+  // and by tests that compare scalar vs vector output bit-for-bit).
+  static void SetEnabled(bool enabled) { enabled_ = enabled; }
+
+ private:
+  static inline bool enabled_ = BTR_HAS_AVX2;
+};
+
+// RAII helper to run a scope with SIMD forced on or off.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(bool enabled) : previous_(SimdPolicy::Enabled()) {
+    SimdPolicy::SetEnabled(enabled && BTR_HAS_AVX2);
+  }
+  ~ScopedSimd() { SimdPolicy::SetEnabled(previous_); }
+
+  ScopedSimd(const ScopedSimd&) = delete;
+  ScopedSimd& operator=(const ScopedSimd&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_UTIL_SIMD_H_

@@ -1,0 +1,65 @@
+// Lightweight status type for fallible operations (file I/O, parsing,
+// format validation). Follows the RocksDB idiom: cheap to return, carries a
+// code and a message. Hot compression paths do not use Status; they operate
+// on validated inputs and use BTR_CHECK for invariants.
+#ifndef BTR_UTIL_STATUS_H_
+#define BTR_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace btr {
+
+class Status {
+ public:
+  enum class Code { kOk = 0, kInvalidArgument, kCorruption, kIoError, kNotFound };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "unknown";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kCorruption: name = "Corruption"; break;
+      case Code::kIoError: name = "IoError"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+#define BTR_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::btr::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace btr
+
+#endif  // BTR_UTIL_STATUS_H_

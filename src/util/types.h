@@ -1,0 +1,53 @@
+// Fundamental integer aliases and invariant-checking macros used across the
+// whole library. Kept minimal and header-only: every other module includes
+// this file.
+#ifndef BTR_UTIL_TYPES_H_
+#define BTR_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace btr {
+
+using u8 = uint8_t;
+using u16 = uint16_t;
+using u32 = uint32_t;
+using u64 = uint64_t;
+using i8 = int8_t;
+using i16 = int16_t;
+using i32 = int32_t;
+using i64 = int64_t;
+
+// Internal invariant check. Unlike assert(), BTR_CHECK is active in release
+// builds: compression corruption must never pass silently. Use for
+// programmer errors and data-structure invariants, not for user input
+// (user-facing fallible paths return btr::Status instead).
+#define BTR_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::std::fprintf(stderr, "BTR_CHECK failed: %s at %s:%d\n", #cond,      \
+                     __FILE__, __LINE__);                                   \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+#define BTR_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::std::fprintf(stderr, "BTR_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                     msg, __FILE__, __LINE__);                              \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define BTR_DCHECK(cond) ((void)0)
+#else
+#define BTR_DCHECK(cond) BTR_CHECK(cond)
+#endif
+
+}  // namespace btr
+
+#endif  // BTR_UTIL_TYPES_H_

@@ -1,0 +1,160 @@
+// Tests for bit packing and the BP128/PFOR codecs: round trips across
+// bitwidths, scalar/SIMD equivalence, and outlier (exception) handling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitpack/bitpack.h"
+#include "util/random.h"
+#include "util/simd.h"
+
+namespace btr::bitpack {
+namespace {
+
+class PackWidthTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(PackWidthTest, ContiguousRoundTrip) {
+  u32 bits = GetParam();
+  Random rng(bits);
+  u32 mask = bits == 0 ? 0 : (bits == 32 ? 0xFFFFFFFFu : ((1u << bits) - 1));
+  std::vector<u32> in(777);
+  for (u32& v : in) v = static_cast<u32>(rng.Next()) & mask;
+  std::vector<u8> packed(PackedBytes(static_cast<u32>(in.size()), bits) + 16);
+  PackScalar(in.data(), static_cast<u32>(in.size()), bits, packed.data());
+  std::vector<u32> out(in.size());
+  UnpackScalar(packed.data(), static_cast<u32>(in.size()), bits, out.data());
+  EXPECT_EQ(in, out);
+}
+
+TEST_P(PackWidthTest, Vertical128RoundTripScalarAndSimd) {
+  u32 bits = GetParam();
+  Random rng(bits * 31 + 1);
+  u32 mask = bits == 0 ? 0 : (bits == 32 ? 0xFFFFFFFFu : ((1u << bits) - 1));
+  std::vector<u32> in(kBlockSize);
+  for (u32& v : in) v = static_cast<u32>(rng.Next()) & mask;
+  std::vector<u8> packed(Packed128Bytes(32) + 32, 0);
+  Pack128(in.data(), bits, packed.data());
+
+  std::vector<u32> out_scalar(kBlockSize);
+  Unpack128Scalar(packed.data(), bits, out_scalar.data());
+  EXPECT_EQ(in, out_scalar);
+
+#if BTR_HAS_AVX2
+  std::vector<u32> out_simd(kBlockSize + 8);
+  Unpack128Avx2(packed.data(), bits, out_simd.data());
+  out_simd.resize(kBlockSize);
+  EXPECT_EQ(in, out_simd);
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, PackWidthTest,
+                         ::testing::Range(0u, 33u));
+
+TEST(Bp128Test, RoundTripRandom) {
+  Random rng(3);
+  for (u32 count : {1u, 7u, 127u, 128u, 129u, 1000u, 64000u}) {
+    std::vector<i32> in(count);
+    for (i32& v : in) v = static_cast<i32>(rng.Next());
+    ByteBuffer compressed;
+    size_t written = Bp128Compress(in.data(), count, &compressed);
+    EXPECT_EQ(written, compressed.size());
+    EXPECT_EQ(Bp128CompressedSize(in.data(), count), written);
+    std::vector<i32> out(count + 16);
+    size_t consumed = Bp128Decompress(compressed.data(), count, out.data());
+    EXPECT_EQ(consumed, written);
+    out.resize(count);
+    EXPECT_EQ(in, out) << "count=" << count;
+  }
+}
+
+TEST(Bp128Test, SmallRangeCompressesWell) {
+  // Values in [100, 115]: FOR + 4-bit packing => ~8x.
+  Random rng(4);
+  std::vector<i32> in(64000);
+  for (i32& v : in) v = 100 + static_cast<i32>(rng.NextBounded(16));
+  ByteBuffer compressed;
+  size_t written = Bp128Compress(in.data(), 64000, &compressed);
+  EXPECT_LT(written, 64000 * 4 / 6);
+  std::vector<i32> out(64000 + 16);
+  Bp128Decompress(compressed.data(), 64000, out.data());
+  out.resize(64000);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Bp128Test, NegativeValuesAndFullRange) {
+  std::vector<i32> in = {INT32_MIN, INT32_MAX, -1, 0, 1, -1000000, 1000000};
+  ByteBuffer compressed;
+  Bp128Compress(in.data(), static_cast<u32>(in.size()), &compressed);
+  std::vector<i32> out(in.size() + 16);
+  Bp128Decompress(compressed.data(), static_cast<u32>(in.size()), out.data());
+  out.resize(in.size());
+  EXPECT_EQ(in, out);
+}
+
+TEST(PforTest, RoundTripRandom) {
+  Random rng(5);
+  for (u32 count : {1u, 128u, 130u, 5000u, 64000u}) {
+    std::vector<i32> in(count);
+    for (i32& v : in) v = static_cast<i32>(rng.Next());
+    ByteBuffer compressed;
+    size_t written = PforCompress(in.data(), count, &compressed);
+    EXPECT_EQ(PforCompressedSize(in.data(), count), written);
+    std::vector<i32> out(count + 16);
+    size_t consumed = PforDecompress(compressed.data(), count, out.data());
+    EXPECT_EQ(consumed, written);
+    out.resize(count);
+    EXPECT_EQ(in, out) << "count=" << count;
+  }
+}
+
+TEST(PforTest, OutliersBecomeExceptions) {
+  // 1% outliers must not inflate the base bitwidth (paper Section 2.2:
+  // Patched FOR stores outliers as exceptions).
+  Random rng(6);
+  std::vector<i32> in(64000);
+  for (size_t i = 0; i < in.size(); i++) {
+    in[i] = static_cast<i32>(rng.NextBounded(16));
+    if (rng.NextBounded(100) == 0) in[i] = static_cast<i32>(rng.Next());
+  }
+  ByteBuffer pfor_out, bp_out;
+  size_t pfor_bytes = PforCompress(in.data(), 64000, &pfor_out);
+  size_t bp_bytes = Bp128Compress(in.data(), 64000, &bp_out);
+  EXPECT_LT(pfor_bytes, bp_bytes / 2);  // plain BP must pay 32 bits/value
+  std::vector<i32> out(64000 + 16);
+  PforDecompress(pfor_out.data(), 64000, out.data());
+  out.resize(64000);
+  EXPECT_EQ(in, out);
+}
+
+TEST(PforTest, ScalarSimdEquivalence) {
+  Random rng(8);
+  std::vector<i32> in(10000);
+  for (i32& v : in) v = 1000 + static_cast<i32>(rng.NextBounded(4096));
+  ByteBuffer compressed;
+  PforCompress(in.data(), static_cast<u32>(in.size()), &compressed);
+
+  std::vector<i32> out_simd(in.size() + 16), out_scalar(in.size() + 16);
+  {
+    ScopedSimd simd_on(true);
+    PforDecompress(compressed.data(), static_cast<u32>(in.size()), out_simd.data());
+  }
+  {
+    ScopedSimd simd_off(false);
+    PforDecompress(compressed.data(), static_cast<u32>(in.size()),
+                   out_scalar.data());
+  }
+  out_simd.resize(in.size());
+  out_scalar.resize(in.size());
+  EXPECT_EQ(out_simd, in);
+  EXPECT_EQ(out_scalar, in);
+}
+
+TEST(MaxBitsTest, Basics) {
+  std::vector<u32> zero(10, 0);
+  EXPECT_EQ(MaxBits(zero.data(), 10), 0u);
+  std::vector<u32> mixed = {1, 2, 255, 7};
+  EXPECT_EQ(MaxBits(mixed.data(), 4), 8u);
+}
+
+}  // namespace
+}  // namespace btr::bitpack

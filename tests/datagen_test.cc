@@ -1,0 +1,171 @@
+// Tests for the synthetic data generators and CSV I/O.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/archetypes.h"
+#include "datagen/csv.h"
+#include "datagen/public_bi.h"
+#include "datagen/tpch.h"
+
+namespace btr::datagen {
+namespace {
+
+TEST(ArchetypeTest, IntArchetypeShapes) {
+  auto zero = MakeInts(IntArchetype::kAllZero, 1000, 1);
+  for (i32 v : zero) EXPECT_EQ(v, 0);
+
+  auto seq = MakeInts(IntArchetype::kSequential, 1000, 1);
+  for (u32 i = 0; i < 1000; i++) EXPECT_EQ(seq[i], static_cast<i32>(i + 1));
+
+  // FK runs: average run length must exceed 2 (denormalized joins).
+  auto fk = MakeInts(IntArchetype::kForeignKeyRuns, 64000, 1);
+  u32 runs = 1;
+  for (size_t i = 1; i < fk.size(); i++) {
+    if (fk[i] != fk[i - 1]) runs++;
+  }
+  EXPECT_GT(64000.0 / runs, 2.0);
+
+  // Skewed category: value 1 dominates.
+  auto skew = MakeInts(IntArchetype::kSkewedCategory, 64000, 1);
+  u32 ones = 0;
+  for (i32 v : skew) ones += v == 1;
+  EXPECT_GT(ones, 64000u / 2);
+}
+
+TEST(ArchetypeTest, DoubleArchetypeShapes) {
+  auto prices = MakeDoubles(DoubleArchetype::kPrice2Decimals, 10000, 2);
+  for (double v : prices) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1000.0);
+    // Two decimals: 100*v is integral up to double rounding.
+    EXPECT_NEAR(std::round(v * 100.0), v * 100.0, 1e-6);
+  }
+  auto zeros = MakeDoubles(DoubleArchetype::kZeroDominant, 10000, 2);
+  u32 zero_count = 0;
+  for (double v : zeros) zero_count += v == 0.0;
+  EXPECT_GT(zero_count, 8000u);
+}
+
+TEST(ArchetypeTest, Determinism) {
+  EXPECT_EQ(MakeInts(IntArchetype::kSupplyAmounts, 5000, 7),
+            MakeInts(IntArchetype::kSupplyAmounts, 5000, 7));
+  EXPECT_NE(MakeInts(IntArchetype::kSupplyAmounts, 5000, 7),
+            MakeInts(IntArchetype::kSupplyAmounts, 5000, 8));
+}
+
+TEST(PublicBiTest, CorpusShape) {
+  PublicBiOptions options;
+  options.tables = 2;
+  options.rows_per_table = 10000;
+  auto corpus = MakePublicBiCorpus(options);
+  ASSERT_EQ(corpus.size(), 2u);
+  for (const Relation& table : corpus) {
+    EXPECT_EQ(table.row_count(), 10000u);
+    EXPECT_EQ(table.columns().size(), 14u);
+    u32 strings = 0, doubles = 0, ints = 0;
+    for (const Column& c : table.columns()) {
+      switch (c.type()) {
+        case ColumnType::kInteger: ints++; break;
+        case ColumnType::kDouble: doubles++; break;
+        case ColumnType::kString: strings++; break;
+      }
+    }
+    EXPECT_EQ(strings, 8u);
+    EXPECT_EQ(doubles, 3u);
+    EXPECT_EQ(ints, 3u);
+    // Strings must dominate by volume (paper: 71.5%).
+    u64 string_bytes = 0, total = table.UncompressedBytes();
+    for (const Column& c : table.columns()) {
+      if (c.type() == ColumnType::kString) string_bytes += c.UncompressedBytes();
+    }
+    EXPECT_GT(string_bytes * 2, total);
+  }
+}
+
+TEST(TpchTest, LineitemShape) {
+  TpchOptions options;
+  options.lineitem_rows = 20000;
+  Relation lineitem = MakeLineitem(options);
+  EXPECT_EQ(lineitem.row_count(), 20000u);
+  EXPECT_EQ(lineitem.columns().size(), 14u);
+  // l_orderkey is non-decreasing with short runs.
+  const Column& orderkey = lineitem.columns()[0];
+  for (u32 i = 1; i < orderkey.size(); i++) {
+    EXPECT_GE(orderkey.ints()[i], orderkey.ints()[i - 1]);
+  }
+  // l_linenumber within 1..7.
+  const Column& linenumber = lineitem.columns()[3];
+  for (u32 i = 0; i < linenumber.size(); i++) {
+    EXPECT_GE(linenumber.ints()[i], 1);
+    EXPECT_LE(linenumber.ints()[i], 7);
+  }
+  // l_extendedprice has high cardinality (uniform prices, paper 6.1).
+  const Column& price = lineitem.columns()[5];
+  std::set<double> distinct(price.doubles().begin(), price.doubles().end());
+  EXPECT_GT(distinct.size(), 15000u);
+}
+
+TEST(CsvTest, RoundTrip) {
+  TpchOptions options;
+  options.lineitem_rows = 2000;
+  Relation orders = MakeOrders(options);
+  std::string text = WriteCsv(orders);
+  Relation back("orders");
+  Status status = ReadCsv(text, &back);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_EQ(back.row_count(), orders.row_count());
+  ASSERT_EQ(back.columns().size(), orders.columns().size());
+  for (size_t c = 0; c < orders.columns().size(); c++) {
+    const Column& a = orders.columns()[c];
+    const Column& b = back.columns()[c];
+    ASSERT_EQ(a.type(), b.type());
+    ASSERT_EQ(a.name(), b.name());
+    for (u32 r = 0; r < orders.row_count(); r++) {
+      switch (a.type()) {
+        case ColumnType::kInteger: ASSERT_EQ(a.ints()[r], b.ints()[r]); break;
+        case ColumnType::kDouble: {
+          u64 x, y;
+          std::memcpy(&x, &a.doubles()[r], 8);
+          std::memcpy(&y, &b.doubles()[r], 8);
+          ASSERT_EQ(x, y) << a.name() << " row " << r;
+          break;
+        }
+        case ColumnType::kString:
+          ASSERT_EQ(a.GetString(r), b.GetString(r));
+          break;
+      }
+    }
+  }
+}
+
+TEST(CsvTest, NullsRoundTrip) {
+  Relation relation("t");
+  Column& x = relation.AddColumn("x", ColumnType::kInteger);
+  Column& y = relation.AddColumn("y", ColumnType::kDouble);
+  x.AppendInt(1);
+  y.AppendNull();
+  x.AppendNull();
+  y.AppendDouble(2.5);
+  std::string text = WriteCsv(relation);
+  Relation back("t");
+  ASSERT_TRUE(ReadCsv(text, &back).ok());
+  EXPECT_FALSE(back.columns()[0].IsNull(0));
+  EXPECT_TRUE(back.columns()[1].IsNull(0));
+  EXPECT_TRUE(back.columns()[0].IsNull(1));
+  EXPECT_FALSE(back.columns()[1].IsNull(1));
+  EXPECT_EQ(back.columns()[0].ints()[0], 1);
+  EXPECT_EQ(back.columns()[1].doubles()[1], 2.5);
+}
+
+TEST(CsvTest, BadInputReportsError) {
+  Relation out("t");
+  EXPECT_FALSE(ReadCsv("", &out).ok());
+  Relation out2("t");
+  EXPECT_FALSE(ReadCsv("col_without_type\n1\n", &out2).ok());
+  Relation out3("t");
+  EXPECT_FALSE(ReadCsv("a:int\nnot_a_number\n", &out3).ok());
+}
+
+}  // namespace
+}  // namespace btr::datagen

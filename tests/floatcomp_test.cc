@@ -1,0 +1,175 @@
+// Tests for the double-compression baselines (FPC, Gorilla, Chimp,
+// Chimp128): bitwise-lossless round trips including specials, and basic
+// effectiveness expectations per codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "floatcomp/chimp.h"
+#include "floatcomp/fpc.h"
+#include "floatcomp/gorilla.h"
+#include "util/random.h"
+
+namespace btr::floatcomp {
+namespace {
+
+using CompressFn = std::function<size_t(const double*, u32, ByteBuffer*)>;
+using DecompressFn = std::function<size_t(const u8*, u32, double*)>;
+
+struct NamedCodec {
+  const char* name;
+  CompressFn compress;
+  DecompressFn decompress;
+};
+
+std::vector<NamedCodec> AllCodecs() {
+  return {
+      {"fpc", FpcCompress, FpcDecompress},
+      {"gorilla", GorillaCompress, GorillaDecompress},
+      {"chimp", ChimpCompress, ChimpDecompress},
+      {"chimp128", Chimp128Compress, Chimp128Decompress},
+  };
+}
+
+bool BitwiseEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+void CheckRoundTrip(const std::vector<double>& input) {
+  for (const NamedCodec& codec : AllCodecs()) {
+    ByteBuffer compressed;
+    codec.compress(input.data(), static_cast<u32>(input.size()), &compressed);
+    std::vector<double> output(input.size());
+    codec.decompress(compressed.data(), static_cast<u32>(input.size()),
+                     output.data());
+    EXPECT_TRUE(BitwiseEqual(input, output)) << codec.name;
+  }
+}
+
+TEST(FloatCompTest, EmptyAndSingle) {
+  CheckRoundTrip({});
+  CheckRoundTrip({3.25});
+  CheckRoundTrip({0.0});
+}
+
+TEST(FloatCompTest, SpecialValues) {
+  CheckRoundTrip({0.0, -0.0, std::numeric_limits<double>::infinity(),
+                  -std::numeric_limits<double>::infinity(),
+                  std::numeric_limits<double>::quiet_NaN(),
+                  std::numeric_limits<double>::denorm_min(),
+                  std::numeric_limits<double>::max(),
+                  -std::numeric_limits<double>::max(), 1e-300, 0.1});
+}
+
+TEST(FloatCompTest, ConstantSeries) {
+  CheckRoundTrip(std::vector<double>(10000, 19.99));
+}
+
+TEST(FloatCompTest, SlowlyVaryingTimeSeries) {
+  std::vector<double> input;
+  double v = 100.0;
+  Random rng(1);
+  for (int i = 0; i < 20000; i++) {
+    v += (rng.NextDouble() - 0.5) * 0.01;
+    input.push_back(v);
+  }
+  CheckRoundTrip(input);
+}
+
+TEST(FloatCompTest, RandomBitPatterns) {
+  Random rng(2);
+  std::vector<double> input;
+  for (int i = 0; i < 5000; i++) {
+    u64 bits = rng.Next();
+    double d;
+    std::memcpy(&d, &bits, 8);
+    input.push_back(d);
+  }
+  CheckRoundTrip(input);
+}
+
+TEST(FloatCompTest, PriceData) {
+  Random rng(3);
+  std::vector<double> input;
+  for (int i = 0; i < 20000; i++) {
+    input.push_back(static_cast<double>(rng.NextBounded(10000)) / 100.0);
+  }
+  CheckRoundTrip(input);
+}
+
+TEST(GorillaTest, ConstantSeriesNearOneBitPerValue) {
+  std::vector<double> input(10000, 42.5);
+  ByteBuffer compressed;
+  size_t bytes = GorillaCompress(input.data(), 10000, &compressed);
+  EXPECT_LT(bytes, 10000 / 4);  // ~1 bit per repeated value
+}
+
+TEST(Chimp128Test, RecurringValuesBeatChimp) {
+  // A small set of recurring (but not adjacent-repeating) values is the
+  // case Chimp128's 128-value reference window exists for.
+  Random rng(4);
+  std::vector<double> values = {1.5, 2.25, 3.75, 19.99, 123.456, 0.125};
+  std::vector<double> input;
+  for (int i = 0; i < 20000; i++) input.push_back(values[rng.NextBounded(6)]);
+  ByteBuffer chimp_out, chimp128_out;
+  size_t chimp_bytes = ChimpCompress(input.data(), 20000, &chimp_out);
+  size_t chimp128_bytes = Chimp128Compress(input.data(), 20000, &chimp128_out);
+  EXPECT_LT(chimp128_bytes, chimp_bytes);
+}
+
+TEST(FpcTest, PredictableSeriesCompresses) {
+  // A strided series is FCM/DFCM's favorable case.
+  std::vector<double> input;
+  for (int i = 0; i < 20000; i++) input.push_back(static_cast<double>(i));
+  ByteBuffer compressed;
+  size_t bytes = FpcCompress(input.data(), 20000, &compressed);
+  EXPECT_LT(bytes, 20000 * 8 / 2);
+  std::vector<double> output(20000);
+  FpcDecompress(compressed.data(), 20000, output.data());
+  EXPECT_TRUE(BitwiseEqual(input, output));
+}
+
+TEST(FpcTest, OddCountHalfHeader) {
+  // Odd counts exercise the half-filled trailing header byte.
+  std::vector<double> input = {1.0, 2.0, 3.0};
+  ByteBuffer compressed;
+  FpcCompress(input.data(), 3, &compressed);
+  std::vector<double> output(3);
+  FpcDecompress(compressed.data(), 3, output.data());
+  EXPECT_TRUE(BitwiseEqual(input, output));
+}
+
+class FloatCompPropertyTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FloatCompPropertyTest, MixedRegimeRoundTrip) {
+  Random rng(GetParam());
+  std::vector<double> input;
+  for (int i = 0; i < 3000; i++) {
+    switch (rng.NextBounded(5)) {
+      case 0: input.push_back(static_cast<double>(rng.NextBounded(100)) / 4); break;
+      case 1: input.push_back(rng.NextDouble() * 1e9); break;
+      case 2: input.push_back(input.empty() ? 0.0 : input.back()); break;
+      case 3: input.push_back(-rng.NextDouble()); break;
+      case 4: {
+        u64 bits = rng.Next();
+        double d;
+        std::memcpy(&d, &bits, 8);
+        input.push_back(d);
+        break;
+      }
+    }
+  }
+  CheckRoundTrip(input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloatCompPropertyTest,
+                         ::testing::Values(10, 20, 30, 40, 50));
+
+}  // namespace
+}  // namespace btr::floatcomp

@@ -1,0 +1,141 @@
+// FSST substrate tests: symbol-table construction, round trips on
+// structured and adversarial inputs, serialization, compression wins.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fsst/fsst.h"
+#include "util/random.h"
+
+namespace btr::fsst {
+namespace {
+
+std::string RoundTrip(const SymbolTable& table, const std::string& input) {
+  std::vector<u8> compressed(2 * input.size() + 16);
+  size_t compressed_len = table.Compress(
+      reinterpret_cast<const u8*>(input.data()), input.size(), compressed.data());
+  EXPECT_EQ(table.DecompressedSize(compressed.data(), compressed_len),
+            input.size());
+  std::vector<u8> decompressed(input.size() + 8);
+  size_t out_len =
+      table.Decompress(compressed.data(), compressed_len, decompressed.data());
+  return std::string(reinterpret_cast<char*>(decompressed.data()), out_len);
+}
+
+TEST(FsstTest, EmptyInput) {
+  SymbolTable table = SymbolTable::Build(nullptr, 0);
+  EXPECT_EQ(RoundTrip(table, ""), "");
+}
+
+TEST(FsstTest, RepetitiveTextCompressesAndRoundTrips) {
+  std::string input;
+  for (int i = 0; i < 500; i++) {
+    input += "http://www.example.com/products/item";
+    input += std::to_string(i % 50);
+  }
+  SymbolTable table =
+      SymbolTable::Build(reinterpret_cast<const u8*>(input.data()), input.size());
+  EXPECT_GT(table.symbol_count(), 50u);
+
+  std::vector<u8> compressed(2 * input.size() + 16);
+  size_t compressed_len = table.Compress(
+      reinterpret_cast<const u8*>(input.data()), input.size(), compressed.data());
+  // Structured URLs must compress by at least 2x.
+  EXPECT_LT(compressed_len, input.size() / 2);
+  EXPECT_EQ(RoundTrip(table, input), input);
+}
+
+TEST(FsstTest, RandomBytesRoundTrip) {
+  // Incompressible data must still round-trip (worst case all escapes).
+  Random rng(42);
+  std::string input;
+  for (int i = 0; i < 5000; i++) {
+    input.push_back(static_cast<char>(rng.Next() & 0xFF));
+  }
+  SymbolTable table =
+      SymbolTable::Build(reinterpret_cast<const u8*>(input.data()), input.size());
+  EXPECT_EQ(RoundTrip(table, input), input);
+}
+
+TEST(FsstTest, InputWithEmbeddedZerosAndEscapeBytes) {
+  std::string input;
+  for (int i = 0; i < 1000; i++) {
+    input.push_back('\0');
+    input.push_back('\xff');  // the escape code byte as a literal
+    input.push_back('a');
+  }
+  SymbolTable table =
+      SymbolTable::Build(reinterpret_cast<const u8*>(input.data()), input.size());
+  EXPECT_EQ(RoundTrip(table, input), input);
+}
+
+TEST(FsstTest, TableTrainedOnSampleHandlesUnseenData) {
+  std::string sample = "BERLIN,MUNICH,HAMBURG,COLOGNE,";
+  SymbolTable table = SymbolTable::Build(
+      reinterpret_cast<const u8*>(sample.data()), sample.size());
+  // Data with bytes the table never saw must escape, not corrupt.
+  std::string unseen = "zurich|vienna|PRAGUE~42";
+  EXPECT_EQ(RoundTrip(table, unseen), unseen);
+}
+
+TEST(FsstTest, SerializationRoundTrip) {
+  std::string input;
+  for (int i = 0; i < 300; i++) input += "SIGMOD2023_btrblocks_";
+  SymbolTable table =
+      SymbolTable::Build(reinterpret_cast<const u8*>(input.data()), input.size());
+  ByteBuffer serialized;
+  table.SerializeTo(&serialized);
+  EXPECT_EQ(serialized.size(), table.SerializedSizeBytes());
+
+  size_t consumed = 0;
+  SymbolTable restored = SymbolTable::Deserialize(serialized.data(), &consumed);
+  EXPECT_EQ(consumed, serialized.size());
+  EXPECT_EQ(restored.symbol_count(), table.symbol_count());
+
+  // The restored table must decode output of the original encoder.
+  std::vector<u8> compressed(2 * input.size() + 16);
+  size_t compressed_len = table.Compress(
+      reinterpret_cast<const u8*>(input.data()), input.size(), compressed.data());
+  std::vector<u8> decompressed(input.size() + 8);
+  size_t out_len = restored.Decompress(compressed.data(), compressed_len,
+                                       decompressed.data());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(decompressed.data()), out_len),
+            input);
+}
+
+TEST(FsstTest, CompressBlockHelper) {
+  std::string input = "aaaaaaaabbbbbbbbaaaaaaaabbbbbbbb";
+  SymbolTable table =
+      SymbolTable::Build(reinterpret_cast<const u8*>(input.data()), input.size());
+  ByteBuffer out;
+  size_t written = CompressBlock(
+      table, reinterpret_cast<const u8*>(input.data()), input.size(), &out);
+  EXPECT_EQ(written, out.size());
+  std::vector<u8> decompressed(input.size() + 8);
+  size_t n = table.Decompress(out.data(), out.size(), decompressed.data());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(decompressed.data()), n), input);
+}
+
+class FsstPropertyTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FsstPropertyTest, RandomStructuredRoundTrip) {
+  // Property: any mixture of dictionary words round-trips bit-exactly.
+  Random rng(GetParam());
+  const char* words[] = {"alpha", "beta", "gamma", "delta-9", "ZZ", "",
+                         "longlonglongword", "x"};
+  std::string input;
+  for (int i = 0; i < 2000; i++) {
+    input += words[rng.NextBounded(8)];
+    if (rng.NextBounded(4) == 0) input.push_back(',');
+  }
+  SymbolTable table =
+      SymbolTable::Build(reinterpret_cast<const u8*>(input.data()), input.size());
+  EXPECT_EQ(RoundTrip(table, input), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsstPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace btr::fsst

@@ -1,0 +1,142 @@
+// Tests for the general-purpose codecs (LZ77 fast, Huffman, entropy LZ).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gpc/codec.h"
+#include "gpc/entropy_lz.h"
+#include "gpc/huffman.h"
+#include "gpc/lz77.h"
+#include "util/random.h"
+
+namespace btr::gpc {
+namespace {
+
+std::string MakeCompressible(u64 seed, size_t approx_size) {
+  Random rng(seed);
+  const char* fragments[] = {"GET /index.html HTTP/1.1", "order-", "NULL",
+                             "2023-06-18", "Seattle, WA", "0.99", "id="};
+  std::string s;
+  while (s.size() < approx_size) {
+    s += fragments[rng.NextBounded(7)];
+    s.push_back(static_cast<char>('a' + rng.NextBounded(26)));
+  }
+  return s;
+}
+
+std::string MakeRandom(u64 seed, size_t size) {
+  Random rng(seed);
+  std::string s(size, 0);
+  for (char& c : s) c = static_cast<char>(rng.Next() & 0xFF);
+  return s;
+}
+
+class CodecRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<CodecKind, int>> {};
+
+TEST_P(CodecRoundTripTest, RoundTrip) {
+  auto [kind, scenario] = GetParam();
+  const Codec& codec = GetCodec(kind);
+  std::string input;
+  switch (scenario) {
+    case 0: input = ""; break;
+    case 1: input = "x"; break;
+    case 2: input = MakeCompressible(7, 100000); break;
+    case 3: input = MakeRandom(8, 50000); break;
+    case 4: input = std::string(200000, 'A'); break;
+    case 5: input = MakeCompressible(9, 13); break;  // below match threshold
+  }
+  ByteBuffer compressed;
+  size_t compressed_len =
+      codec.Compress(reinterpret_cast<const u8*>(input.data()), input.size(),
+                     &compressed);
+  EXPECT_EQ(compressed_len, compressed.size());
+  ByteBuffer output(input.size());
+  size_t consumed = codec.Decompress(compressed.data(), compressed_len,
+                                     output.data(), input.size());
+  EXPECT_EQ(consumed, compressed_len);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(output.data()), input.size()),
+            input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllScenarios, CodecRoundTripTest,
+    ::testing::Combine(::testing::Values(CodecKind::kNone, CodecKind::kLz77,
+                                         CodecKind::kEntropyLz),
+                       ::testing::Values(0, 1, 2, 3, 4, 5)));
+
+TEST(Lz77Test, CompressesRepetitiveData) {
+  std::string input = MakeCompressible(1, 500000);
+  ByteBuffer out;
+  size_t n = GetCodec(CodecKind::kLz77)
+                 .Compress(reinterpret_cast<const u8*>(input.data()),
+                           input.size(), &out);
+  EXPECT_LT(n, input.size() / 2);
+}
+
+TEST(EntropyLzTest, DenserThanLz77OnText) {
+  // The Zstd-class codec must beat the Snappy-class codec on ratio —
+  // that's the trade-off corner it exists for.
+  std::string input = MakeCompressible(2, 500000);
+  ByteBuffer lz_out, ent_out;
+  size_t lz_bytes = GetCodec(CodecKind::kLz77)
+                        .Compress(reinterpret_cast<const u8*>(input.data()),
+                                  input.size(), &lz_out);
+  size_t ent_bytes = GetCodec(CodecKind::kEntropyLz)
+                         .Compress(reinterpret_cast<const u8*>(input.data()),
+                                   input.size(), &ent_out);
+  EXPECT_LT(ent_bytes, lz_bytes);
+}
+
+TEST(HuffmanTest, RoundTripSkewed) {
+  Random rng(3);
+  std::vector<u8> input(100000);
+  for (u8& b : input) b = static_cast<u8>(rng.NextZipf(256, 1.3));
+  ByteBuffer encoded;
+  size_t n = HuffmanEncode(input.data(), input.size(), &encoded);
+  EXPECT_EQ(n, encoded.size());
+  EXPECT_EQ(HuffmanEncodedSize(input.data(), input.size()), n);
+  EXPECT_LT(n, input.size());  // skewed bytes must compress
+  std::vector<u8> decoded(input.size());
+  size_t consumed = HuffmanDecode(encoded.data(), input.size(), decoded.data());
+  EXPECT_EQ(consumed, n);
+  EXPECT_EQ(decoded, input);
+}
+
+TEST(HuffmanTest, SingleSymbolInput) {
+  std::vector<u8> input(1000, 42);
+  ByteBuffer encoded;
+  HuffmanEncode(input.data(), input.size(), &encoded);
+  std::vector<u8> decoded(input.size());
+  HuffmanDecode(encoded.data(), input.size(), decoded.data());
+  EXPECT_EQ(decoded, input);
+}
+
+TEST(HuffmanTest, EmptyInput) {
+  ByteBuffer encoded;
+  HuffmanEncode(nullptr, 0, &encoded);
+  std::vector<u8> decoded(1);
+  HuffmanDecode(encoded.data(), 0, decoded.data());
+}
+
+TEST(HuffmanTest, UniformBytesStayNearOne) {
+  std::vector<u8> input(65536);
+  for (size_t i = 0; i < input.size(); i++) input[i] = static_cast<u8>(i);
+  ByteBuffer encoded;
+  size_t n = HuffmanEncode(input.data(), input.size(), &encoded);
+  // 8-bit codes for uniform data: header + ~same size.
+  EXPECT_LT(n, input.size() + 600);
+  std::vector<u8> decoded(input.size());
+  HuffmanDecode(encoded.data(), input.size(), decoded.data());
+  EXPECT_EQ(decoded, input);
+}
+
+TEST(CodecTest, Names) {
+  EXPECT_STREQ(CodecName(CodecKind::kNone), "none");
+  EXPECT_STREQ(CodecName(CodecKind::kLz77), "lz77");
+  EXPECT_STREQ(CodecName(CodecKind::kEntropyLz), "entropy_lz");
+}
+
+}  // namespace
+}  // namespace btr::gpc

@@ -1,0 +1,145 @@
+// Unit and property tests for the Roaring bitmap substrate.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "bitmap/roaring.h"
+#include "util/random.h"
+
+namespace btr {
+namespace {
+
+TEST(RoaringTest, EmptyBitmap) {
+  RoaringBitmap bitmap;
+  EXPECT_TRUE(bitmap.Empty());
+  EXPECT_EQ(bitmap.Cardinality(), 0u);
+  EXPECT_FALSE(bitmap.Contains(0));
+  EXPECT_FALSE(bitmap.IntersectsRange(0, 1000));
+}
+
+TEST(RoaringTest, AddAndContains) {
+  RoaringBitmap bitmap;
+  bitmap.Add(5);
+  bitmap.Add(100000);
+  bitmap.Add(5);  // duplicate
+  EXPECT_EQ(bitmap.Cardinality(), 2u);
+  EXPECT_TRUE(bitmap.Contains(5));
+  EXPECT_TRUE(bitmap.Contains(100000));
+  EXPECT_FALSE(bitmap.Contains(6));
+}
+
+TEST(RoaringTest, ArrayToBitsetPromotion) {
+  RoaringBitmap bitmap;
+  // > 4096 values in one 64k chunk forces the bitset container.
+  for (u32 i = 0; i < 10000; i++) bitmap.Add(i * 3);
+  EXPECT_EQ(bitmap.Cardinality(), 10000u);
+  for (u32 i = 0; i < 10000; i++) {
+    EXPECT_TRUE(bitmap.Contains(i * 3));
+    if (i * 3 + 1 < 29999) EXPECT_FALSE(bitmap.Contains(i * 3 + 1));
+  }
+}
+
+TEST(RoaringTest, RunOptimizeDense) {
+  RoaringBitmap bitmap;
+  bitmap.AddRange(100, 20000);  // one long run
+  u64 before = bitmap.SerializedSizeBytes();
+  bitmap.RunOptimize();
+  u64 after = bitmap.SerializedSizeBytes();
+  EXPECT_LT(after, before);
+  EXPECT_EQ(bitmap.Cardinality(), 19900u);
+  EXPECT_FALSE(bitmap.Contains(99));
+  EXPECT_TRUE(bitmap.Contains(100));
+  EXPECT_TRUE(bitmap.Contains(19999));
+  EXPECT_FALSE(bitmap.Contains(20000));
+}
+
+TEST(RoaringTest, ForEachIsAscending) {
+  RoaringBitmap bitmap;
+  std::set<u32> expected;
+  Random rng(11);
+  for (int i = 0; i < 5000; i++) {
+    u32 v = static_cast<u32>(rng.NextBounded(1 << 20));
+    bitmap.Add(v);
+    expected.insert(v);
+  }
+  std::vector<u32> got = bitmap.ToVector();
+  std::vector<u32> want(expected.begin(), expected.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(RoaringTest, IntersectsRange) {
+  RoaringBitmap bitmap;
+  bitmap.Add(10);
+  bitmap.Add(1000);
+  EXPECT_TRUE(bitmap.IntersectsRange(8, 12));
+  EXPECT_FALSE(bitmap.IntersectsRange(11, 1000));
+  EXPECT_TRUE(bitmap.IntersectsRange(1000, 1001));
+}
+
+class RoaringSerializationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoaringSerializationTest, RoundTrip) {
+  // Parameterized over density regimes to hit all three container kinds.
+  int mode = GetParam();
+  RoaringBitmap bitmap;
+  std::set<u32> expected;
+  Random rng(mode);
+  auto add = [&](u32 v) {
+    bitmap.Add(v);
+    expected.insert(v);
+  };
+  switch (mode) {
+    case 0:  // sparse
+      for (int i = 0; i < 100; i++) add(static_cast<u32>(rng.NextBounded(1u << 30)));
+      break;
+    case 1:  // dense single chunk
+      for (u32 i = 0; i < 30000; i++) add(i * 2);
+      break;
+    case 2:  // runs
+      for (u32 base : {0u, 70000u, 200000u}) {
+        for (u32 i = 0; i < 5000; i++) add(base + i);
+      }
+      break;
+    case 3:  // mixed
+      for (u32 i = 0; i < 6000; i++) add(i);
+      for (int i = 0; i < 50; i++) add(static_cast<u32>(rng.NextBounded(1u << 25)));
+      break;
+  }
+  bitmap.RunOptimize();
+  ByteBuffer serialized;
+  bitmap.SerializeTo(&serialized);
+  EXPECT_EQ(serialized.size(), bitmap.SerializedSizeBytes());
+
+  size_t consumed = 0;
+  RoaringBitmap restored = RoaringBitmap::Deserialize(serialized.data(), &consumed);
+  EXPECT_EQ(consumed, serialized.size());
+  EXPECT_EQ(restored.Cardinality(), expected.size());
+  std::vector<u32> got = restored.ToVector();
+  std::vector<u32> want(expected.begin(), expected.end());
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, RoaringSerializationTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(RoaringTest, PropertyRandomVsReference) {
+  // Property: RoaringBitmap behaves exactly like std::set<u32> under a
+  // random add workload, across chunk boundaries.
+  Random rng(77);
+  RoaringBitmap bitmap;
+  std::set<u32> reference;
+  for (int i = 0; i < 20000; i++) {
+    u32 v = static_cast<u32>(rng.NextBounded(1u << 18));
+    bitmap.Add(v);
+    reference.insert(v);
+  }
+  EXPECT_EQ(bitmap.Cardinality(), reference.size());
+  for (int i = 0; i < 5000; i++) {
+    u32 v = static_cast<u32>(rng.NextBounded(1u << 18));
+    EXPECT_EQ(bitmap.Contains(v), reference.count(v) > 0) << "value " << v;
+  }
+}
+
+}  // namespace
+}  // namespace btr

@@ -1,0 +1,113 @@
+// Tests for the simulated object store and the scan cost model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "s3sim/object_store.h"
+#include "util/random.h"
+
+namespace btr::s3sim {
+namespace {
+
+TEST(ObjectStoreTest, PutGetRoundTrip) {
+  ObjectStore store;
+  Random rng(1);
+  std::vector<u8> data(40 << 20);  // 40 MiB: three 16 MiB chunks
+  for (u8& b : data) b = static_cast<u8>(rng.Next());
+  store.Put("bucket/key", data.data(), data.size());
+  EXPECT_TRUE(store.Contains("bucket/key"));
+  EXPECT_EQ(store.ObjectSize("bucket/key"), data.size());
+
+  std::vector<u8> fetched;
+  store.GetObject("bucket/key", &fetched);
+  EXPECT_EQ(fetched, data);
+  EXPECT_EQ(store.total_requests(), 3u);  // ceil(40 MiB / 16 MiB)
+  EXPECT_EQ(store.total_bytes_fetched(), data.size());
+  EXPECT_GT(store.network_seconds(), 0.0);
+}
+
+TEST(ObjectStoreTest, RangedGet) {
+  ObjectStore store;
+  std::vector<u8> data(1000);
+  for (size_t i = 0; i < data.size(); i++) data[i] = static_cast<u8>(i);
+  store.Put("k", data.data(), data.size());
+  std::vector<u8> chunk;
+  store.GetChunk("k", 100, 50, &chunk);
+  ASSERT_EQ(chunk.size(), 50u);
+  for (size_t i = 0; i < 50; i++) EXPECT_EQ(chunk[i], static_cast<u8>(100 + i));
+  // Past-end range is clipped.
+  store.GetChunk("k", 990, 50, &chunk);
+  EXPECT_EQ(chunk.size(), 10u);
+}
+
+TEST(ObjectStoreTest, ResetAccounting) {
+  ObjectStore store;
+  std::vector<u8> data(100, 1);
+  store.Put("k", data.data(), data.size());
+  std::vector<u8> out;
+  store.GetObject("k", &out);
+  EXPECT_GT(store.total_requests(), 0u);
+  store.ResetAccounting();
+  EXPECT_EQ(store.total_requests(), 0u);
+  EXPECT_EQ(store.total_bytes_fetched(), 0u);
+  EXPECT_EQ(store.network_seconds(), 0.0);
+}
+
+TEST(ScanModelTest, NetworkBoundWhenCpuIsFast) {
+  // Uncompressed data: lots of bytes, trivial decompression.
+  S3Config config;
+  ScanMeasurement m;
+  m.compressed_bytes = 100ull << 30;  // 100 GiB on the wire
+  m.uncompressed_bytes = m.compressed_bytes;
+  m.single_thread_decompress_seconds = 1.0;  // trivially cheap
+  ScanResult r = SimulateScan(m, config);
+  EXPECT_TRUE(r.network_bound);
+  // T_c approaches the NIC rate.
+  EXPECT_GT(r.tc_gbit, 90.0);
+  EXPECT_LT(r.tc_gbit, 100.0);
+}
+
+TEST(ScanModelTest, CpuBoundWhenDecompressionIsSlow) {
+  // Heavy codec: few bytes on the wire but expensive decompression.
+  S3Config config;
+  ScanMeasurement m;
+  m.compressed_bytes = 10ull << 30;
+  m.uncompressed_bytes = 60ull << 30;
+  m.single_thread_decompress_seconds = 2000.0;  // / 36 cores = 55 s
+  ScanResult r = SimulateScan(m, config);
+  EXPECT_FALSE(r.network_bound);
+  EXPECT_LT(r.tc_gbit, 20.0);  // network underutilized (paper Section 6.7)
+}
+
+TEST(ScanModelTest, BetterRatioAndFastCpuIsCheaper) {
+  // The paper's core claim: better compression with fast decompression
+  // lowers scan cost.
+  S3Config config;
+  ScanMeasurement parquet;  // ratio ~3.4, moderate decompression
+  parquet.uncompressed_bytes = 120ull << 30;
+  parquet.compressed_bytes = parquet.uncompressed_bytes / 3;
+  parquet.single_thread_decompress_seconds = 4000;
+  ScanMeasurement btrblocks;  // ratio ~5.3, fast decompression
+  btrblocks.uncompressed_bytes = parquet.uncompressed_bytes;
+  btrblocks.compressed_bytes = btrblocks.uncompressed_bytes / 5;
+  btrblocks.single_thread_decompress_seconds = 800;
+  ScanResult pr = SimulateScan(parquet, config);
+  ScanResult br = SimulateScan(btrblocks, config);
+  EXPECT_LT(br.cost_usd, pr.cost_usd);
+  EXPECT_GT(br.tr_gbps, pr.tr_gbps);
+}
+
+TEST(ScanModelTest, RequestCostCountsGets) {
+  S3Config config;
+  config.instance_cost_per_hour = 0.0;  // isolate request cost
+  ScanMeasurement m;
+  m.compressed_bytes = 32ull << 20;  // 2 chunks
+  m.uncompressed_bytes = 64ull << 20;
+  m.single_thread_decompress_seconds = 0.01;
+  ScanResult r = SimulateScan(m, config);
+  EXPECT_EQ(r.requests, 2u);
+  EXPECT_DOUBLE_EQ(r.cost_usd, 2 * config.request_cost_usd);
+}
+
+}  // namespace
+}  // namespace btr::s3sim

@@ -1,0 +1,63 @@
+// Thread pool tests: completion, parallel_for coverage, reuse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace btr::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; i++) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; round++) {
+    for (int i = 0; i < 100; i++) pool.Submit([&counter] { counter++; });
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 100);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(5000);
+  ParallelFor(&pool, 0, 5000, [&](u64 i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < 5000; i++) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForInlineWithoutPool) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(nullptr, 0, 100, [&](u64 i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  ParallelFor(&pool, 5, 5, [&](u64) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, DestructionWithPendingWaitCompletes) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; i++) pool.Submit([&counter] { counter++; });
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace btr::exec

@@ -1,0 +1,162 @@
+// Zone map tests: pruning must never skip a block that contains a match
+// (soundness) and must skip most blocks on clustered data (effectiveness).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "btr/btrblocks.h"
+#include "btr/compressed_scan.h"
+#include "btr/zonemap.h"
+#include "util/random.h"
+
+namespace btr {
+namespace {
+
+TEST(ZoneMapTest, IntZonesSoundAndEffective) {
+  // Clustered (sorted) data: each block covers a narrow range.
+  Relation relation("t");
+  Column& column = relation.AddColumn("x", ColumnType::kInteger);
+  constexpr u32 kRows = 4 * kBlockCapacity;
+  for (u32 i = 0; i < kRows; i++) column.AppendInt(static_cast<i32>(i));
+  ColumnZoneMap map = ComputeColumnZoneMap(column);
+  ASSERT_EQ(map.zones.size(), 4u);
+  EXPECT_EQ(map.zones[0].int_min, 0);
+  EXPECT_EQ(map.zones[0].int_max, static_cast<i32>(kBlockCapacity - 1));
+
+  // A point probe may match exactly one zone.
+  i32 probe = 3 * static_cast<i32>(kBlockCapacity) + 17;
+  u32 candidate_blocks = 0;
+  for (const BlockZone& zone : map.zones) {
+    candidate_blocks += ZoneMayContainInt(zone, probe);
+  }
+  EXPECT_EQ(candidate_blocks, 1u);
+  // Out-of-domain probes match no zone.
+  for (const BlockZone& zone : map.zones) {
+    EXPECT_FALSE(ZoneMayContainInt(zone, -5));
+    EXPECT_FALSE(ZoneMayContainInt(zone, static_cast<i32>(kRows) + 1));
+  }
+  // Range overlap.
+  EXPECT_TRUE(ZoneMayOverlapIntRange(map.zones[1],
+                                     static_cast<i32>(kBlockCapacity) + 5,
+                                     static_cast<i32>(kBlockCapacity) + 9));
+  EXPECT_FALSE(ZoneMayOverlapIntRange(map.zones[1], 0, 10));
+}
+
+TEST(ZoneMapTest, SoundnessPropertyAgainstCompressedScan) {
+  // Property: for random blocks and probes, zone pruning never disagrees
+  // with the actual (exact) count being nonzero.
+  Random rng(1);
+  CompressionConfig config;
+  for (int trial = 0; trial < 20; trial++) {
+    Relation relation("t");
+    Column& column = relation.AddColumn("x", ColumnType::kInteger);
+    u32 rows = 1000 + static_cast<u32>(rng.NextBounded(2 * kBlockCapacity));
+    i32 base = static_cast<i32>(rng.NextBounded(1000)) - 500;
+    for (u32 i = 0; i < rows; i++) {
+      if (rng.NextBounded(20) == 0) {
+        column.AppendNull();
+      } else {
+        column.AppendInt(base + static_cast<i32>(rng.NextBounded(100)));
+      }
+    }
+    ColumnZoneMap map = ComputeColumnZoneMap(column);
+    CompressedColumn compressed = CompressColumn(column, config);
+    ASSERT_EQ(map.zones.size(), compressed.blocks.size());
+    for (int p = 0; p < 20; p++) {
+      i32 probe = base + static_cast<i32>(rng.NextBounded(140)) - 20;
+      for (size_t b = 0; b < compressed.blocks.size(); b++) {
+        u32 matches =
+            CountEqualsInt(compressed.blocks[b].data(), probe, config);
+        if (matches > 0) {
+          EXPECT_TRUE(ZoneMayContainInt(map.zones[b], probe))
+              << "pruned a matching block, probe " << probe;
+        }
+      }
+    }
+  }
+}
+
+TEST(ZoneMapTest, StringPrefixPruning) {
+  Relation relation("t");
+  Column& column = relation.AddColumn("s", ColumnType::kString);
+  const char* values[] = {"berlin", "chicago", "denver", "frankfurt"};
+  for (int i = 0; i < 1000; i++) column.AppendString(values[i % 4]);
+  ColumnZoneMap map = ComputeColumnZoneMap(column);
+  ASSERT_EQ(map.zones.size(), 1u);
+  const BlockZone& zone = map.zones[0];
+  EXPECT_TRUE(ZoneMayContainString(zone, "chicago"));
+  EXPECT_TRUE(ZoneMayContainString(zone, "berlin"));
+  EXPECT_FALSE(ZoneMayContainString(zone, "aachen"));   // < min
+  EXPECT_FALSE(ZoneMayContainString(zone, "zurich"));   // > max
+  // Inside the range but absent: may-contain must still be true
+  // (zone maps are conservative, not exact).
+  EXPECT_TRUE(ZoneMayContainString(zone, "dresden"));
+}
+
+TEST(ZoneMapTest, LongStringsTruncateConservatively) {
+  Relation relation("t");
+  Column& column = relation.AddColumn("s", ColumnType::kString);
+  column.AppendString("aaaaaaaaaaaaaaaa");  // 16 bytes
+  column.AppendString("aaaaaaaazzzzzzzz");
+  ColumnZoneMap map = ComputeColumnZoneMap(column);
+  const BlockZone& zone = map.zones[0];
+  // Both share the 8-byte prefix "aaaaaaaa": probes with that prefix must
+  // stay candidates regardless of their tails.
+  EXPECT_TRUE(ZoneMayContainString(zone, "aaaaaaaammmm"));
+  EXPECT_TRUE(ZoneMayContainString(zone, "aaaaaaaa"));
+  EXPECT_FALSE(ZoneMayContainString(zone, "ab"));
+  EXPECT_FALSE(ZoneMayContainString(zone, "a"));  // < both
+}
+
+TEST(ZoneMapTest, DoubleZonesAndNulls) {
+  Relation relation("t");
+  Column& column = relation.AddColumn("d", ColumnType::kDouble);
+  for (int i = 0; i < 100; i++) column.AppendNull();
+  ColumnZoneMap all_null = ComputeColumnZoneMap(column);
+  EXPECT_TRUE(all_null.zones[0].all_null);
+  EXPECT_FALSE(ZoneMayContainDouble(all_null.zones[0], 0.0));
+
+  Relation relation2("t");
+  Column& column2 = relation2.AddColumn("d", ColumnType::kDouble);
+  column2.AppendDouble(1.5);
+  column2.AppendDouble(9.75);
+  column2.AppendNull();
+  ColumnZoneMap map = ComputeColumnZoneMap(column2);
+  EXPECT_EQ(map.zones[0].null_count, 1u);
+  EXPECT_TRUE(ZoneMayContainDouble(map.zones[0], 5.0));
+  EXPECT_FALSE(ZoneMayContainDouble(map.zones[0], 10.0));
+  EXPECT_FALSE(ZoneMayContainDouble(map.zones[0], -1.0));
+}
+
+TEST(ZoneMapTest, SidecarRoundTrip) {
+  Relation relation("ztable");
+  Column& ints = relation.AddColumn("i", ColumnType::kInteger);
+  Column& strs = relation.AddColumn("s", ColumnType::kString);
+  Random rng(3);
+  for (int i = 0; i < 70000; i++) {
+    ints.AppendInt(static_cast<i32>(rng.NextBounded(1000)));
+    strs.AppendString("v" + std::to_string(rng.NextBounded(50)));
+  }
+  TableZoneMap zonemap;
+  for (const Column& c : relation.columns()) {
+    zonemap.columns.push_back(ComputeColumnZoneMap(c));
+  }
+  std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(WriteTableZoneMap(zonemap, dir, "ztable").ok());
+  TableZoneMap loaded;
+  ASSERT_TRUE(ReadTableZoneMap(dir, "ztable", &loaded).ok());
+  ASSERT_EQ(loaded.columns.size(), 2u);
+  ASSERT_EQ(loaded.columns[0].zones.size(), zonemap.columns[0].zones.size());
+  for (size_t c = 0; c < 2; c++) {
+    for (size_t z = 0; z < zonemap.columns[c].zones.size(); z++) {
+      EXPECT_EQ(std::memcmp(&loaded.columns[c].zones[z],
+                            &zonemap.columns[c].zones[z], sizeof(BlockZone)),
+                0);
+    }
+  }
+  TableZoneMap missing;
+  EXPECT_FALSE(ReadTableZoneMap(dir, "no_such_table", &missing).ok());
+}
+
+}  // namespace
+}  // namespace btr
