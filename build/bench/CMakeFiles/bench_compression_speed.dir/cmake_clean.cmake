@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compression_speed.dir/bench_compression_speed.cc.o"
+  "CMakeFiles/bench_compression_speed.dir/bench_compression_speed.cc.o.d"
+  "bench_compression_speed"
+  "bench_compression_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compression_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_samplesize.dir/bench_fig6_samplesize.cc.o"
+  "CMakeFiles/bench_fig6_samplesize.dir/bench_fig6_samplesize.cc.o.d"
+  "bench_fig6_samplesize"
+  "bench_fig6_samplesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_samplesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_decompression.dir/bench_fig8_decompression.cc.o"
+  "CMakeFiles/bench_fig8_decompression.dir/bench_fig8_decompression.cc.o.d"
+  "bench_fig8_decompression"
+  "bench_fig8_decompression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_decompression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

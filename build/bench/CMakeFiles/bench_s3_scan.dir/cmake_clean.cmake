@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s3_scan.dir/bench_s3_scan.cc.o"
+  "CMakeFiles/bench_s3_scan.dir/bench_s3_scan.cc.o.d"
+  "bench_s3_scan"
+  "bench_s3_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s3_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_doubles.dir/bench_table3_doubles.cc.o"
+  "CMakeFiles/bench_table3_doubles.dir/bench_table3_doubles.cc.o.d"
+  "bench_table3_doubles"
+  "bench_table3_doubles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_doubles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_columns.dir/bench_table4_columns.cc.o"
+  "CMakeFiles/bench_table4_columns.dir/bench_table4_columns.cc.o.d"
+  "bench_table4_columns"
+  "bench_table4_columns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_columns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrtool.dir/btrtool.cpp.o"
+  "CMakeFiles/btrtool.dir/btrtool.cpp.o.d"
+  "btrtool"
+  "btrtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

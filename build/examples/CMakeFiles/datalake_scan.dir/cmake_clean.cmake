@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalake_scan.dir/datalake_scan.cpp.o"
+  "CMakeFiles/datalake_scan.dir/datalake_scan.cpp.o.d"
+  "datalake_scan"
+  "datalake_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalake_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

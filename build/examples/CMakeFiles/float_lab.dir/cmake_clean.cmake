@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/float_lab.dir/float_lab.cpp.o"
+  "CMakeFiles/float_lab.dir/float_lab.cpp.o.d"
+  "float_lab"
+  "float_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/float_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

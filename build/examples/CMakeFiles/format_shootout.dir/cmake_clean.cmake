@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_shootout.dir/format_shootout.cpp.o"
+  "CMakeFiles/format_shootout.dir/format_shootout.cpp.o.d"
+  "format_shootout"
+  "format_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitmap/roaring.cc" "src/CMakeFiles/btrblocks.dir/bitmap/roaring.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/bitmap/roaring.cc.o.d"
+  "/root/repo/src/bitpack/bitpack.cc" "src/CMakeFiles/btrblocks.dir/bitpack/bitpack.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/bitpack/bitpack.cc.o.d"
+  "/root/repo/src/btr/column.cc" "src/CMakeFiles/btrblocks.dir/btr/column.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/column.cc.o.d"
+  "/root/repo/src/btr/compressed_scan.cc" "src/CMakeFiles/btrblocks.dir/btr/compressed_scan.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/compressed_scan.cc.o.d"
+  "/root/repo/src/btr/datablock.cc" "src/CMakeFiles/btrblocks.dir/btr/datablock.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/datablock.cc.o.d"
+  "/root/repo/src/btr/file_format.cc" "src/CMakeFiles/btrblocks.dir/btr/file_format.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/file_format.cc.o.d"
+  "/root/repo/src/btr/relation.cc" "src/CMakeFiles/btrblocks.dir/btr/relation.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/relation.cc.o.d"
+  "/root/repo/src/btr/sampling.cc" "src/CMakeFiles/btrblocks.dir/btr/sampling.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/sampling.cc.o.d"
+  "/root/repo/src/btr/scheme_picker.cc" "src/CMakeFiles/btrblocks.dir/btr/scheme_picker.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/scheme_picker.cc.o.d"
+  "/root/repo/src/btr/schemes/double_basic.cc" "src/CMakeFiles/btrblocks.dir/btr/schemes/double_basic.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/schemes/double_basic.cc.o.d"
+  "/root/repo/src/btr/schemes/double_pseudodecimal.cc" "src/CMakeFiles/btrblocks.dir/btr/schemes/double_pseudodecimal.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/schemes/double_pseudodecimal.cc.o.d"
+  "/root/repo/src/btr/schemes/int_basic.cc" "src/CMakeFiles/btrblocks.dir/btr/schemes/int_basic.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/schemes/int_basic.cc.o.d"
+  "/root/repo/src/btr/schemes/int_dict.cc" "src/CMakeFiles/btrblocks.dir/btr/schemes/int_dict.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/schemes/int_dict.cc.o.d"
+  "/root/repo/src/btr/schemes/int_frequency.cc" "src/CMakeFiles/btrblocks.dir/btr/schemes/int_frequency.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/schemes/int_frequency.cc.o.d"
+  "/root/repo/src/btr/schemes/int_rle.cc" "src/CMakeFiles/btrblocks.dir/btr/schemes/int_rle.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/schemes/int_rle.cc.o.d"
+  "/root/repo/src/btr/schemes/registry.cc" "src/CMakeFiles/btrblocks.dir/btr/schemes/registry.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/schemes/registry.cc.o.d"
+  "/root/repo/src/btr/schemes/string_basic.cc" "src/CMakeFiles/btrblocks.dir/btr/schemes/string_basic.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/schemes/string_basic.cc.o.d"
+  "/root/repo/src/btr/schemes/string_dict.cc" "src/CMakeFiles/btrblocks.dir/btr/schemes/string_dict.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/schemes/string_dict.cc.o.d"
+  "/root/repo/src/btr/schemes/string_fsst.cc" "src/CMakeFiles/btrblocks.dir/btr/schemes/string_fsst.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/schemes/string_fsst.cc.o.d"
+  "/root/repo/src/btr/stats.cc" "src/CMakeFiles/btrblocks.dir/btr/stats.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/stats.cc.o.d"
+  "/root/repo/src/btr/zonemap.cc" "src/CMakeFiles/btrblocks.dir/btr/zonemap.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/btr/zonemap.cc.o.d"
+  "/root/repo/src/datagen/archetypes.cc" "src/CMakeFiles/btrblocks.dir/datagen/archetypes.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/datagen/archetypes.cc.o.d"
+  "/root/repo/src/datagen/csv.cc" "src/CMakeFiles/btrblocks.dir/datagen/csv.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/datagen/csv.cc.o.d"
+  "/root/repo/src/datagen/public_bi.cc" "src/CMakeFiles/btrblocks.dir/datagen/public_bi.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/datagen/public_bi.cc.o.d"
+  "/root/repo/src/datagen/tpch.cc" "src/CMakeFiles/btrblocks.dir/datagen/tpch.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/datagen/tpch.cc.o.d"
+  "/root/repo/src/exec/thread_pool.cc" "src/CMakeFiles/btrblocks.dir/exec/thread_pool.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/exec/thread_pool.cc.o.d"
+  "/root/repo/src/floatcomp/chimp.cc" "src/CMakeFiles/btrblocks.dir/floatcomp/chimp.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/floatcomp/chimp.cc.o.d"
+  "/root/repo/src/floatcomp/fpc.cc" "src/CMakeFiles/btrblocks.dir/floatcomp/fpc.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/floatcomp/fpc.cc.o.d"
+  "/root/repo/src/floatcomp/gorilla.cc" "src/CMakeFiles/btrblocks.dir/floatcomp/gorilla.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/floatcomp/gorilla.cc.o.d"
+  "/root/repo/src/fsst/fsst.cc" "src/CMakeFiles/btrblocks.dir/fsst/fsst.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/fsst/fsst.cc.o.d"
+  "/root/repo/src/gpc/codec.cc" "src/CMakeFiles/btrblocks.dir/gpc/codec.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/gpc/codec.cc.o.d"
+  "/root/repo/src/gpc/entropy_lz.cc" "src/CMakeFiles/btrblocks.dir/gpc/entropy_lz.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/gpc/entropy_lz.cc.o.d"
+  "/root/repo/src/gpc/huffman.cc" "src/CMakeFiles/btrblocks.dir/gpc/huffman.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/gpc/huffman.cc.o.d"
+  "/root/repo/src/gpc/lz77.cc" "src/CMakeFiles/btrblocks.dir/gpc/lz77.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/gpc/lz77.cc.o.d"
+  "/root/repo/src/lakeformat/orc_like.cc" "src/CMakeFiles/btrblocks.dir/lakeformat/orc_like.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/lakeformat/orc_like.cc.o.d"
+  "/root/repo/src/lakeformat/parquet_like.cc" "src/CMakeFiles/btrblocks.dir/lakeformat/parquet_like.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/lakeformat/parquet_like.cc.o.d"
+  "/root/repo/src/s3sim/object_store.cc" "src/CMakeFiles/btrblocks.dir/s3sim/object_store.cc.o" "gcc" "src/CMakeFiles/btrblocks.dir/s3sim/object_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_relation_test.dir/block_relation_test.cc.o"
+  "CMakeFiles/block_relation_test.dir/block_relation_test.cc.o.d"
+  "block_relation_test"
+  "block_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_scan_test.dir/compressed_scan_test.cc.o"
+  "CMakeFiles/compressed_scan_test.dir/compressed_scan_test.cc.o.d"
+  "compressed_scan_test"
+  "compressed_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

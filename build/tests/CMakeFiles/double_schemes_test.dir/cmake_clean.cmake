@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_schemes_test.dir/double_schemes_test.cc.o"
+  "CMakeFiles/double_schemes_test.dir/double_schemes_test.cc.o.d"
+  "double_schemes_test"
+  "double_schemes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floatcomp_test.dir/floatcomp_test.cc.o"
+  "CMakeFiles/floatcomp_test.dir/floatcomp_test.cc.o.d"
+  "floatcomp_test"
+  "floatcomp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floatcomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsst_test.dir/fsst_test.cc.o"
+  "CMakeFiles/fsst_test.dir/fsst_test.cc.o.d"
+  "fsst_test"
+  "fsst_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

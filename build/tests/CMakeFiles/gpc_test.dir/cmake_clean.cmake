@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpc_test.dir/gpc_test.cc.o"
+  "CMakeFiles/gpc_test.dir/gpc_test.cc.o.d"
+  "gpc_test"
+  "gpc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int_schemes_test.dir/int_schemes_test.cc.o"
+  "CMakeFiles/int_schemes_test.dir/int_schemes_test.cc.o.d"
+  "int_schemes_test"
+  "int_schemes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakeformat_test.dir/lakeformat_test.cc.o"
+  "CMakeFiles/lakeformat_test.dir/lakeformat_test.cc.o.d"
+  "lakeformat_test"
+  "lakeformat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakeformat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roaring_test.dir/roaring_test.cc.o"
+  "CMakeFiles/roaring_test.dir/roaring_test.cc.o.d"
+  "roaring_test"
+  "roaring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roaring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3sim_test.dir/s3sim_test.cc.o"
+  "CMakeFiles/s3sim_test.dir/s3sim_test.cc.o.d"
+  "s3sim_test"
+  "s3sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

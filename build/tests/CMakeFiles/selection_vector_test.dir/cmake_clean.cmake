@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_vector_test.dir/selection_vector_test.cc.o"
+  "CMakeFiles/selection_vector_test.dir/selection_vector_test.cc.o.d"
+  "selection_vector_test"
+  "selection_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_schemes_test.dir/string_schemes_test.cc.o"
+  "CMakeFiles/string_schemes_test.dir/string_schemes_test.cc.o.d"
+  "string_schemes_test"
+  "string_schemes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
