@@ -17,6 +17,7 @@
 #include "datagen/tpch.h"
 #include "lakeformat/orc_like.h"
 #include "lakeformat/parquet_like.h"
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace btr::bench {
@@ -163,6 +164,24 @@ inline void PrintHeader(const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);
   std::printf("================================================================\n");
+  // Metrics sidecar: BTR_METRICS_JSON=<path> dumps the metrics registry as
+  // JSON when the benchmark exits, so runs can be diffed without reparsing
+  // stdout. Registered once, from whichever harness prints first.
+  static bool sidecar_registered = false;
+  if (!sidecar_registered) {
+    sidecar_registered = true;
+    if (std::getenv("BTR_METRICS_JSON") != nullptr) {
+      std::atexit([] {
+        const char* path = std::getenv("BTR_METRICS_JSON");
+        if (path == nullptr) return;
+        if (obs::WriteMetricsJsonFile(path)) {
+          std::fprintf(stderr, "metrics sidecar written to %s\n", path);
+        } else {
+          std::fprintf(stderr, "error: cannot write metrics sidecar %s\n", path);
+        }
+      });
+    }
+  }
 }
 
 }  // namespace btr::bench

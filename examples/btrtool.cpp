@@ -3,14 +3,23 @@
 //   btrtool compress  <table.csv> <out-dir> <table-name>   CSV -> .btr files
 //   btrtool decompress <dir> <table-name> <out.csv>        .btr -> CSV
 //   btrtool stats     <dir> <table-name>                   per-column report
+//   btrtool inspect   <table.csv>                          cascade decision report
 //   btrtool demo                                           self-contained demo
+//
+// Global flags (any command):
+//   --metrics-json=<path>   write the metrics registry as JSON on exit
+//   --trace-json=<path>     record spans and write a Chrome/Perfetto trace
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "btr/btrblocks.h"
 #include "datagen/csv.h"
 #include "datagen/public_bi.h"
+#include "obs/cascade_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -87,6 +96,82 @@ int CmdStats(const std::string& dir, const std::string& name) {
   return 0;
 }
 
+// Compresses a CSV with cascade tracing enabled and prints, per column,
+// the full scheme decision tree: scheme at every depth, bytes in/out,
+// actual vs sample-estimated ratio, and the estimate error.
+int CmdInspect(const std::string& csv_path) {
+  std::string name = csv_path;
+  size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+
+  Relation relation(name);
+  Status status = datagen::ReadCsvFile(csv_path, name, &relation);
+  if (!status.ok()) return Fail(status);
+
+  Telemetry telemetry;
+  CompressionConfig config;
+  config.collect_cascade_trace = true;
+  config.telemetry = &telemetry;
+  CompressedRelation compressed = CompressRelation(relation, config);
+
+  std::printf("table %s: %u rows, %zu columns, %.2f MiB -> %.2f MiB (%.2fx)\n",
+              name.c_str(), relation.row_count(), relation.columns().size(),
+              compressed.UncompressedBytes() / 1048576.0,
+              compressed.CompressedBytes() / 1048576.0,
+              compressed.CompressionRatio());
+  std::printf(
+      "compression %.1f ms (stats %.1f ms, scheme estimation %.1f ms)\n\n",
+      telemetry.compress_ns / 1e6, telemetry.stats_ns / 1e6,
+      telemetry.estimate_ns / 1e6);
+
+  for (const CompressedColumn& column : compressed.columns) {
+    double ratio = column.CompressedBytes() == 0
+                       ? 0
+                       : static_cast<double>(column.uncompressed_bytes) /
+                             column.CompressedBytes();
+    std::printf("column %s (%s): %.1f KiB -> %.1f KiB (%.2fx), %zu block%s\n",
+                column.name.c_str(), ColumnTypeName(column.type),
+                column.uncompressed_bytes / 1024.0,
+                column.CompressedBytes() / 1024.0, ratio,
+                column.blocks.size(), column.blocks.size() == 1 ? "" : "s");
+    for (size_t b = 0; b < column.block_traces.size(); b++) {
+      std::printf("  block %zu:\n", b);
+      std::printf("%s",
+                  obs::CascadeTreeToString(column.block_traces[b], 2).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Depth-indexed scheme usage across the whole table (satellite view of
+  // the cascade: which schemes appear at which recursion level).
+  std::printf("scheme uses by cascade depth (count x type/scheme):\n");
+  static const char* kTypeTags[3] = {"int", "double", "string"};
+  for (u32 depth = 0; depth < kTelemetryDepthSlots; depth++) {
+    bool any = false;
+    for (u32 t = 0; t < 3 && !any; t++) {
+      for (u32 s = 0; s < 16 && !any; s++) {
+        any = telemetry.scheme_uses_by_depth[depth][t][s] != 0;
+      }
+    }
+    if (!any) continue;
+    std::printf("  depth %u:", depth);
+    for (u32 t = 0; t < 3; t++) {
+      for (u32 s = 0; s < 16; s++) {
+        u64 n = telemetry.scheme_uses_by_depth[depth][t][s];
+        if (n == 0) continue;
+        std::printf("  %llux %s/%s", static_cast<unsigned long long>(n),
+                    kTypeTags[t],
+                    RootSchemeName(static_cast<ColumnType>(t),
+                                   static_cast<u8>(s)));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int CmdDemo() {
   std::printf("generating a Public-BI-like demo table...\n");
   Relation table = datagen::MakePublicBiTable("demo", 64000, 1);
@@ -105,24 +190,67 @@ int CmdDemo() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string command = argc > 1 ? argv[1] : "";
-  if (command == "compress" && argc == 5) {
-    return CmdCompress(argv[2], argv[3], argv[4]);
+  // Global observability flags, stripped before command dispatch.
+  std::string metrics_path;
+  std::string trace_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = arg.substr(std::strlen("--metrics-json="));
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace-json="));
+    } else {
+      args.push_back(std::move(arg));
+    }
   }
-  if (command == "decompress" && argc == 5) {
-    return CmdDecompress(argv[2], argv[3], argv[4]);
+  if (!trace_path.empty()) btr::obs::Tracer::Get().Enable();
+
+  auto finish = [&](int rc) {
+    if (!metrics_path.empty()) {
+      if (btr::obs::WriteMetricsJsonFile(metrics_path)) {
+        std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
+        if (rc == 0) rc = 1;
+      }
+    }
+    if (!trace_path.empty()) {
+      if (btr::obs::WriteChromeTraceFile(trace_path)) {
+        std::fprintf(stderr, "trace written to %s (open in chrome://tracing "
+                             "or https://ui.perfetto.dev)\n",
+                     trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+        if (rc == 0) rc = 1;
+      }
+    }
+    return rc;
+  };
+
+  std::string command = args.empty() ? "" : args[0];
+  if (command == "compress" && args.size() == 4) {
+    return finish(CmdCompress(args[1], args[2], args[3]));
   }
-  if (command == "stats" && argc == 4) {
-    return CmdStats(argv[2], argv[3]);
+  if (command == "decompress" && args.size() == 4) {
+    return finish(CmdDecompress(args[1], args[2], args[3]));
+  }
+  if (command == "stats" && args.size() == 3) {
+    return finish(CmdStats(args[1], args[2]));
+  }
+  if (command == "inspect" && args.size() == 2) {
+    return finish(CmdInspect(args[1]));
   }
   if (command == "demo") {
-    return CmdDemo();
+    return finish(CmdDemo());
   }
   std::fprintf(stderr,
                "usage:\n"
                "  btrtool compress   <table.csv> <out-dir> <table-name>\n"
                "  btrtool decompress <dir> <table-name> <out.csv>\n"
                "  btrtool stats      <dir> <table-name>\n"
-               "  btrtool demo\n");
+               "  btrtool inspect    <table.csv>\n"
+               "  btrtool demo\n"
+               "flags: --metrics-json=<path>  --trace-json=<path>\n");
   return 2;
 }

@@ -5,10 +5,39 @@
 
 #include "bitmap/roaring.h"
 #include "btr/scheme_picker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace btr {
 
 namespace {
+
+// Scan observability: every public Count*/Select* call records its latency
+// into a per-operation histogram; blocks that cannot use a compressed-domain
+// fast path additionally bump "btr.scan.materialized" (the ratio of the two
+// is the fast-path hit rate).
+struct ScopedScanMetrics {
+  explicit ScopedScanMetrics(obs::Histogram& h) : hist(h) {
+    static obs::Counter& calls = obs::Registry::Get().GetCounter("btr.scan.calls");
+    calls.Add();
+  }
+  ~ScopedScanMetrics() {
+    hist.Record(static_cast<u64>(timer.ElapsedNanos()));
+  }
+  obs::Histogram& hist;
+  Timer timer;
+};
+
+obs::Histogram& ScanHistogram(const char* name) {
+  return obs::Registry::Get().GetHistogram(name);
+}
+
+void CountMaterializedFallback() {
+  static obs::Counter& materialized =
+      obs::Registry::Get().GetCounter("btr.scan.materialized");
+  materialized.Add();
+}
 
 struct BlockHeader {
   ColumnType type;
@@ -71,6 +100,7 @@ bool NeedsNullCheck(const BlockHeader& h, bool value_is_default) {
 template <typename MatchFn>
 u32 CountMaterialized(const u8* block, const CompressionConfig& config,
                       const MatchFn& match) {
+  CountMaterializedFallback();
   DecodedBlock decoded;
   DecompressBlock(block, &decoded, config);
   u32 matches = 0;
@@ -119,6 +149,9 @@ bool HasFastEqualsPath(const u8* block) {
 }
 
 u32 CountEqualsInt(const u8* block, i32 value, const CompressionConfig& config) {
+  BTR_TRACE_SPAN("btr.scan.count_int");
+  static obs::Histogram& hist = ScanHistogram("btr.scan.count_int_ns");
+  ScopedScanMetrics metrics(hist);
   BlockHeader h = Parse(block);
   BTR_CHECK(h.type == ColumnType::kInteger);
   if (NeedsNullCheck(h, value == 0)) {
@@ -186,6 +219,9 @@ u32 CountEqualsInt(const u8* block, i32 value, const CompressionConfig& config) 
 
 u32 CountEqualsDouble(const u8* block, double value,
                       const CompressionConfig& config) {
+  BTR_TRACE_SPAN("btr.scan.count_double");
+  static obs::Histogram& hist = ScanHistogram("btr.scan.count_double_ns");
+  ScopedScanMetrics metrics(hist);
   BlockHeader h = Parse(block);
   BTR_CHECK(h.type == ColumnType::kDouble);
   u64 value_bits;
@@ -267,6 +303,9 @@ u32 CountEqualsDouble(const u8* block, double value,
 
 u32 CountEqualsString(const u8* block, std::string_view value,
                       const CompressionConfig& config) {
+  BTR_TRACE_SPAN("btr.scan.count_string");
+  static obs::Histogram& hist = ScanHistogram("btr.scan.count_string_ns");
+  ScopedScanMetrics metrics(hist);
   BlockHeader h = Parse(block);
   BTR_CHECK(h.type == ColumnType::kString);
   if (NeedsNullCheck(h, value.empty())) {
@@ -347,6 +386,7 @@ template <typename MatchFn>
 RoaringBitmap SelectMaterialized(const u8* block,
                                  const CompressionConfig& config,
                                  const MatchFn& match) {
+  CountMaterializedFallback();
   DecodedBlock decoded;
   DecompressBlock(block, &decoded, config);
   RoaringBitmap out;
@@ -369,6 +409,9 @@ RoaringBitmap AllRows(u32 count) {
 
 RoaringBitmap SelectEqualsInt(const u8* block, i32 value,
                               const CompressionConfig& config) {
+  BTR_TRACE_SPAN("btr.scan.select_int");
+  static obs::Histogram& hist = ScanHistogram("btr.scan.select_int_ns");
+  ScopedScanMetrics metrics(hist);
   BlockHeader h = Parse(block);
   BTR_CHECK(h.type == ColumnType::kInteger);
   if (NeedsNullCheck(h, value == 0)) {
@@ -451,6 +494,9 @@ RoaringBitmap SelectEqualsInt(const u8* block, i32 value,
 
 RoaringBitmap SelectEqualsDouble(const u8* block, double value,
                                  const CompressionConfig& config) {
+  BTR_TRACE_SPAN("btr.scan.select_double");
+  static obs::Histogram& hist = ScanHistogram("btr.scan.select_double_ns");
+  ScopedScanMetrics metrics(hist);
   BlockHeader h = Parse(block);
   BTR_CHECK(h.type == ColumnType::kDouble);
   u64 value_bits;
@@ -521,6 +567,9 @@ RoaringBitmap SelectEqualsDouble(const u8* block, double value,
 
 RoaringBitmap SelectEqualsString(const u8* block, std::string_view value,
                                  const CompressionConfig& config) {
+  BTR_TRACE_SPAN("btr.scan.select_string");
+  static obs::Histogram& hist = ScanHistogram("btr.scan.select_string_ns");
+  ScopedScanMetrics metrics(hist);
   BlockHeader h = Parse(block);
   BTR_CHECK(h.type == ColumnType::kString);
   if (NeedsNullCheck(h, value.empty())) {

@@ -8,6 +8,10 @@
 
 #include "util/types.h"
 
+namespace btr::obs {
+struct CascadeNode;  // obs/cascade_trace.h
+}  // namespace btr::obs
+
 namespace btr {
 
 // Persisted in compressed payloads: values must never change meaning.
@@ -45,12 +49,23 @@ const char* IntSchemeName(IntSchemeCode code);
 const char* DoubleSchemeName(DoubleSchemeCode code);
 const char* StringSchemeName(StringSchemeCode code);
 
+// Depth slots tracked by Telemetry::scheme_uses_by_depth. Cascade depth is
+// bounded by max_cascade_depth (default 3, so depths 0..3 including forced
+// uncompressed leaves); deeper configurations clamp into the last slot.
+inline constexpr u32 kTelemetryDepthSlots = 8;
+
 // Aggregated over one compression request when attached to the config.
+// Not synchronized: attach one Telemetry per thread when compressing in
+// parallel, or accept approximate counts.
 struct Telemetry {
   u64 stats_ns = 0;          // statistics collection (min/max/unique/runs)
   u64 estimate_ns = 0;       // sampling + per-scheme ratio estimation
   u64 compress_ns = 0;       // total compression time (includes the above)
   u64 scheme_uses[3][16] = {{0}};  // [type][scheme code] at cascade root
+  // [depth][type][scheme code] at *every* cascade level, so nested choices
+  // (e.g. the Bp128 compressing RLE run lengths) are visible. Depth 0 rows
+  // aggregate to scheme_uses.
+  u64 scheme_uses_by_depth[kTelemetryDepthSlots][3][16] = {{{0}}};
 
   void Reset() { *this = Telemetry(); }
 };
@@ -81,6 +96,12 @@ struct CompressionConfig {
   // Optional instrumentation sink; not owned.
   Telemetry* telemetry = nullptr;
 
+  // When true, block compression returns a full cascade decision tree
+  // (scheme, bytes in/out, estimated vs. actual ratio, and timings at
+  // every depth) through BlockCompressionInfo::trace and
+  // CompressedColumn::block_traces. See obs/cascade_trace.h.
+  bool collect_cascade_trace = false;
+
   u64 sampling_seed = 42;
 
   bool IntSchemeEnabled(IntSchemeCode c) const {
@@ -103,11 +124,19 @@ struct CompressionContext {
   // recursive sample compression — otherwise estimation fans out
   // exponentially and stops being the paper's ~1.2% of compression time.
   bool estimating = false;
+  // Cascade trace node the *current* compression call should attach its
+  // children to; null unless CompressionConfig::collect_cascade_trace.
+  // Owned by the caller that created the root (see datablock.cc).
+  obs::CascadeNode* trace = nullptr;
+
+  u8 Depth() const {
+    return static_cast<u8>(config->max_cascade_depth - remaining_cascades);
+  }
 
   CompressionContext Descend() const {
     BTR_DCHECK(remaining_cascades > 0);
     return CompressionContext{config, static_cast<u8>(remaining_cascades - 1),
-                              estimating};
+                              estimating, trace};
   }
 };
 

@@ -2,8 +2,12 @@
 
 #include <cstring>
 
+#include <atomic>
+
 #include "bitmap/roaring.h"
 #include "btr/scheme_picker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace btr {
@@ -55,19 +59,87 @@ void RecordTelemetry(const CompressionConfig& config, ColumnType type,
   config.telemetry->scheme_uses[static_cast<u8>(type)][root_scheme]++;
 }
 
+// Block-granular compression metrics (one histogram sample per block).
+void RecordCompressMetrics(u64 input_bytes, u64 output_bytes, u64 elapsed_ns) {
+  obs::Registry& registry = obs::Registry::Get();
+  static obs::Counter& blocks = registry.GetCounter("btr.compress.blocks");
+  static obs::Counter& in_bytes =
+      registry.GetCounter("btr.compress.input_bytes");
+  static obs::Counter& out_bytes =
+      registry.GetCounter("btr.compress.output_bytes");
+  static obs::Histogram& block_ns =
+      registry.GetHistogram("btr.compress.block_ns");
+  blocks.Add();
+  in_bytes.Add(input_bytes);
+  out_bytes.Add(output_bytes);
+  block_ns.Record(elapsed_ns);
+}
+
+// Per-(type, root scheme) decode timing histograms, cached after the first
+// registry lookup. The fill race is benign (same registry-owned pointer).
+obs::Histogram& DecodeHistogram(ColumnType type, u8 scheme) {
+  static auto* slots = new std::atomic<obs::Histogram*>[3][16]();
+  std::atomic<obs::Histogram*>& slot = slots[static_cast<u8>(type)][scheme];
+  obs::Histogram* h = slot.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    const char* type_tag = type == ColumnType::kInteger  ? "int"
+                           : type == ColumnType::kDouble ? "double"
+                                                         : "string";
+    const char* scheme_tag = "?";
+    switch (type) {
+      case ColumnType::kInteger:
+        scheme_tag = IntSchemeName(static_cast<IntSchemeCode>(scheme));
+        break;
+      case ColumnType::kDouble:
+        scheme_tag = DoubleSchemeName(static_cast<DoubleSchemeCode>(scheme));
+        break;
+      case ColumnType::kString:
+        scheme_tag = StringSchemeName(static_cast<StringSchemeCode>(scheme));
+        break;
+    }
+    h = &obs::Registry::Get().GetHistogram(std::string("btr.decompress.") +
+                                           type_tag + "." + scheme_tag + ".ns");
+    slot.store(h, std::memory_order_release);
+  }
+  return *h;
+}
+
+// Runs the block compression body with an optional cascade trace attached,
+// moving the resulting tree into `info`.
+template <typename BodyFn>
+void WithCascadeTrace(const CompressionConfig& config,
+                      BlockCompressionInfo* info, const BodyFn& body) {
+  if (info == nullptr || !config.collect_cascade_trace) {
+    CompressionContext ctx{&config, config.max_cascade_depth};
+    body(ctx);
+    return;
+  }
+  obs::CascadeNode holder;  // the real root is holder.children[0]
+  CompressionContext ctx{&config, config.max_cascade_depth, false, &holder};
+  body(ctx);
+  if (!holder.children.empty()) {
+    info->trace = std::move(holder.children.front());
+  }
+}
+
 }  // namespace
 
 size_t CompressIntBlock(const i32* values, const u8* null_flags, u32 count,
                         ByteBuffer* out, const CompressionConfig& config,
                         BlockCompressionInfo* info) {
+  BTR_TRACE_SPAN("btr.compress.block.int");
   Timer timer;
   size_t start = out->size();
   AppendHeader(ColumnType::kInteger, count, null_flags, out);
-  CompressionContext ctx{&config, config.max_cascade_depth};
   IntSchemeCode chosen;
-  CompressInts(values, count, out, ctx, &chosen);
+  WithCascadeTrace(config, info, [&](const CompressionContext& ctx) {
+    CompressInts(values, count, out, ctx, &chosen);
+  });
   RecordTelemetry(config, ColumnType::kInteger, static_cast<u8>(chosen),
                   timer.ElapsedNanos());
+  RecordCompressMetrics(static_cast<u64>(count) * sizeof(i32),
+                        out->size() - start,
+                        static_cast<u64>(timer.ElapsedNanos()));
   if (info != nullptr) {
     info->root_scheme = static_cast<u8>(chosen);
     info->compressed_bytes = out->size() - start;
@@ -78,14 +150,19 @@ size_t CompressIntBlock(const i32* values, const u8* null_flags, u32 count,
 size_t CompressDoubleBlock(const double* values, const u8* null_flags, u32 count,
                            ByteBuffer* out, const CompressionConfig& config,
                            BlockCompressionInfo* info) {
+  BTR_TRACE_SPAN("btr.compress.block.double");
   Timer timer;
   size_t start = out->size();
   AppendHeader(ColumnType::kDouble, count, null_flags, out);
-  CompressionContext ctx{&config, config.max_cascade_depth};
   DoubleSchemeCode chosen;
-  CompressDoubles(values, count, out, ctx, &chosen);
+  WithCascadeTrace(config, info, [&](const CompressionContext& ctx) {
+    CompressDoubles(values, count, out, ctx, &chosen);
+  });
   RecordTelemetry(config, ColumnType::kDouble, static_cast<u8>(chosen),
                   timer.ElapsedNanos());
+  RecordCompressMetrics(static_cast<u64>(count) * sizeof(double),
+                        out->size() - start,
+                        static_cast<u64>(timer.ElapsedNanos()));
   if (info != nullptr) {
     info->root_scheme = static_cast<u8>(chosen);
     info->compressed_bytes = out->size() - start;
@@ -96,14 +173,20 @@ size_t CompressDoubleBlock(const double* values, const u8* null_flags, u32 count
 size_t CompressStringBlock(const StringsView& values, const u8* null_flags,
                            ByteBuffer* out, const CompressionConfig& config,
                            BlockCompressionInfo* info) {
+  BTR_TRACE_SPAN("btr.compress.block.string");
   Timer timer;
   size_t start = out->size();
   AppendHeader(ColumnType::kString, values.count, null_flags, out);
-  CompressionContext ctx{&config, config.max_cascade_depth};
   StringSchemeCode chosen;
-  CompressStrings(values, out, ctx, &chosen);
+  WithCascadeTrace(config, info, [&](const CompressionContext& ctx) {
+    CompressStrings(values, out, ctx, &chosen);
+  });
   RecordTelemetry(config, ColumnType::kString, static_cast<u8>(chosen),
                   timer.ElapsedNanos());
+  RecordCompressMetrics(static_cast<u64>(values.TotalBytes()) +
+                            static_cast<u64>(values.count) * sizeof(u32),
+                        out->size() - start,
+                        static_cast<u64>(timer.ElapsedNanos()));
   if (info != nullptr) {
     info->root_scheme = static_cast<u8>(chosen);
     info->compressed_bytes = out->size() - start;
@@ -138,6 +221,8 @@ void DecodedBlock::Clear() {
 
 void DecompressBlock(const u8* data, DecodedBlock* out,
                      const CompressionConfig& config) {
+  BTR_TRACE_SPAN("btr.decompress.block");
+  Timer timer;
   Header h = ParseHeader(data);
   out->Clear();
   out->type = h.type;
@@ -162,6 +247,11 @@ void DecompressBlock(const u8* data, DecodedBlock* out,
       DecompressStrings(h.body, h.count, &out->strings, config);
       break;
   }
+  static obs::Counter& blocks =
+      obs::Registry::Get().GetCounter("btr.decompress.blocks");
+  blocks.Add();
+  DecodeHistogram(h.type, h.body[0])
+      .Record(static_cast<u64>(timer.ElapsedNanos()));
 }
 
 u8 PeekBlockScheme(const u8* data) {

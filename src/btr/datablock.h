@@ -15,6 +15,7 @@
 #include "btr/column.h"
 #include "btr/config.h"
 #include "btr/scheme.h"
+#include "obs/cascade_trace.h"
 
 namespace btr {
 
@@ -23,6 +24,9 @@ namespace btr {
 struct BlockCompressionInfo {
   u8 root_scheme = 0;
   size_t compressed_bytes = 0;
+  // Full cascade decision tree for this block; populated only when
+  // CompressionConfig::collect_cascade_trace is set.
+  obs::CascadeNode trace;
 };
 
 // null_flags may be nullptr (no NULLs). Returns bytes appended to out.

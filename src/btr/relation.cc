@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace btr {
 
 CompressedColumn CompressColumn(const Column& column,
                                 const CompressionConfig& config) {
+  BTR_TRACE_SPAN("btr.compress.column");
   CompressedColumn result;
   result.name = column.name();
   result.type = column.type();
@@ -39,6 +42,9 @@ CompressedColumn CompressColumn(const Column& column,
     result.blocks.push_back(std::move(block));
     result.block_value_counts.push_back(count);
     result.block_root_schemes.push_back(info.root_scheme);
+    if (config.collect_cascade_trace) {
+      result.block_traces.push_back(std::move(info.trace));
+    }
   }
   return result;
 }
@@ -58,6 +64,7 @@ CompressedRelation CompressRelation(const Relation& relation,
 
 u64 DecompressColumn(const CompressedColumn& column,
                      const CompressionConfig& config, DecodedBlock* scratch) {
+  BTR_TRACE_SPAN("btr.decompress.column");
   u64 bytes = 0;
   for (const ByteBuffer& block : column.blocks) {
     DecompressBlock(block.data(), scratch, config);

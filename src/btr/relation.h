@@ -48,6 +48,9 @@ struct CompressedColumn {
   std::vector<ByteBuffer> blocks;       // one buffer per 64k-value block
   std::vector<u32> block_value_counts;  // values per block
   std::vector<u8> block_root_schemes;   // root scheme code per block
+  // One cascade decision tree per block; only populated when the column
+  // was compressed with CompressionConfig::collect_cascade_trace.
+  std::vector<obs::CascadeNode> block_traces;
 
   u64 CompressedBytes() const {
     u64 total = 0;

@@ -1,8 +1,12 @@
 #include "btr/scheme_picker.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "bitpack/bitpack.h"
+#include "obs/cascade_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/bits.h"
 #include "util/timer.h"
 
@@ -111,6 +115,95 @@ StringSchemeCode QuickPickString(const StringStats& stats,
   return best;
 }
 
+// --- observability helpers -------------------------------------------------
+
+const char* TypeTag(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInteger: return "int";
+    case ColumnType::kDouble: return "double";
+    case ColumnType::kString: return "string";
+  }
+  return "?";
+}
+
+const char* SchemeTag(ColumnType type, u8 code) {
+  switch (type) {
+    case ColumnType::kInteger:
+      return IntSchemeName(static_cast<IntSchemeCode>(code));
+    case ColumnType::kDouble:
+      return DoubleSchemeName(static_cast<DoubleSchemeCode>(code));
+    case ColumnType::kString:
+      return StringSchemeName(static_cast<StringSchemeCode>(code));
+  }
+  return "?";
+}
+
+// Per-(phase, type, scheme) timing histograms, resolved through the
+// registry once and cached. The fill race is benign: every thread
+// resolves the same registry-owned pointer.
+struct SchemeHistTable {
+  std::atomic<obs::Histogram*> slots[3][16] = {};
+
+  obs::Histogram& For(const char* phase, ColumnType type, u8 code) {
+    std::atomic<obs::Histogram*>& slot = slots[static_cast<u8>(type)][code];
+    obs::Histogram* h = slot.load(std::memory_order_acquire);
+    if (h == nullptr) {
+      std::string name = std::string("btr.") + phase + "." + TypeTag(type) +
+                         "." + SchemeTag(type, code) + ".ns";
+      h = &obs::Registry::Get().GetHistogram(name);
+      slot.store(h, std::memory_order_release);
+    }
+    return *h;
+  }
+};
+
+obs::Histogram& EstimateHistogram(ColumnType type, u8 code) {
+  static SchemeHistTable* table = new SchemeHistTable();
+  return table->For("estimate", type, code);
+}
+
+obs::Histogram& CompressHistogram(ColumnType type, u8 code) {
+  static SchemeHistTable* table = new SchemeHistTable();
+  return table->For("compress", type, code);
+}
+
+// Depth-indexed scheme accounting (visible for nested cascade choices,
+// unlike the root-only Telemetry::scheme_uses aggregate).
+void RecordSchemeUse(const CompressionContext& ctx, ColumnType type, u8 code) {
+  if (ctx.config->telemetry == nullptr || ctx.estimating) return;
+  u32 depth = std::min<u32>(ctx.Depth(), kTelemetryDepthSlots - 1);
+  ctx.config->telemetry
+      ->scheme_uses_by_depth[depth][static_cast<u8>(type)][code]++;
+}
+
+// Opens a cascade trace child under ctx.trace (when tracing this call) and
+// rewires `inner` so nested CompressInts/Doubles/Strings attach below it.
+obs::CascadeNode* OpenTraceNode(CompressionContext* inner, ColumnType type,
+                                u32 value_count, u64 input_bytes) {
+  if (inner->trace == nullptr || inner->estimating) return nullptr;
+  inner->trace->children.emplace_back();
+  obs::CascadeNode* node = &inner->trace->children.back();
+  node->type = static_cast<u8>(type);
+  node->depth = inner->Depth();
+  node->value_count = value_count;
+  node->input_bytes = input_bytes;
+  inner->trace = node;
+  return node;
+}
+
+void CloseTraceNode(obs::CascadeNode* node, u8 scheme, u64 output_bytes,
+                    u64 compress_ns) {
+  node->scheme = scheme;
+  node->output_bytes = output_bytes;
+  node->compress_ns = compress_ns;
+  for (const obs::CascadeCandidate& c : node->candidates) {
+    if (c.scheme == scheme) {
+      node->estimated_ratio = c.estimated_ratio;
+      break;
+    }
+  }
+}
+
 // Shared selection loop. SchemeT is one of the three scheme interfaces;
 // EstimateFn evaluates one scheme against the precomputed stats/sample.
 template <typename CodeT, typename EstimateFn, typename EnabledFn>
@@ -136,41 +229,71 @@ CodeT SelectScheme(u32 scheme_count, const EstimateFn& estimate,
 
 namespace {
 IntSchemeCode PickIntSchemeImpl(const i32* in, u32 count,
-                                const CompressionContext& ctx) {
+                                const CompressionContext& ctx,
+                                obs::CascadeNode* node) {
   if (ctx.remaining_cascades == 0 || count == 0) {
     return IntSchemeCode::kUncompressed;
   }
   if (ctx.estimating) {
     return QuickPickInt(in, count, ComputeIntStats(in, count), *ctx.config);
   }
+  BTR_TRACE_SPAN("btr.pick.int");
   Timer stats_timer;
   IntStats stats = ComputeIntStats(in, count);
+  u64 stats_ns = static_cast<u64>(stats_timer.ElapsedNanos());
   if (ctx.config->telemetry != nullptr) {
-    ctx.config->telemetry->stats_ns += static_cast<u64>(stats_timer.ElapsedNanos());
+    ctx.config->telemetry->stats_ns += stats_ns;
   }
+  if (node != nullptr) node->stats_ns = stats_ns;
   Timer timer;
   IntSample sample = BuildIntSample(in, count, *ctx.config);
   IntSchemeCode code = SelectScheme<IntSchemeCode>(
       kIntSchemeCount,
       [&](IntSchemeCode c) {
-        return GetIntScheme(c).EstimateRatio(stats, sample, ctx);
+        Timer estimate_timer;
+        double ratio = GetIntScheme(c).EstimateRatio(stats, sample, ctx);
+        EstimateHistogram(ColumnType::kInteger, static_cast<u8>(c))
+            .Record(static_cast<u64>(estimate_timer.ElapsedNanos()));
+        if (node != nullptr) {
+          node->candidates.push_back({static_cast<u8>(c), ratio});
+        }
+        return ratio;
       },
       [&](IntSchemeCode c) { return ctx.config->IntSchemeEnabled(c); },
       IntSchemeCode::kUncompressed);
+  u64 estimate_ns = static_cast<u64>(timer.ElapsedNanos());
   if (ctx.config->telemetry != nullptr) {
-    ctx.config->telemetry->estimate_ns += static_cast<u64>(timer.ElapsedNanos());
+    ctx.config->telemetry->estimate_ns += estimate_ns;
   }
+  if (node != nullptr) node->estimate_ns = estimate_ns;
   return code;
 }
 }  // namespace
 
 size_t CompressInts(const i32* in, u32 count, ByteBuffer* out,
                     const CompressionContext& ctx, IntSchemeCode* chosen) {
-  IntSchemeCode code = PickIntSchemeImpl(in, count, ctx);
+  CompressionContext inner = ctx;
+  obs::CascadeNode* node =
+      OpenTraceNode(&inner, ColumnType::kInteger, count,
+                    static_cast<u64>(count) * sizeof(i32));
+  IntSchemeCode code = PickIntSchemeImpl(in, count, inner, node);
   if (chosen != nullptr) *chosen = code;
+  RecordSchemeUse(ctx, ColumnType::kInteger, static_cast<u8>(code));
   size_t start = out->size();
   out->AppendValue<u8>(static_cast<u8>(code));
-  GetIntScheme(code).Compress(in, count, out, ctx);
+  if (ctx.estimating) {
+    GetIntScheme(code).Compress(in, count, out, inner);
+  } else {
+    Timer compress_timer;
+    GetIntScheme(code).Compress(in, count, out, inner);
+    u64 compress_ns = static_cast<u64>(compress_timer.ElapsedNanos());
+    CompressHistogram(ColumnType::kInteger, static_cast<u8>(code))
+        .Record(compress_ns);
+    if (node != nullptr) {
+      CloseTraceNode(node, static_cast<u8>(code), out->size() - start,
+                     compress_ns);
+    }
+  }
   return out->size() - start;
 }
 
@@ -181,48 +304,78 @@ void DecompressInts(const u8* in, u32 count, i32* out) {
 IntSchemeCode PickIntScheme(const i32* in, u32 count,
                             const CompressionConfig& config) {
   CompressionContext ctx{&config, config.max_cascade_depth};
-  return PickIntSchemeImpl(in, count, ctx);
+  return PickIntSchemeImpl(in, count, ctx, nullptr);
 }
 
 // --- Doubles --------------------------------------------------------------------
 
 namespace {
 DoubleSchemeCode PickDoubleSchemeImpl(const double* in, u32 count,
-                                      const CompressionContext& ctx) {
+                                      const CompressionContext& ctx,
+                                      obs::CascadeNode* node) {
   if (ctx.remaining_cascades == 0 || count == 0) {
     return DoubleSchemeCode::kUncompressed;
   }
   if (ctx.estimating) {
     return QuickPickDouble(ComputeDoubleStats(in, count), *ctx.config);
   }
+  BTR_TRACE_SPAN("btr.pick.double");
   Timer stats_timer;
   DoubleStats stats = ComputeDoubleStats(in, count);
+  u64 stats_ns = static_cast<u64>(stats_timer.ElapsedNanos());
   if (ctx.config->telemetry != nullptr) {
-    ctx.config->telemetry->stats_ns += static_cast<u64>(stats_timer.ElapsedNanos());
+    ctx.config->telemetry->stats_ns += stats_ns;
   }
+  if (node != nullptr) node->stats_ns = stats_ns;
   Timer timer;
   DoubleSample sample = BuildDoubleSample(in, count, *ctx.config);
   DoubleSchemeCode code = SelectScheme<DoubleSchemeCode>(
       kDoubleSchemeCount,
       [&](DoubleSchemeCode c) {
-        return GetDoubleScheme(c).EstimateRatio(stats, sample, ctx);
+        Timer estimate_timer;
+        double ratio = GetDoubleScheme(c).EstimateRatio(stats, sample, ctx);
+        EstimateHistogram(ColumnType::kDouble, static_cast<u8>(c))
+            .Record(static_cast<u64>(estimate_timer.ElapsedNanos()));
+        if (node != nullptr) {
+          node->candidates.push_back({static_cast<u8>(c), ratio});
+        }
+        return ratio;
       },
       [&](DoubleSchemeCode c) { return ctx.config->DoubleSchemeEnabled(c); },
       DoubleSchemeCode::kUncompressed);
+  u64 estimate_ns = static_cast<u64>(timer.ElapsedNanos());
   if (ctx.config->telemetry != nullptr) {
-    ctx.config->telemetry->estimate_ns += static_cast<u64>(timer.ElapsedNanos());
+    ctx.config->telemetry->estimate_ns += estimate_ns;
   }
+  if (node != nullptr) node->estimate_ns = estimate_ns;
   return code;
 }
 }  // namespace
 
 size_t CompressDoubles(const double* in, u32 count, ByteBuffer* out,
                        const CompressionContext& ctx, DoubleSchemeCode* chosen) {
-  DoubleSchemeCode code = PickDoubleSchemeImpl(in, count, ctx);
+  CompressionContext inner = ctx;
+  obs::CascadeNode* node =
+      OpenTraceNode(&inner, ColumnType::kDouble, count,
+                    static_cast<u64>(count) * sizeof(double));
+  DoubleSchemeCode code = PickDoubleSchemeImpl(in, count, inner, node);
   if (chosen != nullptr) *chosen = code;
+  RecordSchemeUse(ctx, ColumnType::kDouble, static_cast<u8>(code));
   size_t start = out->size();
   out->AppendValue<u8>(static_cast<u8>(code));
-  GetDoubleScheme(code).Compress(in, count, out, ctx);
+  if (ctx.estimating) {
+    GetDoubleScheme(code).Compress(in, count, out, inner);
+  } else {
+    Timer compress_timer;
+    GetDoubleScheme(code).Compress(in, count, out, inner);
+    u64 compress_ns = static_cast<u64>(compress_timer.ElapsedNanos());
+    CompressHistogram(ColumnType::kDouble, static_cast<u8>(code))
+        .Record(compress_ns);
+    if (node != nullptr) {
+      CloseTraceNode(node, static_cast<u8>(code), out->size() - start,
+                     compress_ns);
+    }
+  }
   return out->size() - start;
 }
 
@@ -234,48 +387,79 @@ void DecompressDoubles(const u8* in, u32 count, double* out) {
 DoubleSchemeCode PickDoubleScheme(const double* in, u32 count,
                                   const CompressionConfig& config) {
   CompressionContext ctx{&config, config.max_cascade_depth};
-  return PickDoubleSchemeImpl(in, count, ctx);
+  return PickDoubleSchemeImpl(in, count, ctx, nullptr);
 }
 
 // --- Strings --------------------------------------------------------------------
 
 namespace {
 StringSchemeCode PickStringSchemeImpl(const StringsView& in,
-                                      const CompressionContext& ctx) {
+                                      const CompressionContext& ctx,
+                                      obs::CascadeNode* node) {
   if (ctx.remaining_cascades == 0 || in.count == 0) {
     return StringSchemeCode::kUncompressed;
   }
   if (ctx.estimating) {
     return QuickPickString(ComputeStringStats(in), *ctx.config);
   }
+  BTR_TRACE_SPAN("btr.pick.string");
   Timer stats_timer;
   StringStats stats = ComputeStringStats(in);
+  u64 stats_ns = static_cast<u64>(stats_timer.ElapsedNanos());
   if (ctx.config->telemetry != nullptr) {
-    ctx.config->telemetry->stats_ns += static_cast<u64>(stats_timer.ElapsedNanos());
+    ctx.config->telemetry->stats_ns += stats_ns;
   }
+  if (node != nullptr) node->stats_ns = stats_ns;
   Timer timer;
   StringSample sample = BuildStringSample(in, *ctx.config);
   StringSchemeCode code = SelectScheme<StringSchemeCode>(
       kStringSchemeCount,
       [&](StringSchemeCode c) {
-        return GetStringScheme(c).EstimateRatio(stats, sample, ctx);
+        Timer estimate_timer;
+        double ratio = GetStringScheme(c).EstimateRatio(stats, sample, ctx);
+        EstimateHistogram(ColumnType::kString, static_cast<u8>(c))
+            .Record(static_cast<u64>(estimate_timer.ElapsedNanos()));
+        if (node != nullptr) {
+          node->candidates.push_back({static_cast<u8>(c), ratio});
+        }
+        return ratio;
       },
       [&](StringSchemeCode c) { return ctx.config->StringSchemeEnabled(c); },
       StringSchemeCode::kUncompressed);
+  u64 estimate_ns = static_cast<u64>(timer.ElapsedNanos());
   if (ctx.config->telemetry != nullptr) {
-    ctx.config->telemetry->estimate_ns += static_cast<u64>(timer.ElapsedNanos());
+    ctx.config->telemetry->estimate_ns += estimate_ns;
   }
+  if (node != nullptr) node->estimate_ns = estimate_ns;
   return code;
 }
 }  // namespace
 
 size_t CompressStrings(const StringsView& in, ByteBuffer* out,
                        const CompressionContext& ctx, StringSchemeCode* chosen) {
-  StringSchemeCode code = PickStringSchemeImpl(in, ctx);
+  CompressionContext inner = ctx;
+  obs::CascadeNode* node = OpenTraceNode(
+      &inner, ColumnType::kString, in.count,
+      static_cast<u64>(in.TotalBytes()) +
+          static_cast<u64>(in.count) * sizeof(u32));
+  StringSchemeCode code = PickStringSchemeImpl(in, inner, node);
   if (chosen != nullptr) *chosen = code;
+  RecordSchemeUse(ctx, ColumnType::kString, static_cast<u8>(code));
   size_t start = out->size();
   out->AppendValue<u8>(static_cast<u8>(code));
-  GetStringScheme(code).Compress(in, out, ctx);
+  if (ctx.estimating) {
+    GetStringScheme(code).Compress(in, out, inner);
+  } else {
+    Timer compress_timer;
+    GetStringScheme(code).Compress(in, out, inner);
+    u64 compress_ns = static_cast<u64>(compress_timer.ElapsedNanos());
+    CompressHistogram(ColumnType::kString, static_cast<u8>(code))
+        .Record(compress_ns);
+    if (node != nullptr) {
+      CloseTraceNode(node, static_cast<u8>(code), out->size() - start,
+                     compress_ns);
+    }
+  }
   return out->size() - start;
 }
 
@@ -288,7 +472,7 @@ void DecompressStrings(const u8* in, u32 count, DecodedStrings* out,
 StringSchemeCode PickStringScheme(const StringsView& in,
                                   const CompressionConfig& config) {
   CompressionContext ctx{&config, config.max_cascade_depth};
-  return PickStringSchemeImpl(in, ctx);
+  return PickStringSchemeImpl(in, ctx, nullptr);
 }
 
 }  // namespace btr

@@ -1,6 +1,42 @@
 #include "exec/thread_pool.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace btr::exec {
+
+namespace {
+
+// Pool metrics, shared by every pool in the process: tasks spend time in
+// the queue (wait) and then on a worker (run); queue_depth tracks tasks
+// submitted but not yet started.
+struct PoolMetrics {
+  obs::Gauge& queue_depth;
+  obs::Counter& tasks;
+  obs::Counter& task_exceptions;
+  obs::Histogram& task_wait_ns;
+  obs::Histogram& task_run_ns;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = [] {
+      obs::Registry& r = obs::Registry::Get();
+      return new PoolMetrics{r.GetGauge("exec.pool.queue_depth"),
+                             r.GetCounter("exec.pool.tasks"),
+                             r.GetCounter("exec.pool.task_exceptions"),
+                             r.GetHistogram("exec.pool.task_wait_ns"),
+                             r.GetHistogram("exec.pool.task_run_ns")};
+    }();
+    return *m;
+  }
+};
+
+u64 NanosSince(std::chrono::steady_clock::time_point t) {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t)
+                              .count());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(u32 thread_count) {
   if (thread_count == 0) {
@@ -24,20 +60,30 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push(std::move(task));
+    queue_.push(QueuedTask{std::move(task), std::chrono::steady_clock::now()});
     pending_++;
   }
+  PoolMetrics::Get().queue_depth.Add(1);
   work_available_.notify_one();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return pending_ == 0; });
+  std::exception_ptr exception;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return pending_ == 0; });
+    // Hand the exception to exactly one waiter and reset, so the pool
+    // stays usable for the next batch.
+    exception = first_exception_;
+    first_exception_ = nullptr;
+  }
+  if (exception) std::rethrow_exception(exception);
 }
 
 void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = PoolMetrics::Get();
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -45,9 +91,26 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    metrics.queue_depth.Add(-1);
+    metrics.task_wait_ns.Record(NanosSince(task.enqueued_at));
+    auto run_start = std::chrono::steady_clock::now();
+    std::exception_ptr thrown;
+    {
+      BTR_TRACE_SPAN("exec.pool.task");
+      try {
+        task.fn();
+      } catch (...) {
+        // Tasks run detached from their submitter; an escaping exception
+        // would std::terminate the worker. Park the first one for Wait().
+        thrown = std::current_exception();
+      }
+    }
+    metrics.task_run_ns.Record(NanosSince(run_start));
+    metrics.tasks.Add();
+    if (thrown) metrics.task_exceptions.Add();
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (thrown && !first_exception_) first_exception_ = thrown;
       pending_--;
       if (pending_ == 0) all_done_.notify_all();
     }

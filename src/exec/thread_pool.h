@@ -3,7 +3,9 @@
 #ifndef BTR_EXEC_THREAD_POOL_H_
 #define BTR_EXEC_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -26,25 +28,34 @@ class ThreadPool {
   // Enqueues a task; tasks may not block on other tasks.
   void Submit(std::function<void()> task);
 
-  // Blocks until every submitted task has finished.
+  // Blocks until every submitted task has finished. If any task threw, the
+  // *first* exception is rethrown here (once) instead of terminating the
+  // worker; remaining tasks still run to completion first.
   void Wait();
 
   u32 thread_count() const { return static_cast<u32>(threads_.size()); }
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   u64 pending_ = 0;
+  std::exception_ptr first_exception_;  // guarded by mutex_
   bool shutdown_ = false;
 };
 
 // Runs fn(i) for i in [begin, end) across the pool, blocking until done.
-// With a null pool or a single thread, runs inline.
+// With a null pool or a single thread, runs inline. An exception thrown by
+// fn propagates to the caller in both modes (from Wait() when pooled).
 void ParallelFor(ThreadPool* pool, u64 begin, u64 end,
                  const std::function<void(u64)>& fn);
 

@@ -1,0 +1,90 @@
+// Cascade decision trace: a per-block tree recording, at every cascade
+// depth, which scheme was chosen, how many bytes went in and came out,
+// what the sample-based ratio estimate promised versus what compression
+// delivered (the estimate error the paper's Figures 5/6 reason about),
+// and where the time went (stats / estimation / compression).
+//
+// Collection is opt-in: set CompressionConfig::collect_cascade_trace and
+// the per-block tree is returned through BlockCompressionInfo::trace and
+// CompressedColumn::block_traces. The hot path with collection disabled
+// pays one null-pointer check per cascade level.
+#ifndef BTR_OBS_CASCADE_TRACE_H_
+#define BTR_OBS_CASCADE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace btr::obs {
+
+// One scheme the picker evaluated at a cascade node, with its
+// sample-estimated compression ratio (0 = ruled out by statistics).
+struct CascadeCandidate {
+  u8 scheme = 0;
+  double estimated_ratio = 0.0;
+};
+
+// One node of the per-block cascade tree. `scheme` codes are the
+// persisted per-type codes from btr/config.h; `type` is the ColumnType
+// value of the vector this node compressed (cascade children of a string
+// dictionary are integer code vectors, so types vary within one tree).
+struct CascadeNode {
+  u8 type = 0;
+  u8 depth = 0;
+  u8 scheme = 0;
+  u32 value_count = 0;
+  u64 input_bytes = 0;
+  u64 output_bytes = 0;           // includes the 1-byte scheme tag
+  double estimated_ratio = 0.0;   // sample estimate for the chosen scheme
+  u64 stats_ns = 0;               // statistics collection
+  u64 estimate_ns = 0;            // sampling + per-scheme estimation
+  u64 compress_ns = 0;            // whole node including children
+  std::vector<CascadeCandidate> candidates;
+  std::vector<CascadeNode> children;
+
+  double ActualRatio() const {
+    return output_bytes == 0 ? 0.0
+                             : static_cast<double>(input_bytes) /
+                                   static_cast<double>(output_bytes);
+  }
+
+  // Relative estimate error: (estimated - actual) / actual. Positive =
+  // the sample promised more compression than the block delivered.
+  // 0 when either side is unavailable (e.g. forced uncompressed leaves).
+  double EstimateError() const {
+    double actual = ActualRatio();
+    if (actual == 0.0 || estimated_ratio == 0.0) return 0.0;
+    return (estimated_ratio - actual) / actual;
+  }
+
+  // Nodes in this subtree, including this one.
+  u32 NodeCount() const {
+    u32 n = 1;
+    for (const CascadeNode& c : children) n += c.NodeCount();
+    return n;
+  }
+
+  u32 MaxDepth() const {
+    u32 deepest = depth;
+    for (const CascadeNode& c : children) {
+      u32 d = c.MaxDepth();
+      if (d > deepest) deepest = d;
+    }
+    return deepest;
+  }
+};
+
+// Human-readable indented tree, one line per node:
+//   RLE            64000 values  256.0KiB -> 12.3KiB  20.81x (est 21.40x, err +2.8%)
+//     ├─ Bp128 ...
+// Scheme codes are rendered through the per-type name tables.
+std::string CascadeTreeToString(const CascadeNode& root, int indent = 0);
+
+// Compact JSON object (recursive) for sidecar files and tooling.
+void AppendCascadeJson(const CascadeNode& node, std::string* out);
+std::string CascadeTreeToJson(const CascadeNode& root);
+
+}  // namespace btr::obs
+
+#endif  // BTR_OBS_CASCADE_TRACE_H_

@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace btr::obs {
+
+namespace {
+
+struct ThreadBuffer {
+  std::mutex mutex;  // uncontended except during export
+  u32 tid = 0;
+  std::vector<SpanRecord> spans;
+};
+
+struct TracerState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  u32 next_tid = 1;
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+};
+
+TracerState& State() {
+  static TracerState* state = new TracerState();  // leaky
+  return *state;
+}
+
+// Owned by a shared_ptr in both the thread-local handle (so records never
+// dangle) and the global list (so spans survive thread exit for export).
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TracerState& state = State();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    b->tid = state.next_tid++;
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+Tracer::Tracer() { State(); }
+
+Tracer& Tracer::Get() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+u64 Tracer::NowNanos() const {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - State().epoch)
+                              .count());
+}
+
+void Tracer::RecordSpan(const char* name, u64 start_ns, u64 end_ns) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.spans.push_back(SpanRecord{name, start_ns, end_ns});
+}
+
+size_t Tracer::SpanCount() const {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  size_t total = 0;
+  for (const auto& b : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(b->mutex);
+    total += b->spans.size();
+  }
+  return total;
+}
+
+void Tracer::Reset() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& b : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(b->mutex);
+    b->spans.clear();
+  }
+}
+
+std::string Tracer::ExportChromeJson() const {
+  // One "B"/"E" pair per span. Within a thread, spans nest by RAII scope,
+  // so sorting all events by timestamp yields a valid trace; ties are
+  // broken so "E" sorts before "B" at equal timestamps (zero-length spans
+  // close before the next one opens).
+  struct Event {
+    u64 ns;
+    bool begin;
+    u32 tid;
+    const char* name;
+    u64 pair_ns;  // matching begin ts, stabilizes E-before-B nesting
+  };
+  std::vector<Event> events;
+  {
+    TracerState& state = State();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (const auto& b : state.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(b->mutex);
+      for (const SpanRecord& s : b->spans) {
+        events.push_back(Event{s.start_ns, true, b->tid, s.name, s.end_ns});
+        events.push_back(Event{s.end_ns, false, b->tid, s.name, s.start_ns});
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.ns != b.ns) return a.ns < b.ns;
+    // Close inner spans before opening/closing outer ones.
+    if (a.begin != b.begin) return !a.begin;
+    return false;
+  });
+
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out += ",";
+    first = false;
+    // Timestamps are microseconds (Chrome trace convention), with
+    // fractional precision preserved.
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"%s\",\"cat\":\"btr\",\"ph\":\"%c\","
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f}",
+                  e.name, e.begin ? 'B' : 'E', e.tid,
+                  static_cast<double>(e.ns) / 1000.0);
+    out += buf;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool WriteChromeTraceFile(const std::string& path) {
+  std::string json = Tracer::Get().ExportChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace btr::obs

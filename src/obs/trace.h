@@ -1,0 +1,101 @@
+// Scoped-span tracer with Chrome trace-event ("chrome://tracing" /
+// Perfetto) JSON export.
+//
+//   BTR_TRACE_SPAN("compress.column");         // RAII span, static name
+//   ...
+//   obs::Tracer::Get().ExportChromeJson();     // or WriteChromeTraceFile
+//
+// Spans record thread-aware begin/end events into per-thread buffers; the
+// exporter merges them into one {"traceEvents": [...]} document with "B"
+// and "E" phase events (strictly balanced by construction).
+//
+// Two gates keep the cost out of hot loops:
+//   - runtime: spans record nothing until Tracer::Get().Enable() is called
+//     (one relaxed atomic load when disabled);
+//   - compile time: building with -DBTR_ENABLE_TRACING=OFF (CMake option)
+//     compiles BTR_TRACE_SPAN to nothing.
+//
+// Span names must be string literals (or otherwise outlive the tracer) —
+// the tracer stores the pointer, not a copy.
+#ifndef BTR_OBS_TRACE_H_
+#define BTR_OBS_TRACE_H_
+
+#include <atomic>
+#include <string>
+
+#include "util/types.h"
+
+namespace btr::obs {
+
+struct SpanRecord {
+  const char* name;
+  u64 start_ns;  // relative to tracer epoch
+  u64 end_ns;
+};
+
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Appends one completed span for the calling thread.
+  void RecordSpan(const char* name, u64 start_ns, u64 end_ns);
+
+  // Nanoseconds since the tracer epoch (process-global steady clock).
+  u64 NowNanos() const;
+
+  // Total spans recorded across all threads.
+  size_t SpanCount() const;
+
+  // Drops all recorded spans (buffers of live threads are kept registered).
+  void Reset();
+
+  // {"traceEvents":[...],"displayTimeUnit":"ms"} with B/E event pairs.
+  std::string ExportChromeJson() const;
+
+ private:
+  Tracer();
+  std::atomic<bool> enabled_{false};
+};
+
+// Writes Tracer::Get().ExportChromeJson() to `path`; false on IO error.
+bool WriteChromeTraceFile(const std::string& path);
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    Tracer& tracer = Tracer::Get();
+    if (tracer.enabled()) {
+      name_ = name;
+      start_ns_ = tracer.NowNanos();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      Tracer& tracer = Tracer::Get();
+      tracer.RecordSpan(name_, start_ns_, tracer.NowNanos());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  u64 start_ns_ = 0;
+};
+
+}  // namespace btr::obs
+
+#if BTR_ENABLE_TRACING
+#define BTR_TRACE_CONCAT_(a, b) a##b
+#define BTR_TRACE_CONCAT(a, b) BTR_TRACE_CONCAT_(a, b)
+#define BTR_TRACE_SPAN(name) \
+  ::btr::obs::ScopedSpan BTR_TRACE_CONCAT(btr_trace_span_, __LINE__)(name)
+#else
+#define BTR_TRACE_SPAN(name) ((void)0)
+#endif
+
+#endif  // BTR_OBS_TRACE_H_

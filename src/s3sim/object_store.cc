@@ -3,7 +3,38 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace btr::s3sim {
+
+namespace {
+
+// Per-GET observability: request count, ranged-GET size distribution, and
+// both the *modeled* network latency (what the cost model charges) and the
+// *measured* in-memory serve time.
+struct GetMetrics {
+  obs::Counter& requests;
+  obs::Counter& bytes_total;
+  obs::Histogram& bytes;
+  obs::Histogram& modeled_network_ns;
+  obs::Histogram& serve_ns;
+
+  static GetMetrics& Get() {
+    static GetMetrics* m = [] {
+      obs::Registry& r = obs::Registry::Get();
+      return new GetMetrics{r.GetCounter("s3.get.requests"),
+                            r.GetCounter("s3.get.bytes_total"),
+                            r.GetHistogram("s3.get.bytes"),
+                            r.GetHistogram("s3.get.modeled_network_ns"),
+                            r.GetHistogram("s3.get.serve_ns")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 void ObjectStore::Put(const std::string& key, const u8* data, size_t size) {
   objects_[key].assign(data, data + size);
@@ -21,6 +52,8 @@ size_t ObjectStore::ObjectSize(const std::string& key) const {
 
 void ObjectStore::GetChunk(const std::string& key, u64 offset, u64 length,
                            std::vector<u8>* out) {
+  BTR_TRACE_SPAN("s3.get_chunk");
+  Timer timer;
   auto it = objects_.find(key);
   BTR_CHECK_MSG(it != objects_.end(), "object not found");
   const std::vector<u8>& object = it->second;
@@ -30,11 +63,19 @@ void ObjectStore::GetChunk(const std::string& key, u64 offset, u64 length,
   std::memcpy(out->data(), object.data() + offset, length);
   total_requests_++;
   total_bytes_fetched_ += length;
-  network_seconds_ +=
+  double modeled_seconds =
       static_cast<double>(length) * 8.0 / (config_.network_gbps * 1e9);
+  network_seconds_ += modeled_seconds;
+  GetMetrics& metrics = GetMetrics::Get();
+  metrics.requests.Add();
+  metrics.bytes_total.Add(length);
+  metrics.bytes.Record(length);
+  metrics.modeled_network_ns.Record(static_cast<u64>(modeled_seconds * 1e9));
+  metrics.serve_ns.Record(static_cast<u64>(timer.ElapsedNanos()));
 }
 
 void ObjectStore::GetObject(const std::string& key, std::vector<u8>* out) {
+  BTR_TRACE_SPAN("s3.get_object");
   size_t size = ObjectSize(key);
   out->clear();
   out->reserve(size);

@@ -1,7 +1,9 @@
-// Thread pool tests: completion, parallel_for coverage, reuse.
+// Thread pool tests: completion, parallel_for coverage, reuse,
+// exception propagation.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "exec/thread_pool.h"
@@ -47,6 +49,46 @@ TEST(ThreadPoolTest, EmptyRange) {
   bool ran = false;
   ParallelFor(&pool, 5, 5, [&](u64) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesToWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(
+      {
+        try {
+          pool.Wait();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotAbortOtherTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; i++) {
+    pool.Submit([&counter, i] {
+      if (i == 17) throw std::runtime_error("boom");
+      counter.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // Every non-throwing task still ran to completion.
+  EXPECT_EQ(counter.load(), 99);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("first batch"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The exception was consumed by the first Wait(); the pool keeps working.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; i++) pool.Submit([&counter] { counter++; });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(counter.load(), 50);
 }
 
 TEST(ThreadPoolTest, DestructionWithPendingWaitCompletes) {
