@@ -107,7 +107,9 @@ inline FormatResult MeasureParquetLike(const std::vector<Relation>& corpus,
   for (int repeat = 0; repeat < kDecompressRepeats; repeat++) {
     Timer timer;
     for (const ByteBuffer& f : files) {
-      lakeformat::DecodeParquetLikeBytes(f.data(), f.size());
+      u64 bytes = 0;
+      Status status = lakeformat::DecodeParquetLikeBytes(f.data(), f.size(), &bytes);
+      BTR_CHECK_MSG(status.ok(), "parquet-like bench file failed to decode");
     }
     best = std::min(best, timer.ElapsedSeconds());
   }
@@ -132,7 +134,9 @@ inline FormatResult MeasureOrcLike(const std::vector<Relation>& corpus,
   for (int repeat = 0; repeat < kDecompressRepeats; repeat++) {
     Timer timer;
     for (const ByteBuffer& f : files) {
-      lakeformat::DecodeOrcLikeBytes(f.data(), f.size());
+      u64 bytes = 0;
+      Status status = lakeformat::DecodeOrcLikeBytes(f.data(), f.size(), &bytes);
+      BTR_CHECK_MSG(status.ok(), "orc-like bench file failed to decode");
     }
     best = std::min(best, timer.ElapsedSeconds());
   }

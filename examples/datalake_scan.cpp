@@ -1,8 +1,10 @@
 // Data-lake scan scenario (the paper's introduction): a table lives as
 // one compressed file per column in an S3-like object store; an analytics
 // engine fetches only the columns a query touches, decompresses them, and
-// aggregates. Prints fetched bytes, GET-request accounting and the modeled
-// scan cost — the metrics behind the paper's Figure 1.
+// aggregates. Everything below goes through btr::Scanner — the pipelined
+// scan engine described in docs/SCAN_PIPELINE.md — instead of hand-rolled
+// GET loops: zone-map pruning, ranged GETs, compressed-form predicate
+// evaluation and multi-threaded decoding all happen behind Scan().
 //
 //   ./datalake_scan
 #include <cstdio>
@@ -10,32 +12,27 @@
 #include <vector>
 
 #include "btr/btrblocks.h"
-#include "btr/compressed_scan.h"
-#include "btr/zonemap.h"
 #include "datagen/public_bi.h"
 #include "s3sim/object_store.h"
-#include "util/timer.h"
 
 int main() {
   using namespace btr;
 
-  // 1. Produce a Public-BI-like table and upload it column by column.
+  // 1. Produce a Public-BI-like table and upload it: one object per
+  //    column plus the table metadata and the zone-map sidecar.
   Relation table = datagen::MakePublicBiTable("sales", 256000, 7);
   CompressionConfig config;
   CompressedRelation compressed = CompressRelation(table, config);
+  TableZoneMap zones;
+  for (const Column& column : table.columns()) {
+    zones.columns.push_back(ComputeColumnZoneMap(column));
+  }
 
   s3sim::ObjectStore store;
-  for (size_t c = 0; c < compressed.columns.size(); c++) {
-    const CompressedColumn& column = compressed.columns[c];
-    ByteBuffer file;
-    file.AppendValue<u32>(static_cast<u32>(column.blocks.size()));
-    for (const ByteBuffer& block : column.blocks) {
-      file.AppendValue<u32>(static_cast<u32>(block.size()));
-    }
-    for (const ByteBuffer& block : column.blocks) {
-      file.Append(block.data(), block.size());
-    }
-    store.Put("lake/sales/" + column.name, file.data(), file.size());
+  Status status = UploadCompressedRelation(compressed, &zones, "lake/", &store);
+  if (!status.ok()) {
+    std::printf("upload failed: %s\n", status.ToString().c_str());
+    return 1;
   }
   std::printf("uploaded %zu column objects, %.2f MiB compressed "
               "(%.2f MiB in memory, ratio %.1fx)\n",
@@ -44,74 +41,67 @@ int main() {
               table.UncompressedBytes() / 1048576.0,
               compressed.CompressionRatio());
 
-  // 2. "SELECT sum(d_*), count(*) FROM sales" touching two columns:
-  //    fetch only those objects, decompress, aggregate.
-  std::vector<std::string> query_columns;
-  for (const CompressedColumn& column : compressed.columns) {
-    if (column.type == ColumnType::kDouble && query_columns.size() < 2) {
-      query_columns.push_back(column.name);
-    }
+  Scanner scanner(&store, "sales", "lake/");
+  status = scanner.Open();
+  if (!status.ok()) {
+    std::printf("open failed: %s\n", status.ToString().c_str());
+    return 1;
   }
 
-  Timer timer;
+  // 2. "SELECT sum(d_*), count(*) FROM sales" touching two columns: the
+  //    projection makes the scanner fetch only those objects. Chunks are
+  //    aggregated as they stream out of the pipeline.
+  ScanSpec spec;
+  for (const CompressedColumn& column : compressed.columns) {
+    if (column.type == ColumnType::kDouble && spec.columns.size() < 2) {
+      spec.columns.push_back(column.name);
+    }
+  }
+  spec.config.scan_threads = 4;
+
   double sum = 0;
   u64 rows = 0;
-  for (const std::string& name : query_columns) {
-    std::vector<u8> object;
-    store.GetObject("lake/sales/" + name, &object);
-    // Copy into a padded buffer (decoders may read a few bytes past the
-    // payload; ByteBuffer guarantees that slack).
-    ByteBuffer padded;
-    padded.Append(object.data(), object.size());
-    const u8* p = padded.data();
-    u32 block_count;
-    std::memcpy(&block_count, p, 4);
-    const u8* sizes = p + 4;
-    const u8* payload = sizes + 4ull * block_count;
-    DecodedBlock block;
-    for (u32 b = 0; b < block_count; b++) {
-      u32 size;
-      std::memcpy(&size, sizes + 4ull * b, 4);
-      DecompressBlock(payload, &block, config);
-      payload += size;
-      for (u32 i = 0; i < block.count; i++) {
-        if (!block.IsNull(i)) sum += block.doubles[i];
-      }
-      rows += block.count;
-    }
+  ScanStats stats;
+  status = scanner.Scan(
+      spec,
+      [&](ColumnChunk&& chunk) {
+        for (u32 i = 0; i < chunk.values.count; i++) {
+          if (!chunk.values.IsNull(i)) sum += chunk.values.doubles[i];
+        }
+        if (chunk.column == 0) rows += chunk.row_count;
+      },
+      &stats);
+  if (!status.ok()) {
+    std::printf("scan failed: %s\n", status.ToString().c_str());
+    return 1;
   }
-  double decompress_seconds = timer.ElapsedSeconds();
 
   std::printf("query touched %zu columns, %llu values, sum=%.2f\n",
-              query_columns.size(), static_cast<unsigned long long>(rows), sum);
-  std::printf("fetched %.2f MiB in %llu GET requests\n",
-              store.total_bytes_fetched() / 1048576.0,
-              static_cast<unsigned long long>(store.total_requests()));
+              spec.columns.size(), static_cast<unsigned long long>(rows), sum);
+  std::printf("fetched %.2f MiB in %llu GET requests, %.3f s pipelined\n",
+              stats.bytes_fetched / 1048576.0,
+              static_cast<unsigned long long>(stats.requests), stats.seconds);
 
   // 3. Cost of this scan under the paper's cloud model.
   s3sim::ScanMeasurement m;
-  m.compressed_bytes = store.total_bytes_fetched();
+  m.compressed_bytes = stats.bytes_fetched;
   m.uncompressed_bytes = rows * sizeof(double);
-  m.single_thread_decompress_seconds = decompress_seconds;
+  m.single_thread_decompress_seconds = stats.seconds;
   s3sim::ScanResult r = s3sim::SimulateScan(m, store.config());
   std::printf("modeled scan: %.4f s, $%.8f (%s-bound), T_r %.1f GB/s\n",
               r.seconds, r.cost_usd, r.network_bound ? "network" : "CPU",
               r.tr_gbps);
 
   // 4. Point query with zone-map pruning: "count(*) WHERE i_col = probe".
-  //    Zone maps live outside the data (paper Section 2.1); only blocks
-  //    whose [min, max] may contain the probe are fetched — with *ranged*
-  //    GETs — and counted directly on the compressed form (Section 7).
+  //    The predicate is evaluated on the *compressed* form (Section 7);
+  //    zone maps (Section 2.1) prune blocks before any GET is issued.
   {
     // Choose the integer column (and probe) where zone pruning skips the
     // most blocks — clustered columns (e.g. sequential ids) prune best.
     const Column* int_column = nullptr;
-    size_t int_index = 0;
-    ColumnZoneMap zones;
     i32 probe = 0;
     size_t best_pruned = 0;
-    for (size_t c = 0; c < table.columns().size(); c++) {
-      const Column& candidate = table.columns()[c];
+    for (const Column& candidate : table.columns()) {
       if (candidate.type() != ColumnType::kInteger) continue;
       ColumnZoneMap candidate_zones = ComputeColumnZoneMap(candidate);
       i32 candidate_probe = candidate.ints()[candidate.size() - 1];
@@ -121,42 +111,29 @@ int main() {
       }
       if (int_column == nullptr || pruned > best_pruned) {
         int_column = &candidate;
-        int_index = c;
-        zones = std::move(candidate_zones);
         probe = candidate_probe;
         best_pruned = pruned;
       }
     }
 
-    const CompressedColumn& cc = compressed.columns[int_index];
-    // Block byte offsets inside the column object (header layout above).
-    u64 header_bytes = 4 + 4ull * cc.blocks.size();
-    std::vector<u64> offsets{header_bytes};
-    for (const ByteBuffer& block : cc.blocks) {
-      offsets.push_back(offsets.back() + block.size());
-    }
-
-    store.ResetAccounting();
-    u32 fetched_blocks = 0;
-    u64 matches = 0;
-    std::vector<u8> chunk;
-    for (size_t b = 0; b < cc.blocks.size(); b++) {
-      if (!ZoneMayContainInt(zones.zones[b], probe)) continue;  // pruned
-      fetched_blocks++;
-      store.GetChunk("lake/sales/" + cc.name, offsets[b],
-                     offsets[b + 1] - offsets[b], &chunk);
-      ByteBuffer padded;
-      padded.Append(chunk.data(), chunk.size());
-      matches += CountEqualsInt(padded.data(), probe, config);
+    ScanSpec point;
+    point.columns = {int_column->name()};
+    point.predicates.push_back(Predicate::EqualsInt(int_column->name(), probe));
+    ScanOutput output;
+    status = scanner.Scan(point, &output);
+    if (!status.ok()) {
+      std::printf("point query failed: %s\n", status.ToString().c_str());
+      return 1;
     }
     std::printf(
-        "\npoint query on '%s' = %d: zone maps pruned %zu of %zu blocks, "
-        "%u ranged GETs (%.1f KiB), %llu matches counted on compressed "
+        "\npoint query on '%s' = %d: zone maps pruned %u of %u blocks, "
+        "%llu ranged GETs (%.1f KiB), %llu matches found on compressed "
         "blocks\n",
-        cc.name.c_str(), probe, cc.blocks.size() - fetched_blocks,
-        cc.blocks.size(), fetched_blocks,
-        store.total_bytes_fetched() / 1024.0,
-        static_cast<unsigned long long>(matches));
+        int_column->name().c_str(), probe, output.stats.blocks_pruned,
+        output.stats.row_blocks,
+        static_cast<unsigned long long>(output.stats.requests),
+        output.stats.bytes_fetched / 1024.0,
+        static_cast<unsigned long long>(output.stats.rows_matched));
   }
   return 0;
 }

@@ -61,7 +61,10 @@ int main(int argc, char** argv) {
     ByteBuffer file = lakeformat::WriteParquetLike(table, options);
     double compress_seconds = ct.ElapsedSeconds();
     Timer dt;
-    u64 bytes = lakeformat::DecodeParquetLikeBytes(file.data(), file.size());
+    u64 bytes = 0;
+    btr::Status status =
+        lakeformat::DecodeParquetLikeBytes(file.data(), file.size(), &bytes);
+    BTR_CHECK_MSG(status.ok(), "parquet-like file failed to decode");
     Print(Row{name, file.size() / 1048576.0, compress_seconds,
               bytes / dt.ElapsedSeconds() / 1e9},
           uncompressed_mib);
@@ -76,7 +79,10 @@ int main(int argc, char** argv) {
     ByteBuffer file = lakeformat::WriteOrcLike(table, options);
     double compress_seconds = ct.ElapsedSeconds();
     Timer dt;
-    u64 bytes = lakeformat::DecodeOrcLikeBytes(file.data(), file.size());
+    u64 bytes = 0;
+    btr::Status status =
+        lakeformat::DecodeOrcLikeBytes(file.data(), file.size(), &bytes);
+    BTR_CHECK_MSG(status.ok(), "orc-like file failed to decode");
     Print(Row{name, file.size() / 1048576.0, compress_seconds,
               bytes / dt.ElapsedSeconds() / 1e9},
           uncompressed_mib);

@@ -21,8 +21,10 @@
 #include "btr/config.h"        // IWYU pragma: export
 #include "btr/datablock.h"     // IWYU pragma: export
 #include "btr/file_format.h"   // IWYU pragma: export
+#include "btr/predicate.h"     // IWYU pragma: export
 #include "btr/relation.h"      // IWYU pragma: export
 #include "btr/sampling.h"      // IWYU pragma: export
+#include "btr/scanner.h"       // IWYU pragma: export
 #include "btr/scheme_picker.h" // IWYU pragma: export
 #include "btr/stats.h"         // IWYU pragma: export
 

@@ -11,6 +11,14 @@
 //               when the code vector is RLE-compressed)
 // Other root schemes fall back to decompress-and-count, so the functions
 // are exact for every block.
+//
+// DEPRECATED surface: the nine per-type free functions below are the
+// implementation kernels behind the typed btr::Predicate API
+// (btr/predicate.h: ZoneMayMatch / CountMatches / SelectMatches /
+// HasFastPath) that btr::Scanner consumes. New code should build a
+// Predicate and go through that surface — or through Scanner + ScanSpec
+// for whole-table scans — instead of calling these shims directly. They
+// are kept for existing callers and the kernel-level tests/benches.
 #ifndef BTR_BTR_COMPRESSED_SCAN_H_
 #define BTR_BTR_COMPRESSED_SCAN_H_
 

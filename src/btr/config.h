@@ -3,6 +3,27 @@
 // The scheme pool is configurable per type (a bitmask) because the paper's
 // Figure 4 experiment grows the pool one scheme at a time and measures the
 // effect on ratio and decompression speed.
+//
+// --- configuration story ----------------------------------------------------
+// The library has three tunable surfaces, each owning one concern:
+//
+//   CompressionConfig (this header)    how blocks are compressed: cascade
+//                                      depth, sampling, enabled schemes,
+//                                      instrumentation sinks.
+//   ScanConfig        (this header)    how btr::Scanner executes a scan:
+//                                      decode threads, fetch threads, and
+//                                      the prefetch depth of the bounded
+//                                      queue between the stages.
+//   s3sim::S3Config   (s3sim/object_store.h)
+//                                      the modeled cloud: NIC bandwidth,
+//                                      GET billing, chunk size, and the
+//                                      optional wall-clock simulation the
+//                                      pipelined engine measures against.
+//
+// btr::ScanSpec (btr/scanner.h) describes *what* to scan — projection
+// columns and typed predicates (btr/predicate.h) — and embeds a ScanConfig
+// for the *how*. btrtool exposes the ScanConfig knobs as --scan-threads
+// and --prefetch-depth; defaults live here so every entry point agrees.
 #ifndef BTR_BTR_CONFIG_H_
 #define BTR_BTR_CONFIG_H_
 
@@ -113,6 +134,15 @@ struct CompressionConfig {
   bool StringSchemeEnabled(StringSchemeCode c) const {
     return (string_schemes >> static_cast<u32>(c)) & 1;
   }
+};
+
+// How btr::Scanner pipelines a scan (see the configuration story above).
+// Defaults favor a laptop-class box: enough fetch concurrency to hide
+// object-store latency, a queue deep enough to keep decoders busy.
+struct ScanConfig {
+  u32 scan_threads = 0;    // decode workers; 0 = hardware concurrency
+  u32 fetch_threads = 4;   // concurrent ranged GETs the prefetcher issues
+  u32 prefetch_depth = 8;  // blocks buffered between fetch and decode
 };
 
 // Per-call compression state threaded through cascade recursion.

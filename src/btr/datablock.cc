@@ -259,4 +259,31 @@ u8 PeekBlockScheme(const u8* data) {
   return h.body[0];
 }
 
+Status ValidateBlock(const u8* data, size_t size, ColumnType expected_type,
+                     u32 expected_count) {
+  // Header is [u8 type][u32 count][u32 null_bytes], then the null bitmap,
+  // then at least one scheme-code byte.
+  if (size < 10) return Status::Corruption("block truncated: no header");
+  if (data[0] > 2) return Status::Corruption("block has invalid type byte");
+  Header h = ParseHeader(data);
+  if (h.type != expected_type) {
+    return Status::Corruption("block type does not match column type");
+  }
+  if (h.count != expected_count || h.count > kBlockCapacity) {
+    return Status::Corruption("block value count does not match metadata");
+  }
+  if (9ull + h.null_bytes + 1 > size) {
+    return Status::Corruption("block null bitmap exceeds block size");
+  }
+  u8 scheme = h.body[0];
+  bool scheme_ok = false;
+  switch (h.type) {
+    case ColumnType::kInteger: scheme_ok = scheme < kIntSchemeCount; break;
+    case ColumnType::kDouble: scheme_ok = scheme < kDoubleSchemeCount; break;
+    case ColumnType::kString: scheme_ok = scheme < kStringSchemeCount; break;
+  }
+  if (!scheme_ok) return Status::Corruption("block has unknown root scheme");
+  return Status::Ok();
+}
+
 }  // namespace btr

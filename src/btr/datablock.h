@@ -16,6 +16,7 @@
 #include "btr/config.h"
 #include "btr/scheme.h"
 #include "obs/cascade_trace.h"
+#include "util/status.h"
 
 namespace btr {
 
@@ -66,6 +67,16 @@ void DecompressBlock(const u8* data, DecodedBlock* out,
 
 // Root scheme code of a serialized block (after type/count/null header).
 u8 PeekBlockScheme(const u8* data);
+
+// Structural validation of one serialized block, for data that crossed a
+// network or disk boundary (btr::Scanner runs this before handing blocks
+// to decode workers). Checks the header — type byte, value count, null
+// bitmap extent — and that the root scheme code exists for the type,
+// without decoding anything. DecompressBlock assumes validated input and
+// BTR_CHECK-aborts on garbage; this turns the common corruptions into a
+// Status instead.
+Status ValidateBlock(const u8* data, size_t size, ColumnType expected_type,
+                     u32 expected_count);
 
 }  // namespace btr
 

@@ -18,19 +18,44 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-Status WriteAll(std::FILE* f, const void* data, size_t len) {
-  if (len > 0 && std::fwrite(data, 1, len, f) != len) {
-    return Status::IoError("short write");
+Status WriteBufferToFile(const ByteBuffer& buffer, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  if (buffer.size() > 0 &&
+      std::fwrite(buffer.data(), 1, buffer.size(), f.get()) != buffer.size()) {
+    return Status::IoError("short write to " + path);
   }
   return Status::Ok();
 }
 
-Status ReadAll(std::FILE* f, void* data, size_t len) {
-  if (len > 0 && std::fread(data, 1, len, f) != len) {
-    return Status::IoError("short read");
+Status ReadFileToBuffer(const std::string& path, ByteBuffer* out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::NotFound(path + " missing");
+  std::fseek(f.get(), 0, SEEK_END);
+  long size = std::ftell(f.get());
+  if (size < 0) return Status::IoError("cannot stat " + path);
+  std::fseek(f.get(), 0, SEEK_SET);
+  out->Resize(static_cast<size_t>(size));
+  if (size > 0 && std::fread(out->data(), 1, out->size(), f.get()) !=
+                      static_cast<size_t>(size)) {
+    return Status::IoError("short read from " + path);
   }
   return Status::Ok();
 }
+
+// Bounds-checked cursor over a parse buffer.
+struct Reader {
+  const u8* p;
+  size_t remaining;
+
+  bool Read(void* dst, size_t n) {
+    if (n > remaining) return false;
+    std::memcpy(dst, p, n);
+    p += n;
+    remaining -= n;
+    return true;
+  }
+};
 
 std::string ColumnPath(const std::string& directory, const std::string& table,
                        size_t column_index) {
@@ -43,78 +68,117 @@ std::string MetaPath(const std::string& directory, const std::string& table) {
 
 }  // namespace
 
-Status WriteCompressedRelation(const CompressedRelation& relation,
-                               const std::string& directory) {
-  // Metadata file.
-  {
-    FilePtr f(std::fopen(MetaPath(directory, relation.name).c_str(), "wb"));
-    if (f == nullptr) return Status::IoError("cannot open metadata file");
-    BTR_RETURN_IF_ERROR(WriteAll(f.get(), kMetaMagic, 4));
-    u32 column_count = static_cast<u32>(relation.columns.size());
-    BTR_RETURN_IF_ERROR(WriteAll(f.get(), &column_count, 4));
-    BTR_RETURN_IF_ERROR(WriteAll(f.get(), &relation.row_count, 4));
-    for (const CompressedColumn& column : relation.columns) {
-      u16 name_len = static_cast<u16>(column.name.size());
-      BTR_RETURN_IF_ERROR(WriteAll(f.get(), &name_len, 2));
-      BTR_RETURN_IF_ERROR(WriteAll(f.get(), column.name.data(), name_len));
-      u8 type = static_cast<u8>(column.type);
-      BTR_RETURN_IF_ERROR(WriteAll(f.get(), &type, 1));
-      BTR_RETURN_IF_ERROR(WriteAll(f.get(), &column.uncompressed_bytes, 8));
-      u32 block_count = static_cast<u32>(column.blocks.size());
-      BTR_RETURN_IF_ERROR(WriteAll(f.get(), &block_count, 4));
-      BTR_RETURN_IF_ERROR(WriteAll(f.get(), column.block_value_counts.data(),
-                                   block_count * sizeof(u32)));
+std::string TableMetaKey(const std::string& prefix, const std::string& table) {
+  return prefix + table + ".btrmeta";
+}
+
+std::string ColumnFileKey(const std::string& prefix, const std::string& table,
+                          size_t column_index) {
+  return prefix + table + "." + std::to_string(column_index) + ".btr";
+}
+
+std::string ZoneMapKey(const std::string& prefix, const std::string& table) {
+  return prefix + table + ".zones";
+}
+
+void SerializeTableMeta(const CompressedRelation& relation, ByteBuffer* out) {
+  out->Append(kMetaMagic, 4);
+  out->AppendValue<u32>(static_cast<u32>(relation.columns.size()));
+  out->AppendValue<u32>(relation.row_count);
+  for (const CompressedColumn& column : relation.columns) {
+    out->AppendValue<u16>(static_cast<u16>(column.name.size()));
+    out->Append(column.name.data(), column.name.size());
+    out->AppendValue<u8>(static_cast<u8>(column.type));
+    out->AppendValue<u64>(column.uncompressed_bytes);
+    out->AppendValue<u32>(static_cast<u32>(column.blocks.size()));
+    out->Append(column.block_value_counts.data(),
+                column.block_value_counts.size() * sizeof(u32));
+  }
+}
+
+Status ParseTableMeta(const u8* data, size_t size, TableMeta* out) {
+  Reader r{data, size};
+  char magic[4];
+  if (!r.Read(magic, 4) || std::memcmp(magic, kMetaMagic, 4) != 0) {
+    return Status::Corruption("bad metadata magic");
+  }
+  u32 column_count;
+  if (!r.Read(&column_count, 4) || !r.Read(&out->row_count, 4)) {
+    return Status::Corruption("truncated metadata header");
+  }
+  out->columns.clear();
+  out->columns.resize(column_count);
+  for (TableMeta::ColumnMeta& column : out->columns) {
+    u16 name_len;
+    if (!r.Read(&name_len, 2)) return Status::Corruption("truncated metadata");
+    column.name.resize(name_len);
+    u8 type;
+    if (!r.Read(column.name.data(), name_len) || !r.Read(&type, 1)) {
+      return Status::Corruption("truncated metadata");
+    }
+    if (type > 2) return Status::Corruption("bad column type");
+    column.type = static_cast<ColumnType>(type);
+    u32 block_count;
+    if (!r.Read(&column.uncompressed_bytes, 8) || !r.Read(&block_count, 4)) {
+      return Status::Corruption("truncated metadata");
+    }
+    column.block_value_counts.resize(block_count);
+    if (!r.Read(column.block_value_counts.data(), block_count * sizeof(u32))) {
+      return Status::Corruption("truncated metadata");
     }
   }
-  // One file per column.
+  return Status::Ok();
+}
+
+void SerializeColumnFile(const CompressedColumn& column, ByteBuffer* out) {
+  out->Append(kColumnMagic, 4);
+  out->AppendValue<u32>(static_cast<u32>(column.blocks.size()));
+  for (const ByteBuffer& block : column.blocks) {
+    out->AppendValue<u32>(static_cast<u32>(block.size()));
+  }
+  for (const ByteBuffer& block : column.blocks) {
+    out->Append(block.data(), block.size());
+  }
+}
+
+Status ParseColumnFileHeader(const u8* data, size_t size,
+                             std::vector<u32>* block_sizes) {
+  Reader r{data, size};
+  char magic[4];
+  if (!r.Read(magic, 4) || std::memcmp(magic, kColumnMagic, 4) != 0) {
+    return Status::Corruption("bad column magic");
+  }
+  u32 block_count;
+  if (!r.Read(&block_count, 4)) {
+    return Status::Corruption("truncated column header");
+  }
+  block_sizes->resize(block_count);
+  if (!r.Read(block_sizes->data(), block_count * sizeof(u32))) {
+    return Status::Corruption("truncated column block sizes");
+  }
+  return Status::Ok();
+}
+
+Status WriteCompressedRelation(const CompressedRelation& relation,
+                               const std::string& directory) {
+  ByteBuffer buffer;
+  SerializeTableMeta(relation, &buffer);
+  BTR_RETURN_IF_ERROR(
+      WriteBufferToFile(buffer, MetaPath(directory, relation.name)));
   for (size_t i = 0; i < relation.columns.size(); i++) {
-    const CompressedColumn& column = relation.columns[i];
-    FilePtr f(std::fopen(ColumnPath(directory, relation.name, i).c_str(), "wb"));
-    if (f == nullptr) return Status::IoError("cannot open column file");
-    BTR_RETURN_IF_ERROR(WriteAll(f.get(), kColumnMagic, 4));
-    u32 block_count = static_cast<u32>(column.blocks.size());
-    BTR_RETURN_IF_ERROR(WriteAll(f.get(), &block_count, 4));
-    for (const ByteBuffer& block : column.blocks) {
-      u32 size = static_cast<u32>(block.size());
-      BTR_RETURN_IF_ERROR(WriteAll(f.get(), &size, 4));
-    }
-    for (const ByteBuffer& block : column.blocks) {
-      BTR_RETURN_IF_ERROR(WriteAll(f.get(), block.data(), block.size()));
-    }
+    buffer.Clear();
+    SerializeColumnFile(relation.columns[i], &buffer);
+    BTR_RETURN_IF_ERROR(
+        WriteBufferToFile(buffer, ColumnPath(directory, relation.name, i)));
   }
   return Status::Ok();
 }
 
 Status ReadTableMeta(const std::string& directory,
                      const std::string& table_name, TableMeta* out) {
-  FilePtr f(std::fopen(MetaPath(directory, table_name).c_str(), "rb"));
-  if (f == nullptr) return Status::NotFound("metadata file missing");
-  char magic[4];
-  BTR_RETURN_IF_ERROR(ReadAll(f.get(), magic, 4));
-  if (std::memcmp(magic, kMetaMagic, 4) != 0) {
-    return Status::Corruption("bad metadata magic");
-  }
-  u32 column_count;
-  BTR_RETURN_IF_ERROR(ReadAll(f.get(), &column_count, 4));
-  BTR_RETURN_IF_ERROR(ReadAll(f.get(), &out->row_count, 4));
-  out->columns.resize(column_count);
-  for (TableMeta::ColumnMeta& column : out->columns) {
-    u16 name_len;
-    BTR_RETURN_IF_ERROR(ReadAll(f.get(), &name_len, 2));
-    column.name.resize(name_len);
-    BTR_RETURN_IF_ERROR(ReadAll(f.get(), column.name.data(), name_len));
-    u8 type;
-    BTR_RETURN_IF_ERROR(ReadAll(f.get(), &type, 1));
-    if (type > 2) return Status::Corruption("bad column type");
-    column.type = static_cast<ColumnType>(type);
-    BTR_RETURN_IF_ERROR(ReadAll(f.get(), &column.uncompressed_bytes, 8));
-    u32 block_count;
-    BTR_RETURN_IF_ERROR(ReadAll(f.get(), &block_count, 4));
-    column.block_value_counts.resize(block_count);
-    BTR_RETURN_IF_ERROR(ReadAll(f.get(), column.block_value_counts.data(),
-                                block_count * sizeof(u32)));
-  }
-  return Status::Ok();
+  ByteBuffer buffer;
+  BTR_RETURN_IF_ERROR(ReadFileToBuffer(MetaPath(directory, table_name), &buffer));
+  return ParseTableMeta(buffer.data(), buffer.size(), out);
 }
 
 Status ReadCompressedColumn(const std::string& directory,
@@ -130,27 +194,25 @@ Status ReadCompressedColumn(const std::string& directory,
   out->uncompressed_bytes = cm.uncompressed_bytes;
   out->block_value_counts = cm.block_value_counts;
 
-  FilePtr f(
-      std::fopen(ColumnPath(directory, table_name, column_index).c_str(), "rb"));
-  if (f == nullptr) return Status::NotFound("column file missing");
-  char magic[4];
-  BTR_RETURN_IF_ERROR(ReadAll(f.get(), magic, 4));
-  if (std::memcmp(magic, kColumnMagic, 4) != 0) {
-    return Status::Corruption("bad column magic");
-  }
-  u32 block_count;
-  BTR_RETURN_IF_ERROR(ReadAll(f.get(), &block_count, 4));
-  if (block_count != cm.block_value_counts.size()) {
+  ByteBuffer file;
+  BTR_RETURN_IF_ERROR(
+      ReadFileToBuffer(ColumnPath(directory, table_name, column_index), &file));
+  std::vector<u32> sizes;
+  BTR_RETURN_IF_ERROR(ParseColumnFileHeader(file.data(), file.size(), &sizes));
+  if (sizes.size() != cm.block_value_counts.size()) {
     return Status::Corruption("metadata/column block count mismatch");
   }
-  std::vector<u32> sizes(block_count);
-  BTR_RETURN_IF_ERROR(ReadAll(f.get(), sizes.data(), block_count * sizeof(u32)));
+  u64 offset = ColumnFileHeaderBytes(sizes.size());
   out->blocks.clear();
-  out->blocks.reserve(block_count);
-  out->block_root_schemes.resize(block_count);
-  for (u32 b = 0; b < block_count; b++) {
-    ByteBuffer block(sizes[b]);  // keeps SIMD read padding
-    BTR_RETURN_IF_ERROR(ReadAll(f.get(), block.data(), sizes[b]));
+  out->blocks.reserve(sizes.size());
+  out->block_root_schemes.resize(sizes.size());
+  for (size_t b = 0; b < sizes.size(); b++) {
+    if (offset + sizes[b] > file.size()) {
+      return Status::Corruption("column file truncated");
+    }
+    ByteBuffer block;  // copy keeps SIMD read padding per block
+    block.Append(file.data() + offset, sizes[b]);
+    offset += sizes[b];
     out->block_root_schemes[b] = PeekBlockScheme(block.data());
     out->blocks.push_back(std::move(block));
   }

@@ -50,6 +50,31 @@ Status ReadCompressedColumn(const std::string& directory,
                             const TableMeta& meta, size_t column_index,
                             CompressedColumn* out);
 
+// --- in-memory framing -------------------------------------------------------
+// The same byte layouts the files use, exposed buffer-to-buffer so tables
+// can live in an object store: btr::Scanner uploads column files as
+// objects and reads them back with ranged GETs (header first, then only
+// the block payloads that survive zone-map pruning).
+void SerializeTableMeta(const CompressedRelation& relation, ByteBuffer* out);
+Status ParseTableMeta(const u8* data, size_t size, TableMeta* out);
+
+void SerializeColumnFile(const CompressedColumn& column, ByteBuffer* out);
+// Parses a column file's "BTRC" header prefix: per-block byte sizes.
+// `size` is the bytes available; the header prefix suffices.
+Status ParseColumnFileHeader(const u8* data, size_t size,
+                             std::vector<u32>* block_sizes);
+// Bytes before the first block payload in a column file.
+inline u64 ColumnFileHeaderBytes(u64 block_count) {
+  return 8 + 4 * block_count;
+}
+
+// Object keys btr::Scanner and UploadCompressedRelation agree on. The
+// prefix is any object-store path prefix, e.g. "lake/".
+std::string TableMetaKey(const std::string& prefix, const std::string& table);
+std::string ColumnFileKey(const std::string& prefix, const std::string& table,
+                          size_t column_index);
+std::string ZoneMapKey(const std::string& prefix, const std::string& table);
+
 }  // namespace btr
 
 #endif  // BTR_BTR_FILE_FORMAT_H_

@@ -1,0 +1,50 @@
+#include "btr/predicate.h"
+
+#include "btr/compressed_scan.h"
+
+namespace btr {
+
+bool ZoneMayMatch(const BlockZone& zone, const Predicate& predicate) {
+  switch (predicate.type) {
+    case ColumnType::kInteger:
+      return ZoneMayContainInt(zone, predicate.int_value);
+    case ColumnType::kDouble:
+      return ZoneMayContainDouble(zone, predicate.double_value);
+    case ColumnType::kString:
+      return ZoneMayContainString(zone, predicate.string_value);
+  }
+  return true;
+}
+
+u32 CountMatches(const u8* block, const Predicate& predicate,
+                 const CompressionConfig& config) {
+  switch (predicate.type) {
+    case ColumnType::kInteger:
+      return CountEqualsInt(block, predicate.int_value, config);
+    case ColumnType::kDouble:
+      return CountEqualsDouble(block, predicate.double_value, config);
+    case ColumnType::kString:
+      return CountEqualsString(block, predicate.string_value, config);
+  }
+  return 0;
+}
+
+RoaringBitmap SelectMatches(const u8* block, const Predicate& predicate,
+                            const CompressionConfig& config) {
+  switch (predicate.type) {
+    case ColumnType::kInteger:
+      return SelectEqualsInt(block, predicate.int_value, config);
+    case ColumnType::kDouble:
+      return SelectEqualsDouble(block, predicate.double_value, config);
+    case ColumnType::kString:
+      return SelectEqualsString(block, predicate.string_value, config);
+  }
+  return RoaringBitmap();
+}
+
+bool HasFastPath(const u8* block, const Predicate& predicate) {
+  (void)predicate;  // today only equality exists; all kernels share the path
+  return HasFastEqualsPath(block);
+}
+
+}  // namespace btr

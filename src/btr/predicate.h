@@ -1,0 +1,84 @@
+// Typed predicates — the single surface btr::Scanner (and new code in
+// general) uses for filtering. A Predicate names a column, carries a typed
+// comparison value, and knows how to answer three questions:
+//
+//   ZoneMayMatch(zone, p)          can block `zone` contain a match? (pruning)
+//   SelectMatches(block, p, cfg)   matching row positions of one compressed
+//                                  block as a selection vector, evaluated on
+//                                  the compressed form when the root scheme
+//                                  allows (paper Section 7)
+//   CountMatches(block, p, cfg)    just the match count
+//
+// This folds the nine per-type free functions of compressed_scan.h
+// (CountEquals{Int,Double,String}, SelectEquals{...}, HasFastEqualsPath)
+// behind one typed API; those functions remain as the implementation
+// kernels and as deprecated shims for existing callers.
+#ifndef BTR_BTR_PREDICATE_H_
+#define BTR_BTR_PREDICATE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bitmap/roaring.h"
+#include "btr/column.h"
+#include "btr/config.h"
+#include "btr/zonemap.h"
+
+namespace btr {
+
+struct Predicate {
+  enum class Op : u8 {
+    kEquals = 0,  // col = value (NULL never matches; SQL semantics)
+  };
+
+  std::string column;  // column name, resolved against table metadata
+  ColumnType type = ColumnType::kInteger;
+  Op op = Op::kEquals;
+  i32 int_value = 0;
+  double double_value = 0;
+  std::string string_value;
+
+  static Predicate EqualsInt(std::string column, i32 value) {
+    Predicate p;
+    p.column = std::move(column);
+    p.type = ColumnType::kInteger;
+    p.int_value = value;
+    return p;
+  }
+  static Predicate EqualsDouble(std::string column, double value) {
+    Predicate p;
+    p.column = std::move(column);
+    p.type = ColumnType::kDouble;
+    p.double_value = value;
+    return p;
+  }
+  static Predicate EqualsString(std::string column, std::string value) {
+    Predicate p;
+    p.column = std::move(column);
+    p.type = ColumnType::kString;
+    p.string_value = std::move(value);
+    return p;
+  }
+};
+
+// Conservative zone-map pruning: false means no row of the block can
+// match, true means some row may.
+bool ZoneMayMatch(const BlockZone& zone, const Predicate& predicate);
+
+// Exact match count for one serialized block, using the compressed-form
+// fast paths of compressed_scan.h when the root scheme permits.
+u32 CountMatches(const u8* block, const Predicate& predicate,
+                 const CompressionConfig& config);
+
+// Matching row positions of one serialized block as a selection vector.
+RoaringBitmap SelectMatches(const u8* block, const Predicate& predicate,
+                            const CompressionConfig& config);
+
+// True when `block`'s root scheme admits a sub-linear evaluation (no full
+// materialization) for this predicate.
+bool HasFastPath(const u8* block, const Predicate& predicate);
+
+}  // namespace btr
+
+#endif  // BTR_BTR_PREDICATE_H_

@@ -1,0 +1,495 @@
+#include "btr/scanner.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "btr/datablock.h"
+#include "exec/pipeline.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace btr {
+
+namespace {
+
+struct ScanMetrics {
+  obs::Counter& row_blocks;
+  obs::Counter& blocks_pruned;
+  obs::Counter& blocks_skipped;
+  obs::Counter& blocks_decoded;
+  obs::Counter& rows_matched;
+
+  static ScanMetrics& Get() {
+    static ScanMetrics* m = [] {
+      obs::Registry& r = obs::Registry::Get();
+      return new ScanMetrics{r.GetCounter("scan.row_blocks"),
+                             r.GetCounter("scan.blocks_pruned"),
+                             r.GetCounter("scan.blocks_skipped"),
+                             r.GetCounter("scan.blocks_decoded"),
+                             r.GetCounter("scan.rows_matched")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+Status UploadCompressedRelation(const CompressedRelation& relation,
+                                const TableZoneMap* zones,
+                                const std::string& prefix,
+                                s3sim::ObjectStore* store) {
+  if (store == nullptr) return Status::InvalidArgument("null object store");
+  ByteBuffer buffer;
+  SerializeTableMeta(relation, &buffer);
+  store->Put(TableMetaKey(prefix, relation.name), buffer.data(), buffer.size());
+  for (size_t c = 0; c < relation.columns.size(); c++) {
+    buffer.Clear();
+    SerializeColumnFile(relation.columns[c], &buffer);
+    store->Put(ColumnFileKey(prefix, relation.name, c), buffer.data(),
+               buffer.size());
+  }
+  if (zones != nullptr) {
+    if (zones->columns.size() != relation.columns.size()) {
+      return Status::InvalidArgument("zone map does not match relation");
+    }
+    buffer.Clear();
+    SerializeTableZoneMap(*zones, &buffer);
+    store->Put(ZoneMapKey(prefix, relation.name), buffer.data(), buffer.size());
+  }
+  return Status::Ok();
+}
+
+Scanner::Scanner(s3sim::ObjectStore* store, std::string table_name,
+                 std::string prefix, const CompressionConfig& config)
+    : store_(store),
+      table_name_(std::move(table_name)),
+      prefix_(std::move(prefix)),
+      config_(config) {}
+
+Status Scanner::Open() {
+  if (store_ == nullptr) return Status::InvalidArgument("null object store");
+  const std::string meta_key = TableMetaKey(prefix_, table_name_);
+  if (!store_->Contains(meta_key)) {
+    return Status::NotFound("table metadata object missing: " + meta_key);
+  }
+  std::vector<u8> blob;
+  store_->GetChunk(meta_key, 0, store_->ObjectSize(meta_key), &blob);
+  BTR_RETURN_IF_ERROR(ParseTableMeta(blob.data(), blob.size(), &meta_));
+
+  const std::string zone_key = ZoneMapKey(prefix_, table_name_);
+  has_zones_ = store_->Contains(zone_key);
+  if (has_zones_) {
+    store_->GetChunk(zone_key, 0, store_->ObjectSize(zone_key), &blob);
+    BTR_RETURN_IF_ERROR(ParseTableZoneMap(blob.data(), blob.size(), &zones_));
+    if (zones_.columns.size() != meta_.columns.size()) {
+      return Status::Corruption("zone map column count mismatch");
+    }
+  }
+
+  // One small ranged GET per column: the "BTRC" header with per-block byte
+  // sizes, turned into payload offsets for the block-granular GETs Scan()
+  // issues later.
+  block_offsets_.assign(meta_.columns.size(), {});
+  for (size_t c = 0; c < meta_.columns.size(); c++) {
+    const std::string key = ColumnFileKey(prefix_, table_name_, c);
+    if (!store_->Contains(key)) {
+      return Status::NotFound("column object missing: " + key);
+    }
+    u64 block_count = meta_.columns[c].block_value_counts.size();
+    u64 header_bytes = ColumnFileHeaderBytes(block_count);
+    store_->GetChunk(key, 0, header_bytes, &blob);
+    std::vector<u32> sizes;
+    BTR_RETURN_IF_ERROR(ParseColumnFileHeader(blob.data(), blob.size(), &sizes));
+    if (sizes.size() != block_count) {
+      return Status::Corruption("metadata/column block count mismatch: " + key);
+    }
+    std::vector<u64>& offsets = block_offsets_[c];
+    offsets.resize(block_count + 1);
+    offsets[0] = header_bytes;
+    for (u64 b = 0; b < block_count; b++) {
+      offsets[b + 1] = offsets[b] + sizes[b];
+    }
+  }
+  opened_ = true;
+  return Status::Ok();
+}
+
+struct Scanner::ResolvedSpec {
+  std::vector<u32> projection;  // table column indices, output order
+  std::vector<u32> needed;      // union of projection + predicate columns
+  // Position of each projection entry inside `needed`.
+  std::vector<u32> projection_pos;
+  // (predicate, position inside `needed`).
+  std::vector<std::pair<const Predicate*, u32>> predicates;
+  u32 row_blocks = 0;
+  std::vector<u32> block_rows;  // values per row block
+};
+
+Status Scanner::ResolveSpec(const ScanSpec& spec, ResolvedSpec* out) const {
+  if (!opened_) return Status::InvalidArgument("Scanner::Open() not called");
+
+  auto find_column = [this](const std::string& name, u32* index) {
+    for (size_t c = 0; c < meta_.columns.size(); c++) {
+      if (meta_.columns[c].name == name) {
+        *index = static_cast<u32>(c);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (spec.columns.empty()) {
+    for (size_t c = 0; c < meta_.columns.size(); c++) {
+      out->projection.push_back(static_cast<u32>(c));
+    }
+  } else {
+    for (const std::string& name : spec.columns) {
+      u32 index;
+      if (!find_column(name, &index)) {
+        return Status::NotFound("projection column not found: " + name);
+      }
+      out->projection.push_back(index);
+    }
+  }
+
+  auto needed_pos = [out](u32 table_index) {
+    for (size_t i = 0; i < out->needed.size(); i++) {
+      if (out->needed[i] == table_index) return static_cast<u32>(i);
+    }
+    out->needed.push_back(table_index);
+    return static_cast<u32>(out->needed.size() - 1);
+  };
+  for (u32 index : out->projection) {
+    out->projection_pos.push_back(needed_pos(index));
+  }
+  for (const Predicate& predicate : spec.predicates) {
+    u32 index;
+    if (!find_column(predicate.column, &index)) {
+      return Status::NotFound("predicate column not found: " + predicate.column);
+    }
+    if (meta_.columns[index].type != predicate.type) {
+      return Status::InvalidArgument(
+          "predicate type does not match column type: " + predicate.column);
+    }
+    out->predicates.emplace_back(&predicate, needed_pos(index));
+  }
+
+  // Every column blocks its rows identically (kBlockCapacity), so all
+  // needed columns must agree on the block structure.
+  if (!out->needed.empty()) {
+    const std::vector<u32>& reference =
+        meta_.columns[out->needed[0]].block_value_counts;
+    for (u32 index : out->needed) {
+      if (meta_.columns[index].block_value_counts != reference) {
+        return Status::Corruption("columns disagree on block structure");
+      }
+    }
+    out->row_blocks = static_cast<u32>(reference.size());
+    out->block_rows = reference;
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Everything one row block produced, moved from the decode worker to the
+// emitting thread through the reorder buffer.
+struct BlockResult {
+  BlockOutcome outcome = BlockOutcome::kDecoded;
+  RoaringBitmap selection;
+  std::vector<DecodedBlock> decoded;  // by projection position (kDecoded only)
+};
+
+// Fetched column blocks of one row block, awaiting completion.
+struct Bundle {
+  std::vector<ByteBuffer> parts;  // by needed-column position
+  u32 filled = 0;
+};
+
+}  // namespace
+
+Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
+                     ScanStats* stats_out) {
+  BTR_TRACE_SPAN("scan.pipeline");
+  Timer timer;
+  ResolvedSpec resolved;
+  BTR_RETURN_IF_ERROR(ResolveSpec(spec, &resolved));
+
+  ScanStats stats;
+  stats.row_blocks = resolved.row_blocks;
+  const u64 base_requests = store_->total_requests();
+  const u64 base_bytes = store_->total_bytes_fetched();
+  ScanMetrics& metrics = ScanMetrics::Get();
+  metrics.row_blocks.Add(resolved.row_blocks);
+
+  // --- stage 0: zone-map pruning -------------------------------------------
+  // A row block is pruned when any ANDed predicate proves it empty.
+  std::vector<u8> pruned(resolved.row_blocks, 0);
+  if (has_zones_ && !resolved.predicates.empty()) {
+    for (u32 b = 0; b < resolved.row_blocks; b++) {
+      for (const auto& [predicate, pos] : resolved.predicates) {
+        const ColumnZoneMap& zones = zones_.columns[resolved.needed[pos]];
+        if (b < zones.zones.size() && !ZoneMayMatch(zones.zones[b], *predicate)) {
+          pruned[b] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // --- stage 1: fetch plan ---------------------------------------------------
+  // Block-major so one row block's column parts are fetched adjacently and
+  // bundles complete close to their emission order.
+  const u32 needed_count = static_cast<u32>(resolved.needed.size());
+  std::vector<exec::FetchRequest> requests;
+  for (u32 b = 0; b < resolved.row_blocks; b++) {
+    if (pruned[b]) continue;
+    for (u32 pos = 0; pos < needed_count; pos++) {
+      u32 column = resolved.needed[pos];
+      exec::FetchRequest request;
+      request.key = ColumnFileKey(prefix_, table_name_, column);
+      request.offset = block_offsets_[column][b];
+      request.length = block_offsets_[column][b + 1] - block_offsets_[column][b];
+      request.tag = static_cast<u64>(b) * needed_count + pos;
+      requests.push_back(std::move(request));
+    }
+  }
+
+  // --- shared pipeline state -------------------------------------------------
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  std::map<u32, BlockResult> ready;              // reorder buffer
+  std::unordered_map<u32, Bundle> assembling;    // incomplete bundles
+  Status first_error;
+  bool failed = false;
+
+  exec::BoundedQueue<exec::FetchedBlock> queue(
+      std::max<u32>(1, spec.config.prefetch_depth));
+  exec::Prefetcher prefetcher(store_, std::move(requests), &queue,
+                              spec.config.fetch_threads);
+
+  auto fail = [&](Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!failed) {
+        failed = true;
+        first_error = std::move(status);
+      }
+    }
+    prefetcher.RequestStop();
+    queue.Abort();
+    ready_cv.notify_all();
+  };
+
+  // Decodes one complete bundle into a BlockResult. Runs on a worker.
+  auto process_bundle = [&](u32 b, const Bundle& bundle,
+                            BlockResult* result) -> Status {
+    u32 expected_rows = resolved.block_rows[b];
+    for (u32 pos = 0; pos < needed_count; pos++) {
+      const ByteBuffer& part = bundle.parts[pos];
+      ColumnType type = meta_.columns[resolved.needed[pos]].type;
+      BTR_RETURN_IF_ERROR(
+          ValidateBlock(part.data(), part.size(), type, expected_rows));
+    }
+
+    if (!resolved.predicates.empty()) {
+      BTR_TRACE_SPAN("scan.predicate");
+      bool first = true;
+      for (const auto& [predicate, pos] : resolved.predicates) {
+        RoaringBitmap matches =
+            SelectMatches(bundle.parts[pos].data(), *predicate, config_);
+        result->selection =
+            first ? std::move(matches)
+                  : RoaringBitmap::And(result->selection, matches);
+        first = false;
+        if (result->selection.Empty()) break;
+      }
+      if (result->selection.Empty()) {
+        result->outcome = BlockOutcome::kSkipped;
+        return Status::Ok();
+      }
+    }
+
+    BTR_TRACE_SPAN("scan.decode");
+    result->decoded.resize(resolved.projection.size());
+    for (size_t p = 0; p < resolved.projection.size(); p++) {
+      const ByteBuffer& part = bundle.parts[resolved.projection_pos[p]];
+      DecompressBlock(part.data(), &result->decoded[p], config_);
+    }
+    return Status::Ok();
+  };
+  // Both kDecoded and kSkipped results go through the reorder buffer so
+  // the emitter sees every non-pruned block exactly once, in order.
+  auto process_and_publish = [&](u32 b, Bundle&& bundle) {
+    BlockResult result;
+    Status status = process_bundle(b, bundle, &result);
+    if (!status.ok()) {
+      fail(std::move(status));
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ready.emplace(b, std::move(result));
+    }
+    ready_cv.notify_all();
+  };
+
+  u32 scan_threads = spec.config.scan_threads;
+  if (scan_threads == 0) {
+    scan_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  exec::ThreadPool pool(scan_threads);
+  for (u32 t = 0; t < scan_threads; t++) {
+    pool.Submit([&] {
+      try {
+        exec::FetchedBlock fetched;
+        while (queue.Pop(&fetched)) {
+          u32 b = static_cast<u32>(fetched.tag / needed_count);
+          u32 pos = static_cast<u32>(fetched.tag % needed_count);
+          Bundle complete;
+          bool is_complete = false;
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            Bundle& bundle = assembling[b];
+            if (bundle.parts.empty()) bundle.parts.resize(needed_count);
+            bundle.parts[pos] = std::move(fetched.data);
+            if (++bundle.filled == needed_count) {
+              complete = std::move(bundle);
+              assembling.erase(b);
+              is_complete = true;
+            }
+          }
+          if (is_complete) process_and_publish(b, std::move(complete));
+        }
+      } catch (...) {
+        // Unblock the emitter before handing the exception to the pool
+        // (ThreadPool::Wait() rethrows it; Scan() maps it to a Status).
+        fail(Status::Internal("scan worker threw"));
+        throw;
+      }
+    });
+  }
+  prefetcher.Start();
+
+  // --- stage 3: in-order emission on this thread ----------------------------
+  Status emit_status;
+  for (u32 b = 0; b < resolved.row_blocks; b++) {
+    if (pruned[b]) {
+      stats.blocks_pruned++;
+      metrics.blocks_pruned.Add();
+      for (size_t p = 0; p < resolved.projection.size(); p++) {
+        ColumnChunk chunk;
+        chunk.column = static_cast<u32>(p);
+        chunk.block = b;
+        chunk.row_begin = b * kBlockCapacity;
+        chunk.row_count = resolved.block_rows[b];
+        chunk.outcome = BlockOutcome::kPruned;
+        emit(std::move(chunk));
+      }
+      continue;
+    }
+    BlockResult result;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      ready_cv.wait(lock, [&] { return failed || ready.count(b) != 0; });
+      if (failed) break;
+      result = std::move(ready[b]);
+      ready.erase(b);
+    }
+    u64 block_matches = resolved.predicates.empty()
+                            ? resolved.block_rows[b]
+                            : result.selection.Cardinality();
+    if (result.outcome == BlockOutcome::kSkipped) {
+      stats.blocks_skipped++;
+      metrics.blocks_skipped.Add();
+    } else {
+      stats.blocks_decoded++;
+      metrics.blocks_decoded.Add();
+      stats.rows_matched += block_matches;
+      metrics.rows_matched.Add(block_matches);
+    }
+    for (size_t p = 0; p < resolved.projection.size(); p++) {
+      ColumnChunk chunk;
+      chunk.column = static_cast<u32>(p);
+      chunk.block = b;
+      chunk.row_begin = b * kBlockCapacity;
+      chunk.row_count = resolved.block_rows[b];
+      chunk.outcome = result.outcome;
+      if (result.outcome == BlockOutcome::kDecoded) {
+        chunk.values = std::move(result.decoded[p]);
+        chunk.selection = result.selection;
+      }
+      emit(std::move(chunk));
+    }
+  }
+
+  // --- unwind ---------------------------------------------------------------
+  // On failure Abort() unblocks producers and consumers; on success the
+  // prefetcher has closed the queue and workers drain to end-of-stream.
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (failed) emit_status = first_error;
+  }
+  if (!emit_status.ok()) {
+    prefetcher.RequestStop();
+    queue.Abort();
+  }
+  try {
+    // Worker exceptions (including ones thrown past process_and_publish)
+    // surface here once — map them into the Status-carrying API instead of
+    // letting them escape Scan().
+    pool.Wait();
+  } catch (const std::exception& e) {
+    if (emit_status.ok()) {
+      emit_status = Status::Internal(std::string("scan worker threw: ") + e.what());
+    }
+  } catch (...) {
+    if (emit_status.ok()) {
+      emit_status = Status::Internal("scan worker threw a non-std exception");
+    }
+  }
+  prefetcher.Join();
+
+  stats.bytes_fetched = store_->total_bytes_fetched() - base_bytes;
+  stats.requests = store_->total_requests() - base_requests;
+  stats.seconds = timer.ElapsedSeconds();
+  if (stats_out != nullptr) *stats_out = stats;
+  return emit_status;
+}
+
+Status Scanner::Scan(const ScanSpec& spec, ScanOutput* out) {
+  ResolvedSpec resolved;
+  BTR_RETURN_IF_ERROR(ResolveSpec(spec, &resolved));
+  out->columns.clear();
+  out->columns.resize(resolved.projection.size());
+  for (size_t p = 0; p < resolved.projection.size(); p++) {
+    const TableMeta::ColumnMeta& cm = meta_.columns[resolved.projection[p]];
+    out->columns[p].name = cm.name;
+    out->columns[p].type = cm.type;
+    out->columns[p].blocks.resize(resolved.row_blocks);
+  }
+  out->block_outcomes.assign(resolved.row_blocks, BlockOutcome::kDecoded);
+  out->block_selections.assign(resolved.row_blocks, RoaringBitmap());
+
+  bool has_predicates = !spec.predicates.empty();
+  Status status = Scan(
+      spec,
+      [out, has_predicates](ColumnChunk&& chunk) {
+        out->block_outcomes[chunk.block] = chunk.outcome;
+        if (chunk.column == 0 && has_predicates &&
+            chunk.outcome == BlockOutcome::kDecoded) {
+          out->block_selections[chunk.block] = std::move(chunk.selection);
+        }
+        out->columns[chunk.column].blocks[chunk.block] = std::move(chunk.values);
+      },
+      &out->stats);
+  return status;
+}
+
+}  // namespace btr

@@ -1,0 +1,157 @@
+// btr::Scanner — the unified public API for scanning a table that lives as
+// one compressed file per column in an object store (the paper's data-lake
+// deployment, Sections 2.1 and 6.7).
+//
+// The engine is a real pipeline, not the analytic core-count model of
+// s3sim::SimulateScan:
+//
+//   zone maps ──► prune row blocks that cannot match (never fetched)
+//   prefetcher ─► fetch_threads issue ranged GETs ahead of consumption
+//                 into a bounded queue (backpressure at prefetch_depth)
+//   decoders ───► scan_threads pop blocks, evaluate predicates on the
+//                 *compressed* form (SelectMatches → selection vectors),
+//                 decompress only blocks whose selection is non-empty
+//   emitter ────► chunks surface on the calling thread in block order
+//
+// API contract (this is the Status-carrying redesign):
+//   - Scan() never throws; worker-thread failures — including exceptions
+//     propagated through exec::ThreadPool::Wait() — surface as a Status.
+//   - A structurally corrupt ("poisoned") block yields Status::Corruption,
+//     not a crash: every block is ValidateBlock()ed before decoding.
+//   - Chunks arrive in ascending (block, column) order regardless of how
+//     fetch and decode interleave.
+//
+// See docs/SCAN_PIPELINE.md for stages, tuning knobs and metric names.
+#ifndef BTR_BTR_SCANNER_H_
+#define BTR_BTR_SCANNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bitmap/roaring.h"
+#include "btr/file_format.h"
+#include "btr/predicate.h"
+#include "btr/relation.h"
+#include "btr/zonemap.h"
+#include "s3sim/object_store.h"
+#include "util/status.h"
+
+namespace btr {
+
+// What to scan. Embeds the "how" (ScanConfig, btr/config.h).
+struct ScanSpec {
+  // Projection, in output order. Empty = every column of the table.
+  std::vector<std::string> columns;
+  // ANDed equality predicates (btr/predicate.h). A predicate may reference
+  // a column outside the projection; that column is then fetched for
+  // filtering but not decoded into the output.
+  std::vector<Predicate> predicates;
+  ScanConfig config;
+};
+
+// Why a row block produced no decoded values.
+enum class BlockOutcome : u8 {
+  kDecoded = 0,  // fetched, filtered, decompressed
+  kPruned = 1,   // zone maps proved no match: never fetched
+  kSkipped = 2,  // compressed-form predicate evaluation found an empty
+                 // selection: fetched but not decompressed
+};
+
+// One (column, row-block) result. Emitted for every projected column of
+// every row block, in ascending (block, column) order.
+struct ColumnChunk {
+  u32 column = 0;     // index into the resolved projection
+  u32 block = 0;      // row-block index within the table
+  u32 row_begin = 0;  // first table row this block covers
+  u32 row_count = 0;  // rows this block covers
+  BlockOutcome outcome = BlockOutcome::kDecoded;
+  // Decoded values; empty unless outcome == kDecoded.
+  DecodedBlock values;
+  // Block-local matching rows. Only meaningful when the spec had
+  // predicates and outcome == kDecoded; without predicates every row in
+  // [0, row_count) passes and `selection` is left empty.
+  RoaringBitmap selection;
+};
+
+struct ScanStats {
+  u32 row_blocks = 0;          // row blocks in the table
+  u32 blocks_pruned = 0;       // zone-map pruned row blocks
+  u32 blocks_skipped = 0;      // empty-selection row blocks
+  u32 blocks_decoded = 0;      // row blocks that reached decompression
+  u64 rows_matched = 0;        // rows passing every predicate
+  u64 bytes_fetched = 0;       // compressed bytes GET'd (headers included)
+  u64 requests = 0;            // GET requests issued
+  double seconds = 0;          // wall clock of Scan()
+};
+
+// Materialized scan result (the convenience overload).
+struct ScanOutput {
+  struct ColumnResult {
+    std::string name;
+    ColumnType type = ColumnType::kInteger;
+    // One entry per row block, block-ordered. Pruned/skipped blocks hold
+    // an empty DecodedBlock (count == 0).
+    std::vector<DecodedBlock> blocks;
+  };
+  std::vector<ColumnResult> columns;
+  std::vector<BlockOutcome> block_outcomes;     // per row block
+  std::vector<RoaringBitmap> block_selections;  // per row block (predicates)
+  ScanStats stats;
+};
+
+// Uploads a compressed relation into the object store using the
+// file_format framing, one object per column plus metadata and the
+// optional zone-map sidecar:
+//   <prefix><table>.btrmeta   <prefix><table>.<idx>.btr   <prefix><table>.zones
+Status UploadCompressedRelation(const CompressedRelation& relation,
+                                const TableZoneMap* zones,
+                                const std::string& prefix,
+                                s3sim::ObjectStore* store);
+
+class Scanner {
+ public:
+  // `prefix` is the object key prefix the table was uploaded under.
+  Scanner(s3sim::ObjectStore* store, std::string table_name,
+          std::string prefix = "",
+          const CompressionConfig& config = CompressionConfig());
+
+  // Fetches and parses table metadata, per-column file headers (block byte
+  // offsets for ranged GETs) and the zone-map sidecar when present.
+  Status Open();
+
+  const TableMeta& meta() const { return meta_; }
+  bool has_zone_map() const { return has_zones_; }
+
+  // Streams chunks to `emit` on the calling thread, in ascending
+  // (block, column) order. On error, emission stops early and the first
+  // failure is returned; chunks already emitted remain valid.
+  using ChunkCallback = std::function<void(ColumnChunk&&)>;
+  Status Scan(const ScanSpec& spec, const ChunkCallback& emit,
+              ScanStats* stats = nullptr);
+
+  // Materializing convenience overload.
+  Status Scan(const ScanSpec& spec, ScanOutput* out);
+
+ private:
+  struct ResolvedSpec;
+
+  Status ResolveSpec(const ScanSpec& spec, ResolvedSpec* resolved) const;
+
+  s3sim::ObjectStore* store_;
+  std::string table_name_;
+  std::string prefix_;
+  CompressionConfig config_;
+
+  bool opened_ = false;
+  TableMeta meta_;
+  bool has_zones_ = false;
+  TableZoneMap zones_;
+  // Per column: byte offset of each block payload inside the column
+  // object, plus one past-the-end entry.
+  std::vector<std::vector<u64>> block_offsets_;
+};
+
+}  // namespace btr
+
+#endif  // BTR_BTR_SCANNER_H_

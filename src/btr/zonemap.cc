@@ -122,32 +122,25 @@ std::string ZonePath(const std::string& dir, const std::string& table) {
 }
 }  // namespace
 
-Status WriteTableZoneMap(const TableZoneMap& zonemap, const std::string& dir,
-                         const std::string& table_name) {
-  std::FILE* f = std::fopen(ZonePath(dir, table_name).c_str(), "wb");
-  if (f == nullptr) return Status::IoError("cannot open zone map file");
-  auto write = [&](const void* p, size_t n) {
-    return n == 0 || std::fwrite(p, 1, n, f) == n;
-  };
-  bool ok = write(kZoneMagic, 4);
-  u32 column_count = static_cast<u32>(zonemap.columns.size());
-  ok = ok && write(&column_count, 4);
+void SerializeTableZoneMap(const TableZoneMap& zonemap, ByteBuffer* out) {
+  out->Append(kZoneMagic, 4);
+  out->AppendValue<u32>(static_cast<u32>(zonemap.columns.size()));
   for (const ColumnZoneMap& column : zonemap.columns) {
-    u8 type = static_cast<u8>(column.type);
-    u32 zone_count = static_cast<u32>(column.zones.size());
-    ok = ok && write(&type, 1) && write(&zone_count, 4) &&
-         write(column.zones.data(), zone_count * sizeof(BlockZone));
+    out->AppendValue<u8>(static_cast<u8>(column.type));
+    out->AppendValue<u32>(static_cast<u32>(column.zones.size()));
+    out->Append(column.zones.data(), column.zones.size() * sizeof(BlockZone));
   }
-  std::fclose(f);
-  return ok ? Status::Ok() : Status::IoError("short zone map write");
 }
 
-Status ReadTableZoneMap(const std::string& dir, const std::string& table_name,
-                        TableZoneMap* out) {
-  std::FILE* f = std::fopen(ZonePath(dir, table_name).c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("zone map file missing");
-  auto read = [&](void* p, size_t n) {
-    return n == 0 || std::fread(p, 1, n, f) == n;
+Status ParseTableZoneMap(const u8* data, size_t size, TableZoneMap* out) {
+  const u8* p = data;
+  size_t remaining = size;
+  auto read = [&](void* dst, size_t n) {
+    if (n > remaining) return false;
+    std::memcpy(dst, p, n);
+    p += n;
+    remaining -= n;
+    return true;
   };
   char magic[4];
   u32 column_count = 0;
@@ -165,8 +158,36 @@ Status ReadTableZoneMap(const std::string& dir, const std::string& table_name,
     ok = read(column.zones.data(), zone_count * sizeof(BlockZone));
     out->columns.push_back(std::move(column));
   }
+  return ok ? Status::Ok() : Status::Corruption("bad zone map data");
+}
+
+Status WriteTableZoneMap(const TableZoneMap& zonemap, const std::string& dir,
+                         const std::string& table_name) {
+  ByteBuffer buffer;
+  SerializeTableZoneMap(zonemap, &buffer);
+  std::FILE* f = std::fopen(ZonePath(dir, table_name).c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open zone map file");
+  bool ok = buffer.empty() ||
+            std::fwrite(buffer.data(), 1, buffer.size(), f) == buffer.size();
   std::fclose(f);
-  return ok ? Status::Ok() : Status::Corruption("bad zone map file");
+  return ok ? Status::Ok() : Status::IoError("short zone map write");
+}
+
+Status ReadTableZoneMap(const std::string& dir, const std::string& table_name,
+                        TableZoneMap* out) {
+  std::FILE* f = std::fopen(ZonePath(dir, table_name).c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("zone map file missing");
+  std::fseek(f, 0, SEEK_END);
+  long file_size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  ByteBuffer buffer;
+  buffer.Resize(file_size < 0 ? 0 : static_cast<size_t>(file_size));
+  bool ok = file_size >= 0 &&
+            (buffer.empty() ||
+             std::fread(buffer.data(), 1, buffer.size(), f) == buffer.size());
+  std::fclose(f);
+  if (!ok) return Status::IoError("cannot read zone map file");
+  return ParseTableZoneMap(buffer.data(), buffer.size(), out);
 }
 
 }  // namespace btr

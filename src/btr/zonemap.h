@@ -65,6 +65,12 @@ Status WriteTableZoneMap(const TableZoneMap& zonemap, const std::string& dir,
 Status ReadTableZoneMap(const std::string& dir, const std::string& table_name,
                         TableZoneMap* out);
 
+// Buffer-to-buffer variants of the same framing, used when the sidecar
+// lives as an object-store object next to the column files (btr::Scanner
+// fetches it before deciding which blocks to GET at all).
+void SerializeTableZoneMap(const TableZoneMap& zonemap, ByteBuffer* out);
+Status ParseTableZoneMap(const u8* data, size_t size, TableZoneMap* out);
+
 }  // namespace btr
 
 #endif  // BTR_BTR_ZONEMAP_H_

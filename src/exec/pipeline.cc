@@ -1,0 +1,129 @@
+#include "exec/pipeline.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace btr::exec {
+
+namespace detail {
+
+namespace {
+
+struct QueueMetrics {
+  obs::Gauge& depth;
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Histogram& producer_stall_ns;
+  obs::Histogram& consumer_stall_ns;
+
+  static QueueMetrics& Get() {
+    static QueueMetrics* m = [] {
+      obs::Registry& r = obs::Registry::Get();
+      return new QueueMetrics{
+          r.GetGauge("exec.pipeline.queue_depth"),
+          r.GetCounter("exec.pipeline.prefetch_hits"),
+          r.GetCounter("exec.pipeline.prefetch_misses"),
+          r.GetHistogram("exec.pipeline.producer_stall_ns"),
+          r.GetHistogram("exec.pipeline.consumer_stall_ns")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+void RecordQueuePush(u64 stall_ns) {
+  QueueMetrics::Get().producer_stall_ns.Record(stall_ns);
+}
+
+void RecordQueuePop(bool hit, u64 stall_ns) {
+  QueueMetrics& m = QueueMetrics::Get();
+  (hit ? m.hits : m.misses).Add();
+  m.consumer_stall_ns.Record(stall_ns);
+}
+
+void RecordQueueDepth(i64 delta) {
+  if (delta != 0) QueueMetrics::Get().depth.Add(delta);
+}
+
+u64 StallNanos(const std::function<bool()>& ready, std::mutex&,
+               std::condition_variable& cv,
+               std::unique_lock<std::mutex>& lock) {
+  if (ready()) return 0;
+  auto start = std::chrono::steady_clock::now();
+  cv.wait(lock, ready);
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace detail
+
+Prefetcher::Prefetcher(s3sim::ObjectStore* store,
+                       std::vector<FetchRequest> requests,
+                       BoundedQueue<FetchedBlock>* out, u32 fetch_threads)
+    : store_(store),
+      requests_(std::move(requests)),
+      out_(out),
+      fetch_threads_(fetch_threads == 0 ? 1 : fetch_threads) {}
+
+Prefetcher::~Prefetcher() {
+  RequestStop();
+  Join();
+}
+
+void Prefetcher::Start() {
+  u32 threads = fetch_threads_;
+  // No point spinning up more fetch threads than requests.
+  if (threads > requests_.size()) {
+    threads = static_cast<u32>(requests_.size());
+  }
+  if (threads == 0) {
+    out_->Close();
+    return;
+  }
+  live_threads_.store(threads, std::memory_order_relaxed);
+  threads_.reserve(threads);
+  for (u32 i = 0; i < threads; i++) {
+    threads_.emplace_back([this] { FetchLoop(); });
+  }
+}
+
+void Prefetcher::RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+void Prefetcher::Join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void Prefetcher::FetchLoop() {
+  static obs::Counter& fetched =
+      obs::Registry::Get().GetCounter("exec.pipeline.blocks_fetched");
+  std::vector<u8> chunk;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    u64 i = next_request_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= requests_.size()) break;
+    const FetchRequest& request = requests_[i];
+    {
+      BTR_TRACE_SPAN("scan.fetch");
+      store_->GetChunk(request.key, request.offset, request.length, &chunk);
+    }
+    FetchedBlock block;
+    block.tag = request.tag;
+    block.data.Append(chunk.data(), chunk.size());
+    fetched.Add();
+    // Backpressure: blocks while consumers lag prefetch_depth behind.
+    if (!out_->Push(std::move(block))) break;  // queue aborted
+  }
+  // Last fetch thread out closes the queue so consumers see end-of-stream.
+  if (live_threads_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    out_->Close();
+  }
+}
+
+}  // namespace btr::exec

@@ -1,0 +1,185 @@
+// Pipelined scan building blocks: a bounded MPMC queue with backpressure
+// and a prefetcher that issues ranged object-store GETs ahead of
+// consumption. Together with exec::ThreadPool these form the repo's first
+// genuinely concurrent end-to-end path (btr::Scanner): network fetches
+// overlap block decompression instead of the analytic core-count model
+// s3sim::SimulateScan uses.
+//
+// Concurrency contract:
+//   - BoundedQueue: any number of producers and consumers. Push blocks
+//     while the queue is full (backpressure), Pop blocks while it is empty
+//     and not yet closed. Close() wakes everyone; Pop returns false once
+//     the queue is both closed and drained. Abort() additionally discards
+//     queued items so a failing pipeline unwinds quickly.
+//   - Prefetcher: owns its fetch threads; Start() is not idempotent and
+//     Join() must be called before destruction (Scanner does both).
+#ifndef BTR_EXEC_PIPELINE_H_
+#define BTR_EXEC_PIPELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "s3sim/object_store.h"
+#include "util/buffer.h"
+#include "util/types.h"
+
+namespace btr::exec {
+
+// Queue observability shared by every BoundedQueue in the process:
+//   exec.pipeline.queue_depth        gauge, items currently buffered
+//   exec.pipeline.prefetch_hits      Pop found an item without waiting
+//   exec.pipeline.prefetch_misses    Pop had to block on the producer
+//   exec.pipeline.producer_stall_ns  time Push spent blocked on backpressure
+//   exec.pipeline.consumer_stall_ns  time Pop spent blocked on an empty queue
+struct QueueStats {
+  u64 prefetch_hits = 0;
+  u64 prefetch_misses = 0;
+};
+
+namespace detail {
+void RecordQueuePush(u64 stall_ns);
+void RecordQueuePop(bool hit, u64 stall_ns);
+void RecordQueueDepth(i64 delta);
+u64 StallNanos(const std::function<bool()>& ready, std::mutex& mutex,
+               std::condition_variable& cv, std::unique_lock<std::mutex>& lock);
+}  // namespace detail
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  ~BoundedQueue() { detail::RecordQueueDepth(-static_cast<i64>(items_.size())); }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while full. Returns false (dropping the item) when the queue was
+  // closed or aborted while waiting — producers should stop then.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    u64 stall_ns = detail::StallNanos(
+        [this] { return items_.size() < capacity_ || closed_; }, mutex_,
+        not_full_, lock);
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    detail::RecordQueuePush(stall_ns);
+    detail::RecordQueueDepth(1);
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty and not closed. Returns false once closed + drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    bool hit = !items_.empty();
+    u64 stall_ns = detail::StallNanos(
+        [this] { return !items_.empty() || closed_; }, mutex_, not_empty_,
+        lock);
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    detail::RecordQueuePop(hit, stall_ns);
+    detail::RecordQueueDepth(-1);
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // No more Pushes will succeed; Pops drain what is queued.
+  void Close() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  // Close and discard everything queued (error unwind).
+  void Abort() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      closed_ = true;
+      detail::RecordQueueDepth(-static_cast<i64>(items_.size()));
+      items_.clear();
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  size_t Depth() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+// One ranged GET the prefetcher should issue, tagged with the consumer's
+// sequence number so out-of-order fetch threads can be reordered downstream.
+struct FetchRequest {
+  std::string key;
+  u64 offset = 0;
+  u64 length = 0;
+  u64 tag = 0;
+};
+
+// A fetched block. `data` is SIMD-padded so decoders can consume it
+// directly (ByteBuffer keeps kSimdPadding writable bytes past size()).
+struct FetchedBlock {
+  u64 tag = 0;
+  ByteBuffer data;
+};
+
+// Pulls FetchRequests off a shared cursor and issues ObjectStore::GetChunk
+// calls on `fetch_threads` threads, pushing results into `out` — ahead of
+// consumption, up to the queue's capacity (the prefetch depth). Closes the
+// queue when every request has been fetched or an abort was requested.
+class Prefetcher {
+ public:
+  Prefetcher(s3sim::ObjectStore* store, std::vector<FetchRequest> requests,
+             BoundedQueue<FetchedBlock>* out, u32 fetch_threads);
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  void Start();
+  // Asks fetch threads to stop after their current GET (error unwind).
+  void RequestStop();
+  // Blocks until every fetch thread exited. Safe to call twice.
+  void Join();
+
+ private:
+  void FetchLoop();
+
+  s3sim::ObjectStore* store_;
+  std::vector<FetchRequest> requests_;
+  BoundedQueue<FetchedBlock>* out_;
+  u32 fetch_threads_;
+  std::atomic<u64> next_request_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<u32> live_threads_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace btr::exec
+
+#endif  // BTR_EXEC_PIPELINE_H_

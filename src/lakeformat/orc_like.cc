@@ -475,19 +475,18 @@ ByteBuffer WriteOrcLike(const Relation& relation, const OrcOptions& options) {
   return file;
 }
 
-u64 DecodeOrcLikeBytes(const u8* data, size_t size) {
+Status DecodeOrcLikeBytes(const u8* data, size_t size, u64* bytes) {
   FileMeta meta;
-  Status status = ParseFooter(data, size, &meta);
-  BTR_CHECK_MSG(status.ok(), "corrupt orc-like file");
-  u64 bytes = 0;
+  BTR_RETURN_IF_ERROR(ParseFooter(data, size, &meta));
+  *bytes = 0;
   StripeScratch scratch;
   for (const auto& stripe : meta.stripes) {
     for (size_t c = 0; c < stripe.size(); c++) {
-      bytes += DecodeStripeColumn(data, stripe[c], meta.columns[c].second,
-                                  &scratch);
+      *bytes += DecodeStripeColumn(data, stripe[c], meta.columns[c].second,
+                                   &scratch);
     }
   }
-  return bytes;
+  return Status::Ok();
 }
 
 Status ReadOrcLike(const u8* data, size_t size, Relation* out) {

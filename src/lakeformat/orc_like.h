@@ -26,8 +26,10 @@ struct OrcOptions {
 
 ByteBuffer WriteOrcLike(const Relation& relation, const OrcOptions& options);
 
-// Decode-everything scan path; returns logical value bytes produced.
-u64 DecodeOrcLikeBytes(const u8* data, size_t size);
+// Decode-everything scan path. On success stores the logical value bytes
+// produced in *bytes; a corrupt file yields Status::Corruption instead of
+// aborting.
+Status DecodeOrcLikeBytes(const u8* data, size_t size, u64* bytes);
 
 // Full materialization (round-trip tests).
 Status ReadOrcLike(const u8* data, size_t size, Relation* out);

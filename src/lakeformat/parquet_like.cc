@@ -505,18 +505,18 @@ ByteBuffer WriteParquetLike(const Relation& relation,
   return file;
 }
 
-u64 DecodeParquetLikeBytes(const u8* data, size_t size) {
+Status DecodeParquetLikeBytes(const u8* data, size_t size, u64* bytes) {
   FileMeta meta;
-  Status status = ParseFooter(data, size, &meta);
-  BTR_CHECK_MSG(status.ok(), "corrupt parquet-like file");
-  u64 bytes = 0;
+  BTR_RETURN_IF_ERROR(ParseFooter(data, size, &meta));
+  *bytes = 0;
   ChunkScratch scratch;
   for (const auto& rowgroup : meta.rowgroups) {
     for (size_t c = 0; c < rowgroup.size(); c++) {
-      bytes += DecodeChunk(data, rowgroup[c], meta.columns[c].second, &scratch);
+      *bytes +=
+          DecodeChunk(data, rowgroup[c], meta.columns[c].second, &scratch);
     }
   }
-  return bytes;
+  return Status::Ok();
 }
 
 Status ReadParquetLike(const u8* data, size_t size, Relation* out) {

@@ -34,8 +34,9 @@ ByteBuffer WriteParquetLike(const Relation& relation,
 
 // Decodes every column chunk (decompress + decode), without materializing
 // a Relation: the in-memory scan path used by the decompression benches.
-// Returns total logical value bytes produced.
-u64 DecodeParquetLikeBytes(const u8* data, size_t size);
+// On success stores the total logical value bytes produced in *bytes; a
+// corrupt file yields Status::Corruption instead of aborting.
+Status DecodeParquetLikeBytes(const u8* data, size_t size, u64* bytes);
 
 // Full materialization (round-trip tests).
 Status ReadParquetLike(const u8* data, size_t size, Relation* out);

@@ -1,7 +1,9 @@
 #include "s3sim/object_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -54,6 +56,8 @@ void ObjectStore::GetChunk(const std::string& key, u64 offset, u64 length,
                            std::vector<u8>* out) {
   BTR_TRACE_SPAN("s3.get_chunk");
   Timer timer;
+  // objects_ is only mutated by Put, which may not race readers; the
+  // element data pointer is stable, so the copy can run unlocked.
   auto it = objects_.find(key);
   BTR_CHECK_MSG(it != objects_.end(), "object not found");
   const std::vector<u8>& object = it->second;
@@ -61,11 +65,20 @@ void ObjectStore::GetChunk(const std::string& key, u64 offset, u64 length,
   length = std::min<u64>(length, object.size() - offset);
   out->resize(length);
   std::memcpy(out->data(), object.data() + offset, length);
-  total_requests_++;
-  total_bytes_fetched_ += length;
   double modeled_seconds =
       static_cast<double>(length) * 8.0 / (config_.network_gbps * 1e9);
-  network_seconds_ += modeled_seconds;
+  {
+    std::lock_guard<std::mutex> lock(accounting_mutex_);
+    total_requests_++;
+    total_bytes_fetched_ += length;
+    network_seconds_ += modeled_seconds;
+  }
+  if (config_.simulate_wall_clock) {
+    double sleep_seconds =
+        config_.wall_clock_request_latency_s +
+        static_cast<double>(length) * 8.0 / (config_.wall_clock_gbps * 1e9);
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+  }
   GetMetrics& metrics = GetMetrics::Get();
   metrics.requests.Add();
   metrics.bytes_total.Add(length);
@@ -86,7 +99,23 @@ void ObjectStore::GetObject(const std::string& key, std::vector<u8>* out) {
   }
 }
 
+u64 ObjectStore::total_requests() const {
+  std::lock_guard<std::mutex> lock(accounting_mutex_);
+  return total_requests_;
+}
+
+u64 ObjectStore::total_bytes_fetched() const {
+  std::lock_guard<std::mutex> lock(accounting_mutex_);
+  return total_bytes_fetched_;
+}
+
+double ObjectStore::network_seconds() const {
+  std::lock_guard<std::mutex> lock(accounting_mutex_);
+  return network_seconds_;
+}
+
 void ObjectStore::ResetAccounting() {
+  std::lock_guard<std::mutex> lock(accounting_mutex_);
   total_requests_ = 0;
   total_bytes_fetched_ = 0;
   network_seconds_ = 0;

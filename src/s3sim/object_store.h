@@ -15,6 +15,7 @@
 #ifndef BTR_S3SIM_OBJECT_STORE_H_
 #define BTR_S3SIM_OBJECT_STORE_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,10 +32,25 @@ struct S3Config {
   u64 chunk_bytes = 16ull << 20;          // bytes fetched per GET
   double first_byte_latency_s = 0.030;    // pipeline fill, paid once
   u32 cores = 36;                         // modeled decompression cores
+
+  // --- wall-clock simulation (pipelined scan engine) -----------------------
+  // When true, GetChunk additionally *sleeps* for a per-request first-byte
+  // latency plus the per-connection transfer time, so the bounded-queue
+  // pipeline (exec/pipeline.h, btr::Scanner) has real network time to hide:
+  // concurrent fetch threads overlap their latencies with each other and
+  // with decompression, exactly what the analytic SimulateScan model cannot
+  // capture. Accounting (requests/bytes/network_seconds) is unaffected.
+  bool simulate_wall_clock = false;
+  double wall_clock_request_latency_s = 0.002;  // per-GET first-byte latency
+  double wall_clock_gbps = 2.0;                 // per-connection bandwidth
 };
 
 // In-memory object store with request accounting. Objects are opaque
 // byte blobs; GetChunk models one ranged GET.
+//
+// Thread safety: GetChunk/GetObject and the accounting getters may be
+// called from any number of threads concurrently (the scan pipeline's
+// fetch threads do). Put must not race with readers of the same store.
 class ObjectStore {
  public:
   explicit ObjectStore(const S3Config& config = S3Config()) : config_(config) {}
@@ -51,18 +67,20 @@ class ObjectStore {
   // Fetches a whole object as a sequence of chunk_bytes GETs.
   void GetObject(const std::string& key, std::vector<u8>* out);
 
-  u64 total_requests() const { return total_requests_; }
-  u64 total_bytes_fetched() const { return total_bytes_fetched_; }
+  u64 total_requests() const;
+  u64 total_bytes_fetched() const;
   // Modeled seconds the network was busy (requests overlap; latency
   // is handled by the scan model, not accumulated per request).
-  double network_seconds() const { return network_seconds_; }
+  double network_seconds() const;
   void ResetAccounting();
 
   const S3Config& config() const { return config_; }
+  S3Config& mutable_config() { return config_; }
 
  private:
   S3Config config_;
   std::unordered_map<std::string, std::vector<u8>> objects_;
+  mutable std::mutex accounting_mutex_;
   u64 total_requests_ = 0;
   u64 total_bytes_fetched_ = 0;
   double network_seconds_ = 0;

@@ -12,7 +12,15 @@ namespace btr {
 
 class Status {
  public:
-  enum class Code { kOk = 0, kInvalidArgument, kCorruption, kIoError, kNotFound };
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kCorruption,
+    kIoError,
+    kNotFound,
+    kInternal,  // invariant violation crossing a thread boundary (e.g. a
+                // worker exception surfacing at the Scanner API)
+  };
 
   Status() : code_(Code::kOk) {}
 
@@ -29,6 +37,9 @@ class Status {
   static Status NotFound(std::string msg) {
     return Status(Code::kNotFound, std::move(msg));
   }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -43,6 +54,7 @@ class Status {
       case Code::kCorruption: name = "Corruption"; break;
       case Code::kIoError: name = "IoError"; break;
       case Code::kNotFound: name = "NotFound"; break;
+      case Code::kInternal: name = "Internal"; break;
     }
     return std::string(name) + ": " + message_;
   }

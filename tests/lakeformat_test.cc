@@ -156,8 +156,13 @@ TEST_P(FormatRoundTripTest, ParquetLike) {
   ASSERT_TRUE(status.ok()) << status.ToString();
   ExpectRelationsEqual(table, back);
 
-  u64 bytes = DecodeParquetLikeBytes(file.data(), file.size());
+  u64 bytes = 0;
+  ASSERT_TRUE(DecodeParquetLikeBytes(file.data(), file.size(), &bytes).ok());
   EXPECT_GT(bytes, 0u);
+
+  // Corruption surfaces as a Status, not an abort.
+  u64 ignored = 0;
+  EXPECT_FALSE(DecodeParquetLikeBytes(file.data(), 4, &ignored).ok());
 }
 
 TEST_P(FormatRoundTripTest, OrcLike) {
@@ -173,8 +178,13 @@ TEST_P(FormatRoundTripTest, OrcLike) {
   ASSERT_TRUE(status.ok()) << status.ToString();
   ExpectRelationsEqual(table, back);
 
-  u64 bytes = DecodeOrcLikeBytes(file.data(), file.size());
+  u64 bytes = 0;
+  ASSERT_TRUE(DecodeOrcLikeBytes(file.data(), file.size(), &bytes).ok());
   EXPECT_GT(bytes, 0u);
+
+  // Corruption surfaces as a Status, not an abort.
+  u64 ignored = 0;
+  EXPECT_FALSE(DecodeOrcLikeBytes(file.data(), 4, &ignored).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Codecs, FormatRoundTripTest,

@@ -1,0 +1,296 @@
+// btr::Scanner: the pipelined scan must be bit-identical to sequential
+// decompress-then-filter across all three column types, honor zone-map
+// pruning and compressed-form predicate pushdown, handle the short final
+// block, and surface poisoned blocks as a Status instead of crashing.
+#include "btr/scanner.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "btr/btrblocks.h"
+#include "btr/compressed_scan.h"
+
+namespace btr {
+namespace {
+
+// 2 full blocks + a short final block. The int column is clustered per
+// block (block b holds values in [b*1000, b*1000+999]) so zone maps can
+// prune point queries; strings repeat a small dictionary; every column
+// gets some NULLs.
+constexpr u32 kRows = 2 * kBlockCapacity + 22000;
+
+Relation MakeTable() {
+  Relation table("scan_table");
+  Column& ints = table.AddColumn("id", ColumnType::kInteger);
+  Column& doubles = table.AddColumn("price", ColumnType::kDouble);
+  Column& strings = table.AddColumn("city", ColumnType::kString);
+  const char* cities[4] = {"berlin", "munich", "bonn", "hamburg"};
+  for (u32 i = 0; i < kRows; i++) {
+    u32 block = i / kBlockCapacity;
+    if (i % 97 == 13) {
+      ints.AppendNull();
+    } else {
+      ints.AppendInt(static_cast<i32>(block * 1000 + i % 1000));
+    }
+    if (i % 101 == 7) {
+      doubles.AppendNull();
+    } else {
+      doubles.AppendDouble(static_cast<double>(i % 4096) * 0.25);
+    }
+    if (i % 89 == 3) {
+      strings.AppendNull();
+    } else {
+      strings.AppendString(cities[i % 4]);
+    }
+  }
+  return table;
+}
+
+struct Fixture {
+  CompressionConfig config;
+  Relation table = MakeTable();
+  CompressedRelation compressed;
+  TableZoneMap zones;
+  s3sim::ObjectStore store;
+
+  Fixture() {
+    compressed = CompressRelation(table, config);
+    for (const Column& column : table.columns()) {
+      zones.columns.push_back(ComputeColumnZoneMap(column));
+    }
+    Status status =
+        UploadCompressedRelation(compressed, &zones, "lake/", &store);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+};
+
+ScanSpec PipelinedSpec() {
+  ScanSpec spec;
+  spec.config.scan_threads = 4;
+  spec.config.fetch_threads = 3;
+  spec.config.prefetch_depth = 4;
+  return spec;
+}
+
+void ExpectBlocksBitIdentical(const DecodedBlock& expected,
+                              const DecodedBlock& actual) {
+  ASSERT_EQ(expected.type, actual.type);
+  ASSERT_EQ(expected.count, actual.count);
+  EXPECT_EQ(expected.null_flags, actual.null_flags);
+  switch (expected.type) {
+    case ColumnType::kInteger:
+      EXPECT_EQ(expected.ints, actual.ints);
+      break;
+    case ColumnType::kDouble:
+      ASSERT_EQ(expected.doubles.size(), actual.doubles.size());
+      // memcmp: bit-identical, including any NaN payloads.
+      EXPECT_EQ(0, std::memcmp(expected.doubles.data(), actual.doubles.data(),
+                               expected.doubles.size() * sizeof(double)));
+      break;
+    case ColumnType::kString:
+      ASSERT_EQ(expected.strings.slots.size(), actual.strings.slots.size());
+      for (u32 i = 0; i < expected.count; i++) {
+        EXPECT_EQ(expected.strings.Get(i), actual.strings.Get(i)) << "row " << i;
+      }
+      break;
+  }
+}
+
+TEST(ScannerTest, FullScanBitIdenticalToSequential) {
+  Fixture f;
+  Scanner scanner(&f.store, "scan_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  ScanOutput output;
+  Status status = scanner.Scan(PipelinedSpec(), &output);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  ASSERT_EQ(output.columns.size(), 3u);
+  u32 block_count = static_cast<u32>(f.compressed.columns[0].blocks.size());
+  ASSERT_EQ(block_count, 3u);  // 2 full + 1 short
+  EXPECT_EQ(output.stats.row_blocks, block_count);
+  EXPECT_EQ(output.stats.blocks_decoded, block_count);
+  EXPECT_EQ(output.stats.blocks_pruned, 0u);
+  EXPECT_EQ(output.stats.rows_matched, kRows);
+
+  // Sequential reference: decompress every block of every column directly.
+  for (size_t c = 0; c < f.compressed.columns.size(); c++) {
+    const CompressedColumn& column = f.compressed.columns[c];
+    ASSERT_EQ(output.columns[c].blocks.size(), column.blocks.size());
+    DecodedBlock reference;
+    for (size_t b = 0; b < column.blocks.size(); b++) {
+      DecompressBlock(column.blocks[b].data(), &reference, f.config);
+      ExpectBlocksBitIdentical(reference, output.columns[c].blocks[b]);
+    }
+  }
+  // Short final block.
+  EXPECT_EQ(output.columns[0].blocks.back().count, kRows % kBlockCapacity);
+}
+
+TEST(ScannerTest, PredicateScanPrunesAndMatchesSequentialFilter) {
+  Fixture f;
+  Scanner scanner(&f.store, "scan_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+  ASSERT_TRUE(scanner.has_zone_map());
+
+  // Only block 1 holds ids in [1000, 1999]; blocks 0 and 2 must be pruned
+  // by zone maps, never fetched.
+  const i32 probe = 1500;
+  ScanSpec spec = PipelinedSpec();
+  spec.columns = {"id", "price"};
+  spec.predicates.push_back(Predicate::EqualsInt("id", probe));
+
+  ScanOutput output;
+  Status status = scanner.Scan(spec, &output);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  EXPECT_EQ(output.stats.blocks_pruned, 2u);
+  EXPECT_EQ(output.stats.blocks_decoded, 1u);
+  EXPECT_EQ(output.block_outcomes[0], BlockOutcome::kPruned);
+  EXPECT_EQ(output.block_outcomes[1], BlockOutcome::kDecoded);
+  EXPECT_EQ(output.block_outcomes[2], BlockOutcome::kPruned);
+
+  // Selection must equal the compressed-scan kernel run sequentially.
+  RoaringBitmap expected = SelectEqualsInt(
+      f.compressed.columns[0].blocks[1].data(), probe, f.config);
+  EXPECT_EQ(expected.ToVector(), output.block_selections[1].ToVector());
+  EXPECT_EQ(output.stats.rows_matched, expected.Cardinality());
+  ASSERT_GT(output.stats.rows_matched, 0u);
+
+  // Decoded values of the surviving block are bit-identical to sequential.
+  DecodedBlock reference;
+  for (size_t c = 0; c < 2; c++) {
+    DecompressBlock(f.compressed.columns[c].blocks[1].data(), &reference,
+                    f.config);
+    ExpectBlocksBitIdentical(reference, output.columns[c].blocks[1]);
+  }
+  // Pruned blocks stay empty.
+  EXPECT_EQ(output.columns[0].blocks[0].count, 0u);
+  EXPECT_EQ(output.columns[1].blocks[2].count, 0u);
+}
+
+TEST(ScannerTest, PredicateOnNonProjectedColumnFiltersProjection) {
+  Fixture f;
+  Scanner scanner(&f.store, "scan_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  ScanSpec spec = PipelinedSpec();
+  spec.columns = {"price"};  // predicate column not projected
+  spec.predicates.push_back(Predicate::EqualsString("city", "bonn"));
+
+  ScanOutput output;
+  Status status = scanner.Scan(spec, &output);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_EQ(output.columns.size(), 1u);
+  EXPECT_EQ(output.columns[0].name, "price");
+
+  u64 expected_matches = 0;
+  for (size_t b = 0; b < f.compressed.columns[2].blocks.size(); b++) {
+    RoaringBitmap sel = SelectEqualsString(
+        f.compressed.columns[2].blocks[b].data(), "bonn", f.config);
+    if (output.block_outcomes[b] == BlockOutcome::kDecoded) {
+      EXPECT_EQ(sel.ToVector(), output.block_selections[b].ToVector());
+    } else {
+      EXPECT_TRUE(sel.Empty());
+    }
+    expected_matches += sel.Cardinality();
+  }
+  EXPECT_EQ(output.stats.rows_matched, expected_matches);
+  ASSERT_GT(expected_matches, 0u);
+}
+
+TEST(ScannerTest, EmptySelectionSkipsDecompression) {
+  Fixture f;
+  Scanner scanner(&f.store, "scan_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  // 431 is inside every block's int zone range [b*1000, b*1000+999] only
+  // for block 0; for blocks 1/2 zones prune. Instead probe a value inside
+  // block 0's range that never occurs: ids hit every value in [0, 999]
+  // except... they don't skip any, so use the double column: 0.125 lies
+  // within [0, 1023.75] but i%4096*0.25 only produces multiples of 0.25.
+  ScanSpec spec = PipelinedSpec();
+  spec.columns = {"id"};
+  spec.predicates.push_back(Predicate::EqualsDouble("price", 0.125));
+
+  ScanOutput output;
+  Status status = scanner.Scan(spec, &output);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(output.stats.rows_matched, 0u);
+  EXPECT_EQ(output.stats.blocks_decoded, 0u);
+  // Every non-pruned block must be skipped by the compressed-form
+  // predicate evaluation, not decompressed.
+  EXPECT_EQ(output.stats.blocks_skipped + output.stats.blocks_pruned,
+            output.stats.row_blocks);
+}
+
+TEST(ScannerTest, PoisonedBlockSurfacesStatusNotCrash) {
+  Fixture f;
+  // Corrupt the type byte of block 1 of the "id" column object.
+  std::string key = ColumnFileKey("lake/", "scan_table", 0);
+  std::vector<u8> object;
+  f.store.GetObject(key, &object);
+  const CompressedColumn& column = f.compressed.columns[0];
+  u64 offset = ColumnFileHeaderBytes(column.blocks.size());
+  offset += column.blocks[0].size();  // start of block 1
+  object[offset] = 0x7F;              // invalid column type byte
+  f.store.Put(key, object.data(), object.size());
+
+  Scanner scanner(&f.store, "scan_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+  ScanOutput output;
+  Status status = scanner.Scan(PipelinedSpec(), &output);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kCorruption) << status.ToString();
+}
+
+TEST(ScannerTest, SpecErrorsAreStatuses) {
+  Fixture f;
+  Scanner scanner(&f.store, "scan_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  ScanSpec unknown = PipelinedSpec();
+  unknown.columns = {"nope"};
+  ScanOutput output;
+  EXPECT_EQ(scanner.Scan(unknown, &output).code(), Status::Code::kNotFound);
+
+  ScanSpec mismatch = PipelinedSpec();
+  mismatch.predicates.push_back(Predicate::EqualsInt("price", 3));
+  EXPECT_EQ(scanner.Scan(mismatch, &output).code(),
+            Status::Code::kInvalidArgument);
+
+  Scanner unopened(&f.store, "scan_table", "lake/");
+  EXPECT_EQ(unopened.Scan(PipelinedSpec(), &output).code(),
+            Status::Code::kInvalidArgument);
+
+  Scanner missing(&f.store, "no_such_table", "lake/");
+  EXPECT_EQ(missing.Open().code(), Status::Code::kNotFound);
+}
+
+TEST(ScannerTest, StreamingChunksArriveInOrder) {
+  Fixture f;
+  Scanner scanner(&f.store, "scan_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  ScanSpec spec = PipelinedSpec();
+  spec.columns = {"id", "city"};
+  std::vector<std::pair<u32, u32>> order;  // (block, column)
+  ScanStats stats;
+  Status status = scanner.Scan(
+      spec,
+      [&](ColumnChunk&& chunk) { order.emplace_back(chunk.block, chunk.column); },
+      &stats);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_EQ(order.size(), 3u * 2u);
+  for (size_t i = 1; i < order.size(); i++) {
+    EXPECT_LT(order[i - 1], order[i]);
+  }
+  EXPECT_GT(stats.bytes_fetched, 0u);
+  EXPECT_GT(stats.requests, 0u);
+}
+
+}  // namespace
+}  // namespace btr
