@@ -59,7 +59,8 @@ void Run() {
     std::vector<u8> blob;
     for (const Relation& table : corpus) {
       for (const Column& column : table.columns()) {
-        store.GetObject(table.name() + "/" + column.name(), &blob);
+        Status status = store.GetObject(table.name() + "/" + column.name(), &blob);
+        BTR_CHECK_MSG(status.ok(), "object store exercise GET failed");
       }
     }
     std::printf("\nObject store exercise: %u column objects, %llu GETs, "
@@ -104,7 +105,8 @@ void Run() {
       std::string key = ColumnFileKey("bench/", "pipeline_bench", c);
       u64 offset = ColumnFileHeaderBytes(column.blocks.size());
       for (const ByteBuffer& b : column.blocks) {
-        store.GetChunk(key, offset, b.size(), &chunk);
+        status = store.GetChunk(key, offset, b.size(), &chunk);
+        BTR_CHECK_MSG(status.ok(), "sequential baseline GET failed");
         offset += b.size();
         ByteBuffer padded;
         padded.Append(chunk.data(), chunk.size());

@@ -12,6 +12,13 @@
 //   --trace-json=<path>     record spans and write a Chrome/Perfetto trace
 //   --scan-threads=<n>      decode threads for `scan` (0 = hardware)
 //   --prefetch-depth=<n>    bounded-queue capacity for `scan`
+//   --fault-seed=<n>        `scan`: inject a seeded chaos fault schedule
+//                           into the object store (docs/ROBUSTNESS.md)
+//   --fault-rate=<f>        per-GET fault probability for --fault-seed
+//                           (default 0.05)
+//   --max-retries=<n>       `scan`: retries per GET on transient failures
+//   --skip-corrupt          `scan`: degrade instead of failing — skip
+//                           unreadable row blocks and report them
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -183,7 +190,7 @@ int CmdInspect(const std::string& csv_path) {
 // maps pruned, what predicate pushdown skipped, and the pipeline timing.
 int CmdScan(const std::string& csv_path,
             const std::vector<std::string>& filters,
-            const ScanConfig& scan_config) {
+            const ScanConfig& scan_config, u64 fault_seed, double fault_rate) {
   std::string name = csv_path;
   size_t slash = name.find_last_of('/');
   if (slash != std::string::npos) name = name.substr(slash + 1);
@@ -203,6 +210,13 @@ int CmdScan(const std::string& csv_path,
   s3sim::ObjectStore store;
   status = UploadCompressedRelation(compressed, &zones, "", &store);
   if (!status.ok()) return Fail(status);
+  if (fault_seed != 0) {
+    store.InstallFaultPlan(
+        s3sim::MakeChaosPlan(fault_seed, fault_rate, /*include_corruption=*/true));
+    std::printf("fault injection: seed %llu, rate %.3f (transients, latency "
+                "spikes, truncations, bit flips)\n",
+                static_cast<unsigned long long>(fault_seed), fault_rate);
+  }
 
   ScanSpec spec;
   spec.config = scan_config;
@@ -265,6 +279,19 @@ int CmdScan(const std::string& csv_path,
               static_cast<unsigned long long>(stats.requests), stats.seconds,
               spec.config.scan_threads, spec.config.fetch_threads,
               spec.config.prefetch_depth);
+  if (fault_seed != 0 || stats.retries != 0 || stats.blocks_unreadable != 0) {
+    std::printf("robustness: %llu faults injected, %llu retries granted, "
+                "%u unreadable block%s%s\n",
+                static_cast<unsigned long long>(store.faults_injected()),
+                static_cast<unsigned long long>(stats.retries),
+                stats.blocks_unreadable,
+                stats.blocks_unreadable == 1 ? "" : "s",
+                spec.config.skip_unreadable_blocks ? " (degraded mode)" : "");
+    for (size_t i = 0; i < stats.unreadable_blocks.size(); i++) {
+      std::printf("  block %u unreadable: %s\n", stats.unreadable_blocks[i],
+                  stats.unreadable_reasons[i].ToString().c_str());
+    }
+  }
   return 0;
 }
 
@@ -290,6 +317,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   btr::ScanConfig scan_config;
+  btr::u64 fault_seed = 0;
+  double fault_rate = 0.05;
   std::vector<std::string> args;
   for (int i = 1; i < argc; i++) {
     std::string arg = argv[i];
@@ -303,6 +332,18 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--prefetch-depth=", 0) == 0) {
       int depth = std::atoi(arg.c_str() + std::strlen("--prefetch-depth="));
       scan_config.prefetch_depth = depth < 1 ? 1 : static_cast<btr::u32>(depth);
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      fault_seed = static_cast<btr::u64>(
+          std::atoll(arg.c_str() + std::strlen("--fault-seed=")));
+    } else if (arg.rfind("--fault-rate=", 0) == 0) {
+      fault_rate = std::atof(arg.c_str() + std::strlen("--fault-rate="));
+    } else if (arg.rfind("--max-retries=", 0) == 0) {
+      int retries = std::atoi(arg.c_str() + std::strlen("--max-retries="));
+      // N retries = N+1 attempts; --max-retries=0 means fail fast.
+      scan_config.max_attempts =
+          retries < 0 ? 1 : static_cast<btr::u32>(retries) + 1;
+    } else if (arg == "--skip-corrupt") {
+      scan_config.skip_unreadable_blocks = true;
     } else {
       args.push_back(std::move(arg));
     }
@@ -346,7 +387,7 @@ int main(int argc, char** argv) {
   }
   if (command == "scan" && args.size() >= 2) {
     std::vector<std::string> filters(args.begin() + 2, args.end());
-    return finish(CmdScan(args[1], filters, scan_config));
+    return finish(CmdScan(args[1], filters, scan_config, fault_seed, fault_rate));
   }
   if (command == "demo") {
     return finish(CmdDemo());
@@ -360,6 +401,8 @@ int main(int argc, char** argv) {
                "  btrtool scan       <table.csv> [col=value ...]\n"
                "  btrtool demo\n"
                "flags: --metrics-json=<path>  --trace-json=<path>\n"
-               "       --scan-threads=<n>  --prefetch-depth=<n>  (scan)\n");
+               "       --scan-threads=<n>  --prefetch-depth=<n>  (scan)\n"
+               "       --fault-seed=<n>  --fault-rate=<f>  --max-retries=<n>\n"
+               "       --skip-corrupt  (scan robustness, docs/ROBUSTNESS.md)\n");
   return 2;
 }

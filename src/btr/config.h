@@ -139,10 +139,32 @@ struct CompressionConfig {
 // How btr::Scanner pipelines a scan (see the configuration story above).
 // Defaults favor a laptop-class box: enough fetch concurrency to hide
 // object-store latency, a queue deep enough to keep decoders busy.
+//
+// The robustness knobs mirror exec::RetryPolicy (the scanner builds one
+// from them; this header stays free of exec dependencies). Transient GET
+// failures (Status::Throttled/Unavailable) retry with capped exponential
+// backoff and deterministic jitter; permanent ones either fail the scan
+// or — in degraded mode — skip the affected row block and report it.
 struct ScanConfig {
   u32 scan_threads = 0;    // decode workers; 0 = hardware concurrency
   u32 fetch_threads = 4;   // concurrent ranged GETs the prefetcher issues
   u32 prefetch_depth = 8;  // blocks buffered between fetch and decode
+
+  // --- retry/backoff (docs/ROBUSTNESS.md) ----------------------------------
+  u32 max_attempts = 4;              // GET tries per request; 1 = fail fast
+  u64 initial_backoff_ns = 1000 * 1000;    // 1 ms before the first retry
+  u64 max_backoff_ns = 64 * 1000 * 1000;   // backoff cap
+  u64 request_deadline_ns = 0;       // per-request wall budget; 0 = none
+  u64 retry_budget = 256;            // total retries across the scan
+  u64 retry_jitter_seed = 0xB10C5EEDull;   // deterministic backoff jitter
+
+  // --- degraded mode -------------------------------------------------------
+  // When true, a row block whose fetch failed permanently or whose bytes
+  // arrived corrupt (CRC / structural validation) does not fail the scan:
+  // it is emitted as BlockOutcome::kUnreadable and counted in
+  // ScanStats::blocks_unreadable. When false (default), the first such
+  // block fails the whole scan with a typed Status.
+  bool skip_unreadable_blocks = false;
 };
 
 // Per-call compression state threaded through cascade recursion.

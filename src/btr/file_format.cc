@@ -4,6 +4,8 @@
 #include <cstring>
 #include <memory>
 
+#include "util/crc32c.h"
+
 namespace btr {
 
 namespace {
@@ -82,6 +84,7 @@ std::string ZoneMapKey(const std::string& prefix, const std::string& table) {
 }
 
 void SerializeTableMeta(const CompressedRelation& relation, ByteBuffer* out) {
+  size_t start = out->size();
   out->Append(kMetaMagic, 4);
   out->AppendValue<u32>(static_cast<u32>(relation.columns.size()));
   out->AppendValue<u32>(relation.row_count);
@@ -94,9 +97,19 @@ void SerializeTableMeta(const CompressedRelation& relation, ByteBuffer* out) {
     out->Append(column.block_value_counts.data(),
                 column.block_value_counts.size() * sizeof(u32));
   }
+  out->AppendValue<u32>(Crc32c(out->data() + start, out->size() - start));
 }
 
 Status ParseTableMeta(const u8* data, size_t size, TableMeta* out) {
+  // Trailing footer CRC over everything before it: a flipped bit anywhere
+  // in the metadata is caught here, before any field is trusted.
+  if (size < 4) return Status::Corruption("metadata too small for CRC");
+  u32 stored_crc;
+  std::memcpy(&stored_crc, data + size - 4, 4);
+  if (Crc32c(data, size - 4) != stored_crc) {
+    return Status::Corruption("table metadata CRC mismatch");
+  }
+  size -= 4;
   Reader r{data, size};
   char magic[4];
   if (!r.Read(magic, 4) || std::memcmp(magic, kMetaMagic, 4) != 0) {
@@ -131,18 +144,24 @@ Status ParseTableMeta(const u8* data, size_t size, TableMeta* out) {
 }
 
 void SerializeColumnFile(const CompressedColumn& column, ByteBuffer* out) {
+  size_t start = out->size();
   out->Append(kColumnMagic, 4);
   out->AppendValue<u32>(static_cast<u32>(column.blocks.size()));
   for (const ByteBuffer& block : column.blocks) {
     out->AppendValue<u32>(static_cast<u32>(block.size()));
   }
   for (const ByteBuffer& block : column.blocks) {
+    out->AppendValue<u32>(Crc32c(block.data(), block.size()));
+  }
+  out->AppendValue<u32>(Crc32c(out->data() + start, out->size() - start));
+  for (const ByteBuffer& block : column.blocks) {
     out->Append(block.data(), block.size());
   }
 }
 
 Status ParseColumnFileHeader(const u8* data, size_t size,
-                             std::vector<u32>* block_sizes) {
+                             std::vector<u32>* block_sizes,
+                             std::vector<u32>* block_crcs) {
   Reader r{data, size};
   char magic[4];
   if (!r.Read(magic, 4) || std::memcmp(magic, kColumnMagic, 4) != 0) {
@@ -155,6 +174,20 @@ Status ParseColumnFileHeader(const u8* data, size_t size,
   block_sizes->resize(block_count);
   if (!r.Read(block_sizes->data(), block_count * sizeof(u32))) {
     return Status::Corruption("truncated column block sizes");
+  }
+  std::vector<u32> local_crcs;
+  std::vector<u32>& crcs = block_crcs != nullptr ? *block_crcs : local_crcs;
+  crcs.resize(block_count);
+  if (!r.Read(crcs.data(), block_count * sizeof(u32))) {
+    return Status::Corruption("truncated column block CRCs");
+  }
+  u32 stored_crc;
+  if (!r.Read(&stored_crc, 4)) {
+    return Status::Corruption("truncated column header CRC");
+  }
+  u64 covered = ColumnFileHeaderBytes(block_count) - 4;
+  if (Crc32c(data, covered) != stored_crc) {
+    return Status::Corruption("column header CRC mismatch");
   }
   return Status::Ok();
 }
@@ -198,7 +231,9 @@ Status ReadCompressedColumn(const std::string& directory,
   BTR_RETURN_IF_ERROR(
       ReadFileToBuffer(ColumnPath(directory, table_name, column_index), &file));
   std::vector<u32> sizes;
-  BTR_RETURN_IF_ERROR(ParseColumnFileHeader(file.data(), file.size(), &sizes));
+  std::vector<u32> crcs;
+  BTR_RETURN_IF_ERROR(
+      ParseColumnFileHeader(file.data(), file.size(), &sizes, &crcs));
   if (sizes.size() != cm.block_value_counts.size()) {
     return Status::Corruption("metadata/column block count mismatch");
   }
@@ -209,6 +244,10 @@ Status ReadCompressedColumn(const std::string& directory,
   for (size_t b = 0; b < sizes.size(); b++) {
     if (offset + sizes[b] > file.size()) {
       return Status::Corruption("column file truncated");
+    }
+    if (Crc32c(file.data() + offset, sizes[b]) != crcs[b]) {
+      return Status::Corruption("block " + std::to_string(b) +
+                                " payload CRC mismatch");
     }
     ByteBuffer block;  // copy keeps SIMD read padding per block
     block.Append(file.data() + offset, sizes[b]);

@@ -6,11 +6,21 @@
 //   <dir>/<table>.btrmeta            table metadata
 //   <dir>/<table>.<column_idx>.btr   one file per column
 //
+// Every structure is integrity-checked with CRC32C (util/crc32c.h): data
+// that crossed a network or disk boundary must be *detectably* corrupt,
+// never silently wrong (docs/ROBUSTNESS.md).
+//
 // Column file: "BTRC" | u32 block_count | block_count * u32 sizes |
+//              block_count * u32 payload CRC32Cs | u32 header CRC32C |
 //              concatenated block payloads.
+//              The header CRC covers everything before it; each payload
+//              CRC covers one block's bytes, so a reader that ranged-GETs
+//              a single block can verify it against the already-fetched
+//              header without touching the rest of the object.
 // Metadata:    "BTRM" | u32 column_count | u32 row_count | per column:
 //              u16 name_len | name | u8 type | u64 uncompressed_bytes |
-//              u32 block_count | block_count * u32 value_counts.
+//              u32 block_count | block_count * u32 value_counts
+//              | trailing u32 CRC32C over all preceding bytes.
 #ifndef BTR_BTR_FILE_FORMAT_H_
 #define BTR_BTR_FILE_FORMAT_H_
 
@@ -59,13 +69,17 @@ void SerializeTableMeta(const CompressedRelation& relation, ByteBuffer* out);
 Status ParseTableMeta(const u8* data, size_t size, TableMeta* out);
 
 void SerializeColumnFile(const CompressedColumn& column, ByteBuffer* out);
-// Parses a column file's "BTRC" header prefix: per-block byte sizes.
-// `size` is the bytes available; the header prefix suffices.
+// Parses a column file's "BTRC" header prefix — per-block byte sizes and
+// payload CRC32Cs — and verifies the header's own CRC. `size` is the
+// bytes available; the header prefix suffices. `block_crcs` may be null
+// when the caller does not verify payloads itself.
 Status ParseColumnFileHeader(const u8* data, size_t size,
-                             std::vector<u32>* block_sizes);
-// Bytes before the first block payload in a column file.
+                             std::vector<u32>* block_sizes,
+                             std::vector<u32>* block_crcs = nullptr);
+// Bytes before the first block payload in a column file: magic + count,
+// the size and CRC arrays, and the header CRC.
 inline u64 ColumnFileHeaderBytes(u64 block_count) {
-  return 8 + 4 * block_count;
+  return 8 + 8 * block_count + 4;
 }
 
 // Object keys btr::Scanner and UploadCompressedRelation agree on. The

@@ -9,9 +9,11 @@
 
 #include "btr/datablock.h"
 #include "exec/pipeline.h"
+#include "exec/retry.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/crc32c.h"
 #include "util/timer.h"
 
 namespace btr {
@@ -23,7 +25,9 @@ struct ScanMetrics {
   obs::Counter& blocks_pruned;
   obs::Counter& blocks_skipped;
   obs::Counter& blocks_decoded;
+  obs::Counter& blocks_unreadable;
   obs::Counter& rows_matched;
+  obs::Counter& crc_failures;
 
   static ScanMetrics& Get() {
     static ScanMetrics* m = [] {
@@ -32,11 +36,24 @@ struct ScanMetrics {
                              r.GetCounter("scan.blocks_pruned"),
                              r.GetCounter("scan.blocks_skipped"),
                              r.GetCounter("scan.blocks_decoded"),
-                             r.GetCounter("scan.rows_matched")};
+                             r.GetCounter("scan.blocks_unreadable"),
+                             r.GetCounter("scan.rows_matched"),
+                             r.GetCounter("scan.crc_failures")};
     }();
     return *m;
   }
 };
+
+exec::RetryPolicy MakeRetryPolicy(const ScanConfig& config) {
+  exec::RetryPolicy policy;
+  policy.max_attempts = config.max_attempts == 0 ? 1 : config.max_attempts;
+  policy.initial_backoff_ns = config.initial_backoff_ns;
+  policy.max_backoff_ns = config.max_backoff_ns;
+  policy.request_deadline_ns = config.request_deadline_ns;
+  policy.retry_budget = config.retry_budget;
+  policy.jitter_seed = config.retry_jitter_seed;
+  return policy;
+}
 
 }  // namespace
 
@@ -72,20 +89,31 @@ Scanner::Scanner(s3sim::ObjectStore* store, std::string table_name,
       prefix_(std::move(prefix)),
       config_(config) {}
 
-Status Scanner::Open() {
+Status Scanner::Open(const ScanConfig& config) {
   if (store_ == nullptr) return Status::InvalidArgument("null object store");
+  // Metadata GETs ride the same retry discipline as block fetches: a
+  // transiently failing store must not fail Open.
+  exec::RetryState retry(MakeRetryPolicy(config));
+  auto fetch = [&](const std::string& key, u64 length, std::vector<u8>* out) {
+    return exec::RunWithRetries(
+        &retry, [&] { return store_->GetChunk(key, 0, length, out); });
+  };
+
   const std::string meta_key = TableMetaKey(prefix_, table_name_);
   if (!store_->Contains(meta_key)) {
     return Status::NotFound("table metadata object missing: " + meta_key);
   }
+  u64 object_size = 0;
+  BTR_RETURN_IF_ERROR(store_->ObjectSize(meta_key, &object_size));
   std::vector<u8> blob;
-  store_->GetChunk(meta_key, 0, store_->ObjectSize(meta_key), &blob);
+  BTR_RETURN_IF_ERROR(fetch(meta_key, object_size, &blob));
   BTR_RETURN_IF_ERROR(ParseTableMeta(blob.data(), blob.size(), &meta_));
 
   const std::string zone_key = ZoneMapKey(prefix_, table_name_);
   has_zones_ = store_->Contains(zone_key);
   if (has_zones_) {
-    store_->GetChunk(zone_key, 0, store_->ObjectSize(zone_key), &blob);
+    BTR_RETURN_IF_ERROR(store_->ObjectSize(zone_key, &object_size));
+    BTR_RETURN_IF_ERROR(fetch(zone_key, object_size, &blob));
     BTR_RETURN_IF_ERROR(ParseTableZoneMap(blob.data(), blob.size(), &zones_));
     if (zones_.columns.size() != meta_.columns.size()) {
       return Status::Corruption("zone map column count mismatch");
@@ -93,9 +121,11 @@ Status Scanner::Open() {
   }
 
   // One small ranged GET per column: the "BTRC" header with per-block byte
-  // sizes, turned into payload offsets for the block-granular GETs Scan()
-  // issues later.
+  // sizes and payload CRCs, turned into payload offsets for the
+  // block-granular GETs Scan() issues later and the integrity checks run
+  // on what they return.
   block_offsets_.assign(meta_.columns.size(), {});
+  block_crcs_.assign(meta_.columns.size(), {});
   for (size_t c = 0; c < meta_.columns.size(); c++) {
     const std::string key = ColumnFileKey(prefix_, table_name_, c);
     if (!store_->Contains(key)) {
@@ -103,9 +133,10 @@ Status Scanner::Open() {
     }
     u64 block_count = meta_.columns[c].block_value_counts.size();
     u64 header_bytes = ColumnFileHeaderBytes(block_count);
-    store_->GetChunk(key, 0, header_bytes, &blob);
+    BTR_RETURN_IF_ERROR(fetch(key, header_bytes, &blob));
     std::vector<u32> sizes;
-    BTR_RETURN_IF_ERROR(ParseColumnFileHeader(blob.data(), blob.size(), &sizes));
+    BTR_RETURN_IF_ERROR(ParseColumnFileHeader(blob.data(), blob.size(), &sizes,
+                                              &block_crcs_[c]));
     if (sizes.size() != block_count) {
       return Status::Corruption("metadata/column block count mismatch: " + key);
     }
@@ -204,12 +235,17 @@ struct BlockResult {
   BlockOutcome outcome = BlockOutcome::kDecoded;
   RoaringBitmap selection;
   std::vector<DecodedBlock> decoded;  // by projection position (kDecoded only)
+  Status error;  // why the block is kUnreadable (degraded mode only)
 };
 
-// Fetched column blocks of one row block, awaiting completion.
+// Fetched column blocks of one row block, awaiting completion. A part
+// whose fetch failed permanently still counts toward `filled` (its status
+// lands in `error`) so the bundle always completes and the emitter never
+// waits on a block that cannot arrive.
 struct Bundle {
   std::vector<ByteBuffer> parts;  // by needed-column position
   u32 filled = 0;
+  Status error;  // first fetch failure of this row block
 };
 
 }  // namespace
@@ -269,10 +305,12 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   Status first_error;
   bool failed = false;
 
+  const bool degraded = spec.config.skip_unreadable_blocks;
   exec::BoundedQueue<exec::FetchedBlock> queue(
       std::max<u32>(1, spec.config.prefetch_depth));
   exec::Prefetcher prefetcher(store_, std::move(requests), &queue,
-                              spec.config.fetch_threads);
+                              spec.config.fetch_threads,
+                              MakeRetryPolicy(spec.config));
 
   auto fail = [&](Status status) {
     {
@@ -293,7 +331,20 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
     u32 expected_rows = resolved.block_rows[b];
     for (u32 pos = 0; pos < needed_count; pos++) {
       const ByteBuffer& part = bundle.parts[pos];
-      ColumnType type = meta_.columns[resolved.needed[pos]].type;
+      u32 column = resolved.needed[pos];
+      // Integrity first: the payload must be exactly the bytes the column
+      // header promised. Catches truncated ranges (size) and flipped bits
+      // (CRC32C) before any parsing logic sees the data.
+      u64 expected_size =
+          block_offsets_[column][b + 1] - block_offsets_[column][b];
+      if (part.size() != expected_size ||
+          Crc32c(part.data(), part.size()) != block_crcs_[column][b]) {
+        metrics.crc_failures.Add();
+        return Status::Corruption(
+            "block " + std::to_string(b) + " of column " +
+            meta_.columns[column].name + " failed CRC verification");
+      }
+      ColumnType type = meta_.columns[column].type;
       BTR_RETURN_IF_ERROR(
           ValidateBlock(part.data(), part.size(), type, expected_rows));
     }
@@ -324,14 +375,21 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
     }
     return Status::Ok();
   };
-  // Both kDecoded and kSkipped results go through the reorder buffer so
-  // the emitter sees every non-pruned block exactly once, in order.
+  // Every non-pruned block goes through the reorder buffer exactly once:
+  // kDecoded, kSkipped, and — in degraded mode — kUnreadable, so the
+  // emitter always sees block b eventually and never waits forever.
   auto process_and_publish = [&](u32 b, Bundle&& bundle) {
     BlockResult result;
-    Status status = process_bundle(b, bundle, &result);
+    Status status = bundle.error.ok() ? process_bundle(b, bundle, &result)
+                                      : bundle.error;
     if (!status.ok()) {
-      fail(std::move(status));
-      return;
+      if (!degraded) {
+        fail(std::move(status));
+        return;
+      }
+      result = BlockResult();
+      result.outcome = BlockOutcome::kUnreadable;
+      result.error = std::move(status);
     }
     {
       std::lock_guard<std::mutex> lock(mutex);
@@ -358,6 +416,9 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
             std::lock_guard<std::mutex> lock(mutex);
             Bundle& bundle = assembling[b];
             if (bundle.parts.empty()) bundle.parts.resize(needed_count);
+            if (!fetched.status.ok() && bundle.error.ok()) {
+              bundle.error = fetched.status;
+            }
             bundle.parts[pos] = std::move(fetched.data);
             if (++bundle.filled == needed_count) {
               complete = std::move(bundle);
@@ -408,6 +469,11 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
     if (result.outcome == BlockOutcome::kSkipped) {
       stats.blocks_skipped++;
       metrics.blocks_skipped.Add();
+    } else if (result.outcome == BlockOutcome::kUnreadable) {
+      stats.blocks_unreadable++;
+      metrics.blocks_unreadable.Add();
+      stats.unreadable_blocks.push_back(b);
+      stats.unreadable_reasons.push_back(result.error);
     } else {
       stats.blocks_decoded++;
       metrics.blocks_decoded.Add();
@@ -456,6 +522,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   }
   prefetcher.Join();
 
+  stats.retries = prefetcher.retries();
   stats.bytes_fetched = store_->total_bytes_fetched() - base_bytes;
   stats.requests = store_->total_requests() - base_requests;
   stats.seconds = timer.ElapsedSeconds();

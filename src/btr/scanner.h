@@ -16,12 +16,20 @@
 // API contract (this is the Status-carrying redesign):
 //   - Scan() never throws; worker-thread failures — including exceptions
 //     propagated through exec::ThreadPool::Wait() — surface as a Status.
-//   - A structurally corrupt ("poisoned") block yields Status::Corruption,
-//     not a crash: every block is ValidateBlock()ed before decoding.
+//   - Transient object-store failures (Status::Throttled/Unavailable) are
+//     retried per the ScanConfig retry knobs with interruptible backoff;
+//     a permanently unreadable block either fails the scan with a typed
+//     Status or, with skip_unreadable_blocks, degrades it (the block is
+//     emitted as kUnreadable and reported in ScanStats).
+//   - Every fetched block payload is verified against its header CRC32C
+//     before validation/decoding; a structurally corrupt ("poisoned") or
+//     bit-flipped block yields Status::Corruption, not a crash and never
+//     silently wrong data.
 //   - Chunks arrive in ascending (block, column) order regardless of how
 //     fetch and decode interleave.
 //
-// See docs/SCAN_PIPELINE.md for stages, tuning knobs and metric names.
+// See docs/SCAN_PIPELINE.md for stages and tuning knobs, and
+// docs/ROBUSTNESS.md for the fault model, retry policy and metric names.
 #ifndef BTR_BTR_SCANNER_H_
 #define BTR_BTR_SCANNER_H_
 
@@ -52,10 +60,12 @@ struct ScanSpec {
 
 // Why a row block produced no decoded values.
 enum class BlockOutcome : u8 {
-  kDecoded = 0,  // fetched, filtered, decompressed
-  kPruned = 1,   // zone maps proved no match: never fetched
-  kSkipped = 2,  // compressed-form predicate evaluation found an empty
-                 // selection: fetched but not decompressed
+  kDecoded = 0,     // fetched, filtered, decompressed
+  kPruned = 1,      // zone maps proved no match: never fetched
+  kSkipped = 2,     // compressed-form predicate evaluation found an empty
+                    // selection: fetched but not decompressed
+  kUnreadable = 3,  // degraded mode only: fetch failed permanently or the
+                    // bytes arrived corrupt; no values were produced
 };
 
 // One (column, row-block) result. Emitted for every projected column of
@@ -79,10 +89,16 @@ struct ScanStats {
   u32 blocks_pruned = 0;       // zone-map pruned row blocks
   u32 blocks_skipped = 0;      // empty-selection row blocks
   u32 blocks_decoded = 0;      // row blocks that reached decompression
+  u32 blocks_unreadable = 0;   // degraded mode: blocks skipped as unreadable
   u64 rows_matched = 0;        // rows passing every predicate
   u64 bytes_fetched = 0;       // compressed bytes GET'd (headers included)
   u64 requests = 0;            // GET requests issued
+  u64 retries = 0;             // transient-failure retries granted
   double seconds = 0;          // wall clock of Scan()
+  // Degraded mode: indices of the kUnreadable row blocks, with the Status
+  // that made each unreadable (same order).
+  std::vector<u32> unreadable_blocks;
+  std::vector<Status> unreadable_reasons;
 };
 
 // Materialized scan result (the convenience overload).
@@ -117,8 +133,10 @@ class Scanner {
           const CompressionConfig& config = CompressionConfig());
 
   // Fetches and parses table metadata, per-column file headers (block byte
-  // offsets for ranged GETs) and the zone-map sidecar when present.
-  Status Open();
+  // offsets and payload CRCs for ranged GETs) and the zone-map sidecar
+  // when present. Metadata GETs use the config's retry knobs; every parsed
+  // structure is CRC-verified.
+  Status Open(const ScanConfig& config = ScanConfig());
 
   const TableMeta& meta() const { return meta_; }
   bool has_zone_map() const { return has_zones_; }
@@ -150,6 +168,8 @@ class Scanner {
   // Per column: byte offset of each block payload inside the column
   // object, plus one past-the-end entry.
   std::vector<std::vector<u64>> block_offsets_;
+  // Per column: CRC32C of each block payload, from the column header.
+  std::vector<std::vector<u32>> block_crcs_;
 };
 
 }  // namespace btr

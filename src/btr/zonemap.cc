@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/crc32c.h"
+
 namespace btr {
 
 namespace {
@@ -123,6 +125,7 @@ std::string ZonePath(const std::string& dir, const std::string& table) {
 }  // namespace
 
 void SerializeTableZoneMap(const TableZoneMap& zonemap, ByteBuffer* out) {
+  size_t start = out->size();
   out->Append(kZoneMagic, 4);
   out->AppendValue<u32>(static_cast<u32>(zonemap.columns.size()));
   for (const ColumnZoneMap& column : zonemap.columns) {
@@ -130,9 +133,19 @@ void SerializeTableZoneMap(const TableZoneMap& zonemap, ByteBuffer* out) {
     out->AppendValue<u32>(static_cast<u32>(column.zones.size()));
     out->Append(column.zones.data(), column.zones.size() * sizeof(BlockZone));
   }
+  out->AppendValue<u32>(Crc32c(out->data() + start, out->size() - start));
 }
 
 Status ParseTableZoneMap(const u8* data, size_t size, TableZoneMap* out) {
+  // Trailing CRC over the whole sidecar (see file_format.h): verify before
+  // trusting any field.
+  if (size < 4) return Status::Corruption("zone map too small for CRC");
+  u32 stored_crc;
+  std::memcpy(&stored_crc, data + size - 4, 4);
+  if (Crc32c(data, size - 4) != stored_crc) {
+    return Status::Corruption("zone map CRC mismatch");
+  }
+  size -= 4;
   const u8* p = data;
   size_t remaining = size;
   auto read = [&](void* dst, size_t n) {

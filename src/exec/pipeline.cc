@@ -64,11 +64,13 @@ u64 StallNanos(const std::function<bool()>& ready, std::mutex&,
 
 Prefetcher::Prefetcher(s3sim::ObjectStore* store,
                        std::vector<FetchRequest> requests,
-                       BoundedQueue<FetchedBlock>* out, u32 fetch_threads)
+                       BoundedQueue<FetchedBlock>* out, u32 fetch_threads,
+                       const RetryPolicy& retry_policy)
     : store_(store),
       requests_(std::move(requests)),
       out_(out),
-      fetch_threads_(fetch_threads == 0 ? 1 : fetch_threads) {}
+      fetch_threads_(fetch_threads == 0 ? 1 : fetch_threads),
+      retry_state_(retry_policy) {}
 
 Prefetcher::~Prefetcher() {
   RequestStop();
@@ -76,6 +78,8 @@ Prefetcher::~Prefetcher() {
 }
 
 void Prefetcher::Start() {
+  BTR_CHECK_MSG(!started_, "Prefetcher::Start() called twice");
+  started_ = true;
   u32 threads = fetch_threads_;
   // No point spinning up more fetch threads than requests.
   if (threads > requests_.size()) {
@@ -92,7 +96,22 @@ void Prefetcher::Start() {
   }
 }
 
-void Prefetcher::RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+void Prefetcher::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  // Wake threads parked in a retry backoff — an unwinding pipeline must
+  // not wait out pending sleeps.
+  stop_cv_.notify_all();
+}
+
+bool Prefetcher::BackoffSleep(u64 backoff_ns) {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait_for(lock, std::chrono::nanoseconds(backoff_ns),
+                    [this] { return stop_.load(std::memory_order_relaxed); });
+  return !stop_.load(std::memory_order_relaxed);
+}
 
 void Prefetcher::Join() {
   for (std::thread& t : threads_) {
@@ -109,13 +128,24 @@ void Prefetcher::FetchLoop() {
     u64 i = next_request_.fetch_add(1, std::memory_order_relaxed);
     if (i >= requests_.size()) break;
     const FetchRequest& request = requests_[i];
+    Status status;
     {
       BTR_TRACE_SPAN("scan.fetch");
-      store_->GetChunk(request.key, request.offset, request.length, &chunk);
+      // Transient failures retry with interruptible backoff; permanent
+      // ones (and exhausted retries) fall through as the block's status.
+      status = RunWithRetries(
+          &retry_state_,
+          [&] {
+            return store_->GetChunk(request.key, request.offset,
+                                    request.length, &chunk);
+          },
+          [this](u64 backoff_ns) { return BackoffSleep(backoff_ns); });
     }
+    if (stop_.load(std::memory_order_relaxed)) break;
     FetchedBlock block;
     block.tag = request.tag;
-    block.data.Append(chunk.data(), chunk.size());
+    block.status = status;
+    if (status.ok()) block.data.Append(chunk.data(), chunk.size());
     fetched.Add();
     // Backpressure: blocks while consumers lag prefetch_depth behind.
     if (!out_->Push(std::move(block))) break;  // queue aborted

@@ -11,8 +11,13 @@
 //     and not yet closed. Close() wakes everyone; Pop returns false once
 //     the queue is both closed and drained. Abort() additionally discards
 //     queued items so a failing pipeline unwinds quickly.
-//   - Prefetcher: owns its fetch threads; Start() is not idempotent and
-//     Join() must be called before destruction (Scanner does both).
+//   - Prefetcher: owns its fetch threads; Start() may be called at most
+//     once (a second call is an explicit BTR_CHECK failure, not silent
+//     thread duplication) and Join() must be called before destruction
+//     (Scanner does both). Transient GET failures are retried per the
+//     RetryPolicy; backoff sleeps are interruptible, so RequestStop()
+//     drains a thread parked in backoff promptly instead of waiting the
+//     sleep out.
 #ifndef BTR_EXEC_PIPELINE_H_
 #define BTR_EXEC_PIPELINE_H_
 
@@ -26,8 +31,10 @@
 #include <utility>
 #include <vector>
 
+#include "exec/retry.h"
 #include "s3sim/object_store.h"
 #include "util/buffer.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace btr::exec {
@@ -141,41 +148,61 @@ struct FetchRequest {
   u64 tag = 0;
 };
 
-// A fetched block. `data` is SIMD-padded so decoders can consume it
-// directly (ByteBuffer keeps kSimdPadding writable bytes past size()).
+// A fetched block, or the reason it could not be fetched. `data` is
+// SIMD-padded so decoders can consume it directly (ByteBuffer keeps
+// kSimdPadding writable bytes past size()). When `status` is non-OK the
+// GET failed permanently (after retries) and `data` is empty — the
+// consumer decides whether that fails the scan or degrades it.
 struct FetchedBlock {
   u64 tag = 0;
+  Status status;
   ByteBuffer data;
 };
 
 // Pulls FetchRequests off a shared cursor and issues ObjectStore::GetChunk
 // calls on `fetch_threads` threads, pushing results into `out` — ahead of
-// consumption, up to the queue's capacity (the prefetch depth). Closes the
-// queue when every request has been fetched or an abort was requested.
+// consumption, up to the queue's capacity (the prefetch depth). Transient
+// GET failures (Throttled/Unavailable) are retried with backoff through
+// the shared RetryState; exhausted or permanent failures are pushed as
+// FetchedBlocks carrying the Status. Closes the queue when every request
+// has been resolved or a stop was requested.
 class Prefetcher {
  public:
   Prefetcher(s3sim::ObjectStore* store, std::vector<FetchRequest> requests,
-             BoundedQueue<FetchedBlock>* out, u32 fetch_threads);
+             BoundedQueue<FetchedBlock>* out, u32 fetch_threads,
+             const RetryPolicy& retry_policy = RetryPolicy());
   ~Prefetcher();
 
   Prefetcher(const Prefetcher&) = delete;
   Prefetcher& operator=(const Prefetcher&) = delete;
 
+  // Spawns the fetch threads. Must be called at most once per Prefetcher
+  // (explicit state check; a second call BTR_CHECK-fails).
   void Start();
-  // Asks fetch threads to stop after their current GET (error unwind).
+  // Asks fetch threads to stop after their current GET, and wakes any
+  // thread sleeping in a retry backoff so the unwind is prompt.
   void RequestStop();
   // Blocks until every fetch thread exited. Safe to call twice.
   void Join();
 
+  // Transient-failure retries granted so far (scan-wide).
+  u64 retries() const { return retry_state_.retries_granted(); }
+
  private:
   void FetchLoop();
+  // Interruptible backoff: returns false when RequestStop arrived.
+  bool BackoffSleep(u64 backoff_ns);
 
   s3sim::ObjectStore* store_;
   std::vector<FetchRequest> requests_;
   BoundedQueue<FetchedBlock>* out_;
   u32 fetch_threads_;
+  RetryState retry_state_;
   std::atomic<u64> next_request_{0};
   std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
   std::atomic<u32> live_threads_{0};
   std::vector<std::thread> threads_;
 };

@@ -1,0 +1,88 @@
+#include "exec/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace btr::exec {
+
+namespace {
+
+struct RetryMetrics {
+  obs::Counter& retries;
+  obs::Histogram& backoff_ns;
+
+  static RetryMetrics& Get() {
+    static RetryMetrics* m = [] {
+      obs::Registry& r = obs::Registry::Get();
+      return new RetryMetrics{r.GetCounter("scan.retries"),
+                              r.GetHistogram("scan.backoff_ns")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+RetryState::RetryState(const RetryPolicy& policy)
+    : policy_(policy), jitter_rng_(policy.jitter_seed) {}
+
+bool RetryState::NextBackoff(u32 attempts, u64 elapsed_ns, u64* backoff_ns) {
+  if (attempts >= policy_.max_attempts) return false;
+
+  // Exponential target for this retry (attempts is >= 1: the count of
+  // tries already made), capped, then jittered into [1/2, 1] of the
+  // target so synchronized fetch threads desynchronize.
+  double target = static_cast<double>(policy_.initial_backoff_ns);
+  for (u32 i = 1; i < attempts; i++) target *= policy_.backoff_multiplier;
+  target = std::min(target, static_cast<double>(policy_.max_backoff_ns));
+
+  u64 backoff;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (budget_used_ >= policy_.retry_budget) return false;
+    backoff = static_cast<u64>(target * (0.5 + 0.5 * jitter_rng_.NextDouble()));
+    if (policy_.request_deadline_ns != 0 &&
+        elapsed_ns + backoff > policy_.request_deadline_ns) {
+      return false;
+    }
+    budget_used_++;
+  }
+  RetryMetrics& metrics = RetryMetrics::Get();
+  metrics.retries.Add();
+  metrics.backoff_ns.Record(backoff);
+  *backoff_ns = backoff;
+  return true;
+}
+
+u64 RetryState::retries_granted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return budget_used_;
+}
+
+bool SleepUninterruptible(u64 backoff_ns) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(backoff_ns));
+  return true;
+}
+
+Status RunWithRetries(RetryState* state, const std::function<Status()>& op,
+                      const SleepFn& sleep) {
+  Timer timer;
+  u32 attempts = 0;
+  for (;;) {
+    Status status = op();
+    attempts++;
+    if (status.ok() || !status.IsTransient()) return status;
+    u64 backoff_ns = 0;
+    if (!state->NextBackoff(attempts, static_cast<u64>(timer.ElapsedNanos()),
+                            &backoff_ns)) {
+      return status;  // attempts, budget, or deadline exhausted
+    }
+    if (!sleep(backoff_ns)) return status;  // interrupted: unwind now
+  }
+}
+
+}  // namespace btr::exec

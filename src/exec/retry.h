@@ -1,0 +1,75 @@
+// Retry policy for transient object-store failures (Status::Throttled /
+// Status::Unavailable): capped exponential backoff with deterministic
+// jitter, a per-request deadline, and a shared retry budget so one scan
+// cannot retry without bound when the backend is down.
+//
+// One RetryState is shared by all fetch threads of a scan (and by
+// Scanner::Open's metadata GETs): the budget is scan-wide and the jitter
+// stream is seeded, so a given schedule of failures backs off the same
+// way every run. Backoff sleeps go through a caller-supplied SleepFn so
+// the prefetcher can make them interruptible — an aborting pipeline must
+// not wait out a pending backoff (exec/pipeline.h).
+//
+// Every granted retry is counted in the `scan.retries` metric and its
+// backoff recorded in `scan.backoff_ns`.
+#ifndef BTR_EXEC_RETRY_H_
+#define BTR_EXEC_RETRY_H_
+
+#include <functional>
+#include <mutex>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace btr::exec {
+
+struct RetryPolicy {
+  u32 max_attempts = 4;             // tries per request; 1 = never retry
+  u64 initial_backoff_ns = 1000 * 1000;      // 1 ms before the first retry
+  double backoff_multiplier = 2.0;           // exponential growth per retry
+  u64 max_backoff_ns = 64 * 1000 * 1000;     // backoff cap, 64 ms
+  u64 request_deadline_ns = 0;      // wall budget per request, 0 = none
+  u64 retry_budget = 256;           // total retries across the policy's user
+  u64 jitter_seed = 0xB10C5EEDull;  // deterministic jitter stream
+};
+
+// Shared mutable retry state: the scan-wide budget and the jitter PRNG.
+// Thread-safe.
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy);
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  // Decides whether a request that has completed `attempts` tries (>= 1),
+  // spending `elapsed_ns` so far, may retry. On true, one unit of budget
+  // is consumed, metrics are recorded, and *backoff_ns holds the jittered
+  // backoff to sleep before the next try.
+  bool NextBackoff(u32 attempts, u64 elapsed_ns, u64* backoff_ns);
+
+  u64 retries_granted() const;
+
+ private:
+  const RetryPolicy policy_;
+  mutable std::mutex mutex_;
+  Random jitter_rng_;
+  u64 budget_used_ = 0;
+};
+
+// Sleeps for the given nanoseconds; returns false when interrupted (the
+// caller should stop retrying and unwind).
+using SleepFn = std::function<bool(u64 backoff_ns)>;
+
+// Blocking sleep that is never interrupted (for non-pipelined callers).
+bool SleepUninterruptible(u64 backoff_ns);
+
+// Runs `op` until it succeeds, fails permanently, or retries are
+// exhausted. Only transient statuses (Status::IsTransient) are retried;
+// the last status is returned either way.
+Status RunWithRetries(RetryState* state, const std::function<Status()>& op,
+                      const SleepFn& sleep = SleepUninterruptible);
+
+}  // namespace btr::exec
+
+#endif  // BTR_EXEC_RETRY_H_

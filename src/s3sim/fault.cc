@@ -1,0 +1,101 @@
+#include "s3sim/fault.h"
+
+namespace btr::s3sim {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThrottle: return "throttle";
+    case FaultKind::kUnavailable: return "unavailable";
+    case FaultKind::kLatency: return "latency";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+namespace {
+
+FaultRule Targeted(FaultKind kind, std::string key_substring, u64 ordinal) {
+  FaultRule rule;
+  rule.kind = kind;
+  rule.key_substring = std::move(key_substring);
+  rule.ordinal = ordinal;
+  rule.max_fires = 1;
+  return rule;
+}
+
+}  // namespace
+
+FaultRule FaultRule::Throttle(std::string key_substring, u64 ordinal) {
+  return Targeted(FaultKind::kThrottle, std::move(key_substring), ordinal);
+}
+
+FaultRule FaultRule::Unavailable(std::string key_substring, u64 ordinal) {
+  return Targeted(FaultKind::kUnavailable, std::move(key_substring), ordinal);
+}
+
+FaultRule FaultRule::Latency(std::string key_substring, u64 ordinal, u64 ns) {
+  FaultRule rule = Targeted(FaultKind::kLatency, std::move(key_substring), ordinal);
+  rule.latency_ns = ns;
+  return rule;
+}
+
+FaultRule FaultRule::Truncate(std::string key_substring, u64 ordinal, u64 to) {
+  FaultRule rule = Targeted(FaultKind::kTruncate, std::move(key_substring), ordinal);
+  rule.truncate_to = to;
+  return rule;
+}
+
+FaultRule FaultRule::Corrupt(std::string key_substring, u64 ordinal,
+                             u64 byte_offset) {
+  FaultRule rule = Targeted(FaultKind::kCorrupt, std::move(key_substring), ordinal);
+  rule.corrupt_offset = byte_offset;
+  return rule;
+}
+
+FaultPlan MakeChaosPlan(u64 seed, double fault_rate, bool include_corruption) {
+  // Rules are evaluated in order and at most one fires per GET, so each
+  // probability below is the unconditional per-GET rate of that kind
+  // given the earlier rules did not fire; keeping the individual rates
+  // small makes the total ≈ fault_rate without compounding corrections.
+  FaultPlan plan;
+  plan.seed = seed;
+  double transient_share = include_corruption ? 0.70 : 0.85;
+  double latency_share = include_corruption ? 0.15 : 0.15;
+
+  FaultRule throttle;
+  throttle.kind = FaultKind::kThrottle;
+  throttle.probability = fault_rate * transient_share / 2;
+  plan.rules.push_back(throttle);
+
+  FaultRule unavailable;
+  unavailable.kind = FaultKind::kUnavailable;
+  unavailable.probability = fault_rate * transient_share / 2;
+  plan.rules.push_back(unavailable);
+
+  FaultRule latency;
+  latency.kind = FaultKind::kLatency;
+  latency.probability = fault_rate * latency_share;
+  latency.latency_ns = 200 * 1000;  // 0.2 ms: noticeable, never dominant
+  plan.rules.push_back(latency);
+
+  if (include_corruption) {
+    FaultRule truncate;
+    truncate.kind = FaultKind::kTruncate;
+    truncate.probability = fault_rate * 0.075;
+    truncate.truncate_to = 5;  // keeps a few bytes so parsers see *something*
+    plan.rules.push_back(truncate);
+
+    FaultRule corrupt;
+    corrupt.kind = FaultKind::kCorrupt;
+    corrupt.probability = fault_rate * 0.075;
+    plan.rules.push_back(corrupt);
+  }
+  return plan;
+}
+
+FaultPlan MakeTransientPlan(u64 seed, double fault_rate) {
+  return MakeChaosPlan(seed, fault_rate, /*include_corruption=*/false);
+}
+
+}  // namespace btr::s3sim

@@ -1,0 +1,93 @@
+// Deterministic fault injection for the simulated object store.
+//
+// Real object stores return transient 503s, slow reads, truncated ranges
+// and (rarely) flipped bits. A FaultPlan teaches s3sim::ObjectStore to
+// produce exactly those anomalies, reproducibly: every decision is driven
+// by the plan's seed and the store's request sequence, never by wall-clock
+// or global randomness, so a failing chaos schedule replays bit-for-bit.
+//
+// A plan is a list of rules. Each GET is matched against every rule in
+// order; every armed rule whose conditions hold (key substring, offset
+// window) counts the match, and the first rule that is also eligible to
+// fire (ordinal reached, probability gate passed) determines the outcome —
+// at most one fault per GET. Targeted rules ("the 3rd GET of column 2")
+// use `ordinal`; statistical chaos plans use `probability`
+// (see MakeChaosPlan).
+#ifndef BTR_S3SIM_FAULT_H_
+#define BTR_S3SIM_FAULT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace btr::s3sim {
+
+enum class FaultKind : u8 {
+  kThrottle = 0,     // GET fails with Status::Throttled
+  kUnavailable = 1,  // GET fails with Status::Unavailable
+  kLatency = 2,      // GET succeeds after an added latency spike
+  kTruncate = 3,     // GET returns fewer bytes than the range asked for
+  kCorrupt = 4,      // GET succeeds but one byte of the payload is flipped
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kUnavailable;
+
+  // --- match conditions (all must hold) -----------------------------------
+  // Keys containing this substring match; empty matches every key.
+  std::string key_substring;
+  // Request offset must fall in [offset_min, offset_max]; the default
+  // window matches any offset.
+  u64 offset_min = 0;
+  u64 offset_max = ~0ull;
+  // When nonzero, the rule fires only on the Nth request (1-based) that
+  // satisfies the conditions above — "the 3rd GET of column 2".
+  u64 ordinal = 0;
+  // Probability gate in [0, 1], evaluated with the plan's seeded PRNG.
+  double probability = 1.0;
+  // Rule disarms after firing this many times (default: once for targeted
+  // rules is typical; ~0 = unlimited).
+  u64 max_fires = ~0ull;
+
+  // --- effect parameters ---------------------------------------------------
+  u64 latency_ns = 0;        // kLatency: added spike
+  u64 truncate_to = 0;       // kTruncate: byte count the response is cut to
+  u64 corrupt_offset = ~0ull;  // kCorrupt: byte index within the response to
+                               // flip; ~0 = seeded-random position
+
+  // Targeted-rule conveniences.
+  static FaultRule Throttle(std::string key_substring, u64 ordinal);
+  static FaultRule Unavailable(std::string key_substring, u64 ordinal);
+  static FaultRule Latency(std::string key_substring, u64 ordinal, u64 ns);
+  static FaultRule Truncate(std::string key_substring, u64 ordinal, u64 to);
+  static FaultRule Corrupt(std::string key_substring, u64 ordinal,
+                           u64 byte_offset = ~0ull);
+};
+
+struct FaultPlan {
+  // Drives every probabilistic decision (probability gates, random corrupt
+  // positions). Same seed + same request sequence = same faults.
+  u64 seed = 0;
+  std::vector<FaultRule> rules;
+
+  bool Empty() const { return rules.empty(); }
+};
+
+// A statistical chaos plan: every GET independently fails/degrades with
+// `fault_rate` probability, split across the transient kinds; when
+// `include_corruption` is set a small share of the faults are truncations
+// and single-byte corruptions (the non-transient kinds a reader must
+// *detect*, not retry through). Used by tests/chaos_test.cc.
+FaultPlan MakeChaosPlan(u64 seed, double fault_rate,
+                        bool include_corruption = false);
+
+// Transient-only variant: throttles, unavailabilities and latency spikes,
+// never corruption — a retrying reader must survive this end to end.
+FaultPlan MakeTransientPlan(u64 seed, double fault_rate);
+
+}  // namespace btr::s3sim
+
+#endif  // BTR_S3SIM_FAULT_H_

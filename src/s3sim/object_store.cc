@@ -15,13 +15,17 @@ namespace {
 
 // Per-GET observability: request count, ranged-GET size distribution, and
 // both the *modeled* network latency (what the cost model charges) and the
-// *measured* in-memory serve time.
+// *measured* in-memory serve time. Fault counters track what an installed
+// FaultPlan did to the request stream.
 struct GetMetrics {
   obs::Counter& requests;
   obs::Counter& bytes_total;
   obs::Histogram& bytes;
   obs::Histogram& modeled_network_ns;
   obs::Histogram& serve_ns;
+  obs::Counter& faults_injected;
+  obs::Counter& faults_transient;
+  obs::Counter& faults_data;  // truncations + corruptions
 
   static GetMetrics& Get() {
     static GetMetrics* m = [] {
@@ -30,7 +34,10 @@ struct GetMetrics {
                             r.GetCounter("s3.get.bytes_total"),
                             r.GetHistogram("s3.get.bytes"),
                             r.GetHistogram("s3.get.modeled_network_ns"),
-                            r.GetHistogram("s3.get.serve_ns")};
+                            r.GetHistogram("s3.get.serve_ns"),
+                            r.GetCounter("s3.get.faults_injected"),
+                            r.GetCounter("s3.get.faults_transient"),
+                            r.GetCounter("s3.get.faults_data")};
     }();
     return *m;
   }
@@ -39,37 +46,117 @@ struct GetMetrics {
 }  // namespace
 
 void ObjectStore::Put(const std::string& key, const u8* data, size_t size) {
-  objects_[key].assign(data, data + size);
+  Blob blob = std::make_shared<const std::vector<u8>>(data, data + size);
+  std::lock_guard<std::mutex> lock(objects_mutex_);
+  objects_[key] = std::move(blob);
 }
 
 bool ObjectStore::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(objects_mutex_);
   return objects_.count(key) > 0;
 }
 
-size_t ObjectStore::ObjectSize(const std::string& key) const {
+Status ObjectStore::ObjectSize(const std::string& key, u64* size) const {
+  std::lock_guard<std::mutex> lock(objects_mutex_);
   auto it = objects_.find(key);
-  BTR_CHECK_MSG(it != objects_.end(), "object not found");
-  return it->second.size();
+  if (it == objects_.end()) return Status::NotFound("object not found: " + key);
+  *size = it->second->size();
+  return Status::Ok();
 }
 
-void ObjectStore::GetChunk(const std::string& key, u64 offset, u64 length,
-                           std::vector<u8>* out) {
+ObjectStore::FaultDecision ObjectStore::EvaluateFaults(const std::string& key,
+                                                       u64 offset) {
+  FaultDecision decision;
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  if (fault_plan_.Empty()) return decision;
+  // Every armed rule counts each matching GET — "the 3rd GET of column 2"
+  // means the 3rd GET, independent of what other rules did to GETs 1 and 2.
+  // At most one fault fires per GET: the first eligible rule in plan order.
+  for (size_t i = 0; i < fault_plan_.rules.size(); i++) {
+    const FaultRule& rule = fault_plan_.rules[i];
+    if (rule_fires_[i] >= rule.max_fires) continue;
+    if (!rule.key_substring.empty() &&
+        key.find(rule.key_substring) == std::string::npos) {
+      continue;
+    }
+    if (offset < rule.offset_min || offset > rule.offset_max) continue;
+    rule_matches_[i]++;
+    if (decision.fired) continue;
+    if (rule.ordinal != 0 && rule_matches_[i] != rule.ordinal) continue;
+    if (rule.probability < 1.0 && fault_rng_.NextDouble() >= rule.probability) {
+      continue;
+    }
+    rule_fires_[i]++;
+    faults_injected_++;
+    decision.fired = true;
+    decision.kind = rule.kind;
+    decision.latency_ns = rule.latency_ns;
+    decision.truncate_to = rule.truncate_to;
+    decision.corrupt_offset = rule.corrupt_offset == ~0ull
+                                  ? fault_rng_.Next()
+                                  : rule.corrupt_offset;
+  }
+  return decision;
+}
+
+Status ObjectStore::GetChunk(const std::string& key, u64 offset, u64 length,
+                             std::vector<u8>* out) {
   BTR_TRACE_SPAN("s3.get_chunk");
   Timer timer;
-  // objects_ is only mutated by Put, which may not race readers; the
-  // element data pointer is stable, so the copy can run unlocked.
-  auto it = objects_.find(key);
-  BTR_CHECK_MSG(it != objects_.end(), "object not found");
-  const std::vector<u8>& object = it->second;
-  BTR_CHECK(offset <= object.size());
+  GetMetrics& metrics = GetMetrics::Get();
+
+  Blob blob;
+  {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    auto it = objects_.find(key);
+    if (it != objects_.end()) blob = it->second;
+  }
+  // Every attempt is a billable request, including ones the backend fails.
+  {
+    std::lock_guard<std::mutex> lock(accounting_mutex_);
+    total_requests_++;
+  }
+  metrics.requests.Add();
+  if (blob == nullptr) return Status::NotFound("object not found: " + key);
+  const std::vector<u8>& object = *blob;
+  if (offset > object.size()) {
+    return Status::InvalidArgument("offset past end of object: " + key);
+  }
   length = std::min<u64>(length, object.size() - offset);
+
+  FaultDecision fault = EvaluateFaults(key, offset);
+  if (fault.fired) {
+    metrics.faults_injected.Add();
+    switch (fault.kind) {
+      case FaultKind::kThrottle:
+        metrics.faults_transient.Add();
+        return Status::Throttled("injected throttle on " + key);
+      case FaultKind::kUnavailable:
+        metrics.faults_transient.Add();
+        return Status::Unavailable("injected unavailability on " + key);
+      case FaultKind::kLatency:
+        metrics.faults_transient.Add();
+        std::this_thread::sleep_for(std::chrono::nanoseconds(fault.latency_ns));
+        break;
+      case FaultKind::kTruncate:
+        metrics.faults_data.Add();
+        length = std::min<u64>(length, fault.truncate_to);
+        break;
+      case FaultKind::kCorrupt:
+        metrics.faults_data.Add();
+        break;
+    }
+  }
+
   out->resize(length);
-  std::memcpy(out->data(), object.data() + offset, length);
+  if (length > 0) std::memcpy(out->data(), object.data() + offset, length);
+  if (fault.fired && fault.kind == FaultKind::kCorrupt && length > 0) {
+    (*out)[fault.corrupt_offset % length] ^= 0x01;  // single flipped bit
+  }
   double modeled_seconds =
       static_cast<double>(length) * 8.0 / (config_.network_gbps * 1e9);
   {
     std::lock_guard<std::mutex> lock(accounting_mutex_);
-    total_requests_++;
     total_bytes_fetched_ += length;
     network_seconds_ += modeled_seconds;
   }
@@ -79,24 +166,41 @@ void ObjectStore::GetChunk(const std::string& key, u64 offset, u64 length,
         static_cast<double>(length) * 8.0 / (config_.wall_clock_gbps * 1e9);
     std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
   }
-  GetMetrics& metrics = GetMetrics::Get();
-  metrics.requests.Add();
   metrics.bytes_total.Add(length);
   metrics.bytes.Record(length);
   metrics.modeled_network_ns.Record(static_cast<u64>(modeled_seconds * 1e9));
   metrics.serve_ns.Record(static_cast<u64>(timer.ElapsedNanos()));
+  return Status::Ok();
 }
 
-void ObjectStore::GetObject(const std::string& key, std::vector<u8>* out) {
+Status ObjectStore::GetObject(const std::string& key, std::vector<u8>* out) {
   BTR_TRACE_SPAN("s3.get_object");
-  size_t size = ObjectSize(key);
+  u64 size = 0;
+  BTR_RETURN_IF_ERROR(ObjectSize(key, &size));
   out->clear();
   out->reserve(size);
   std::vector<u8> chunk;
   for (u64 offset = 0; offset < size; offset += config_.chunk_bytes) {
-    GetChunk(key, offset, config_.chunk_bytes, &chunk);
+    BTR_RETURN_IF_ERROR(GetChunk(key, offset, config_.chunk_bytes, &chunk));
     out->insert(out->end(), chunk.begin(), chunk.end());
   }
+  return Status::Ok();
+}
+
+void ObjectStore::InstallFaultPlan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  fault_plan_ = std::move(plan);
+  fault_rng_ = Random(fault_plan_.seed);
+  rule_matches_.assign(fault_plan_.rules.size(), 0);
+  rule_fires_.assign(fault_plan_.rules.size(), 0);
+  faults_injected_ = 0;
+}
+
+void ObjectStore::ClearFaultPlan() { InstallFaultPlan(FaultPlan()); }
+
+u64 ObjectStore::faults_injected() const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return faults_injected_;
 }
 
 u64 ObjectStore::total_requests() const {

@@ -12,15 +12,26 @@
 // The distinction the paper draws between T_r (uncompressed bytes /
 // scan time — what the consumer sees) and T_c (compressed bytes / scan
 // time — what the network must sustain) falls out of the model directly.
+//
+// The store also models *failure*: an installed FaultPlan (s3sim/fault.h)
+// makes GETs return transient errors (Status::Throttled/Unavailable), add
+// latency spikes, truncate ranges, or flip payload bytes — deterministic
+// per (seed, request sequence), so chaos schedules replay exactly. The
+// read path (exec::Prefetcher + btr::Scanner) is expected to retry the
+// transient kinds and *detect* the corrupting ones via block CRCs.
 #ifndef BTR_S3SIM_OBJECT_STORE_H_
 #define BTR_S3SIM_OBJECT_STORE_H_
 
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "s3sim/fault.h"
 #include "util/buffer.h"
+#include "util/random.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace btr::s3sim {
@@ -45,27 +56,41 @@ struct S3Config {
   double wall_clock_gbps = 2.0;                 // per-connection bandwidth
 };
 
-// In-memory object store with request accounting. Objects are opaque
-// byte blobs; GetChunk models one ranged GET.
+// In-memory object store with request accounting and optional fault
+// injection. Objects are opaque byte blobs; GetChunk models one ranged GET.
 //
-// Thread safety: GetChunk/GetObject and the accounting getters may be
-// called from any number of threads concurrently (the scan pipeline's
-// fetch threads do). Put must not race with readers of the same store.
+// Thread safety: every member may be called from any number of threads
+// concurrently, including Put racing readers of the same key — object
+// bytes are immutable once stored, and a racing Put swaps in a fresh blob
+// while in-flight GETs keep reading the one they resolved.
 class ObjectStore {
  public:
   explicit ObjectStore(const S3Config& config = S3Config()) : config_(config) {}
 
   void Put(const std::string& key, const u8* data, size_t size);
   bool Contains(const std::string& key) const;
-  size_t ObjectSize(const std::string& key) const;
+  // Status::NotFound when the key does not exist.
+  Status ObjectSize(const std::string& key, u64* size) const;
 
-  // Reads [offset, offset+length) into out (resized). Accounts one GET
-  // request and the modeled transfer time.
-  void GetChunk(const std::string& key, u64 offset, u64 length,
-                std::vector<u8>* out);
+  // Reads [offset, offset+length) into out (resized; a range reaching past
+  // the end is clipped). Accounts one GET request and the modeled transfer
+  // time. Fails with NotFound (unknown key), InvalidArgument (offset past
+  // the object end), or an injected fault's status — transient ones
+  // (Throttled/Unavailable) are safe to retry.
+  Status GetChunk(const std::string& key, u64 offset, u64 length,
+                  std::vector<u8>* out);
 
   // Fetches a whole object as a sequence of chunk_bytes GETs.
-  void GetObject(const std::string& key, std::vector<u8>* out);
+  Status GetObject(const std::string& key, std::vector<u8>* out);
+
+  // --- fault injection -------------------------------------------------------
+  // Installs a plan (replacing any previous one) and re-arms its rules.
+  // Faults apply to GetChunk/GetObject only; Put/Contains/ObjectSize are
+  // metadata-plane and never fault.
+  void InstallFaultPlan(FaultPlan plan);
+  void ClearFaultPlan();
+  // GETs that an installed plan failed, truncated, corrupted, or delayed.
+  u64 faults_injected() const;
 
   u64 total_requests() const;
   u64 total_bytes_fetched() const;
@@ -78,8 +103,32 @@ class ObjectStore {
   S3Config& mutable_config() { return config_; }
 
  private:
+  struct FaultDecision {
+    bool fired = false;
+    FaultKind kind = FaultKind::kUnavailable;
+    u64 latency_ns = 0;
+    u64 truncate_to = 0;
+    u64 corrupt_offset = 0;
+  };
+  // Matches one GET against the installed plan (rule counters advance).
+  FaultDecision EvaluateFaults(const std::string& key, u64 offset);
+
   S3Config config_;
-  std::unordered_map<std::string, std::vector<u8>> objects_;
+
+  // Object bytes are immutable shared blobs: Put publishes a new blob
+  // under the mutex, readers resolve the pointer under the mutex and then
+  // copy without holding it.
+  using Blob = std::shared_ptr<const std::vector<u8>>;
+  mutable std::mutex objects_mutex_;
+  std::unordered_map<std::string, Blob> objects_;
+
+  mutable std::mutex fault_mutex_;
+  FaultPlan fault_plan_;
+  Random fault_rng_;
+  std::vector<u64> rule_matches_;  // per rule: requests that satisfied it
+  std::vector<u64> rule_fires_;    // per rule: times it actually fired
+  u64 faults_injected_ = 0;
+
   mutable std::mutex accounting_mutex_;
   u64 total_requests_ = 0;
   u64 total_bytes_fetched_ = 0;

@@ -18,8 +18,12 @@ class Status {
     kCorruption,
     kIoError,
     kNotFound,
-    kInternal,  // invariant violation crossing a thread boundary (e.g. a
-                // worker exception surfacing at the Scanner API)
+    kInternal,     // invariant violation crossing a thread boundary (e.g. a
+                   // worker exception surfacing at the Scanner API)
+    kUnavailable,  // transient: the backend could not serve the request
+                   // right now (S3 500/503) — safe to retry
+    kThrottled,    // transient: the backend asked us to slow down
+                   // (S3 503 SlowDown) — safe to retry after backoff
   };
 
   Status() : code_(Code::kOk) {}
@@ -40,8 +44,26 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status Throttled(std::string msg) {
+    return Status(Code::kThrottled, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsThrottled() const { return code_ == Code::kThrottled; }
+  // Transient failures are worth retrying with backoff; everything else is
+  // permanent for a given request (see exec/retry.h).
+  bool IsTransient() const {
+    return code_ == Code::kUnavailable || code_ == Code::kThrottled;
+  }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -55,6 +77,8 @@ class Status {
       case Code::kIoError: name = "IoError"; break;
       case Code::kNotFound: name = "NotFound"; break;
       case Code::kInternal: name = "Internal"; break;
+      case Code::kUnavailable: name = "Unavailable"; break;
+      case Code::kThrottled: name = "Throttled"; break;
     }
     return std::string(name) + ": " + message_;
   }

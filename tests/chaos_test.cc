@@ -1,0 +1,345 @@
+// Chaos harness for the scan path (docs/ROBUSTNESS.md).
+//
+// Hundreds of seeded fault schedules are thrown at btr::Scanner and every
+// single scan must end in exactly one of two ways:
+//   1. Status::Ok with output bit-identical to the fault-free scan, or
+//   2. a well-typed non-OK Status (Corruption / Unavailable / Throttled).
+// Never a crash, never a hang (ctest timeout), never a silently wrong
+// answer — that last one is what the per-block CRC32C exists for.
+//
+// Schedules are deterministic per seed (s3sim/fault.h), so any failure
+// here reproduces bit-for-bit from the seed in the assertion message.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "btr/btrblocks.h"
+#include "btr/scanner.h"
+#include "obs/metrics.h"
+#include "s3sim/fault.h"
+#include "s3sim/object_store.h"
+
+namespace btr {
+namespace {
+
+// 1 full block + a short one: enough for per-block faults to matter while
+// keeping a few hundred scans fast.
+constexpr u32 kRows = kBlockCapacity + 500;
+
+Relation MakeTable() {
+  Relation table("chaos_table");
+  Column& ints = table.AddColumn("id", ColumnType::kInteger);
+  Column& doubles = table.AddColumn("price", ColumnType::kDouble);
+  Column& strings = table.AddColumn("city", ColumnType::kString);
+  const char* cities[4] = {"berlin", "munich", "bonn", "hamburg"};
+  for (u32 i = 0; i < kRows; i++) {
+    if (i % 97 == 13) {
+      ints.AppendNull();
+    } else {
+      ints.AppendInt(static_cast<i32>(i % 1000));
+    }
+    doubles.AppendDouble(static_cast<double>(i % 512) * 0.5);
+    strings.AppendString(cities[i % 4]);
+  }
+  return table;
+}
+
+// Retry knobs tuned for test speed: microsecond backoffs, generous
+// attempt count so a ≤15% fault rate essentially never exhausts them.
+ScanSpec ChaosSpec() {
+  ScanSpec spec;
+  spec.config.scan_threads = 4;
+  spec.config.fetch_threads = 3;
+  spec.config.prefetch_depth = 4;
+  spec.config.max_attempts = 8;
+  spec.config.initial_backoff_ns = 1000;   // 1 us
+  spec.config.max_backoff_ns = 8000;       // 8 us
+  spec.config.retry_budget = 1024;
+  return spec;
+}
+
+void ExpectBlocksBitIdentical(const DecodedBlock& expected,
+                              const DecodedBlock& actual, u64 seed) {
+  ASSERT_EQ(expected.type, actual.type) << "seed " << seed;
+  ASSERT_EQ(expected.count, actual.count) << "seed " << seed;
+  EXPECT_EQ(expected.null_flags, actual.null_flags) << "seed " << seed;
+  switch (expected.type) {
+    case ColumnType::kInteger:
+      EXPECT_EQ(expected.ints, actual.ints) << "seed " << seed;
+      break;
+    case ColumnType::kDouble:
+      ASSERT_EQ(expected.doubles.size(), actual.doubles.size());
+      EXPECT_EQ(0, std::memcmp(expected.doubles.data(), actual.doubles.data(),
+                               expected.doubles.size() * sizeof(double)))
+          << "seed " << seed;
+      break;
+    case ColumnType::kString:
+      ASSERT_EQ(expected.strings.slots.size(), actual.strings.slots.size());
+      for (u32 i = 0; i < expected.count; i++) {
+        ASSERT_EQ(expected.strings.Get(i), actual.strings.Get(i))
+            << "seed " << seed << " row " << i;
+      }
+      break;
+  }
+}
+
+void ExpectOutputsBitIdentical(const ScanOutput& expected,
+                               const ScanOutput& actual, u64 seed) {
+  ASSERT_EQ(expected.columns.size(), actual.columns.size()) << "seed " << seed;
+  for (size_t c = 0; c < expected.columns.size(); c++) {
+    ASSERT_EQ(expected.columns[c].blocks.size(),
+              actual.columns[c].blocks.size());
+    for (size_t b = 0; b < expected.columns[c].blocks.size(); b++) {
+      ExpectBlocksBitIdentical(expected.columns[c].blocks[b],
+                               actual.columns[c].blocks[b], seed);
+    }
+  }
+}
+
+struct Fixture {
+  CompressionConfig config;
+  Relation table = MakeTable();
+  CompressedRelation compressed;
+  TableZoneMap zones;
+  s3sim::ObjectStore store;
+  ScanOutput reference;  // fault-free scan of the full projection
+
+  Fixture() {
+    compressed = CompressRelation(table, config);
+    for (const Column& column : table.columns()) {
+      zones.columns.push_back(ComputeColumnZoneMap(column));
+    }
+    Status status =
+        UploadCompressedRelation(compressed, &zones, "lake/", &store);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+
+    Scanner scanner(&store, "chaos_table", "lake/");
+    EXPECT_TRUE(scanner.Open().ok());
+    status = scanner.Scan(ChaosSpec(), &reference);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+};
+
+// Transient-only chaos (throttles, unavailabilities, latency spikes):
+// every scan must succeed and be bit-identical — retries make the faults
+// invisible except in the stats.
+TEST(ChaosTest, TransientFaultsRetryToBitIdenticalResults) {
+  Fixture f;
+  Scanner scanner(&f.store, "chaos_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  u64 total_faults = 0;
+  for (u64 seed = 1; seed <= 60; seed++) {
+    f.store.InstallFaultPlan(s3sim::MakeTransientPlan(seed, 0.10));
+    ScanOutput output;
+    Status status = scanner.Scan(ChaosSpec(), &output);
+    ASSERT_TRUE(status.ok()) << "seed " << seed << ": " << status.ToString();
+    ExpectOutputsBitIdentical(f.reference, output, seed);
+    // Failed GETs were retried; latency faults needed no retry.
+    EXPECT_LE(output.stats.retries, f.store.faults_injected())
+        << "seed " << seed;
+    total_faults += f.store.faults_injected();
+  }
+  f.store.ClearFaultPlan();
+  EXPECT_GT(total_faults, 0u) << "a 10% plan over 60 scans must inject";
+}
+
+// Full chaos including truncation and bit flips, strict (fail-fast) mode:
+// each scan is either bit-identical or a well-typed error — corruption is
+// *detected* (CRC), transients that outlive the retry budget surface as
+// their transient code. Nothing else is acceptable.
+TEST(ChaosTest, FullChaosEitherBitIdenticalOrTypedStatus) {
+  Fixture f;
+  Scanner scanner(&f.store, "chaos_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  u32 ok_scans = 0, failed_scans = 0;
+  for (u64 seed = 1; seed <= 100; seed++) {
+    f.store.InstallFaultPlan(s3sim::MakeChaosPlan(seed, 0.15, true));
+    ScanOutput output;
+    Status status = scanner.Scan(ChaosSpec(), &output);
+    if (status.ok()) {
+      ok_scans++;
+      ExpectOutputsBitIdentical(f.reference, output, seed);
+    } else {
+      failed_scans++;
+      EXPECT_TRUE(status.IsCorruption() || status.IsTransient())
+          << "seed " << seed << " produced an untyped failure: "
+          << status.ToString();
+    }
+  }
+  f.store.ClearFaultPlan();
+  // A 15% rate with corruption must exercise both endings.
+  EXPECT_GT(ok_scans, 0u);
+  EXPECT_GT(failed_scans, 0u);
+}
+
+// Degraded mode: the scan itself succeeds, unreadable blocks are skipped
+// and reported, and every block that *was* decoded is bit-identical.
+TEST(ChaosTest, DegradedModeSkipsAndReportsUnreadableBlocks) {
+  Fixture f;
+  Scanner scanner(&f.store, "chaos_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  u32 unreadable_total = 0;
+  for (u64 seed = 1; seed <= 40; seed++) {
+    f.store.InstallFaultPlan(s3sim::MakeChaosPlan(seed, 0.25, true));
+    ScanSpec spec = ChaosSpec();
+    spec.config.skip_unreadable_blocks = true;
+    spec.config.max_attempts = 2;  // force some permanent failures
+    ScanOutput output;
+    Status status = scanner.Scan(spec, &output);
+    ASSERT_TRUE(status.ok())
+        << "degraded scan must not fail, seed " << seed << ": "
+        << status.ToString();
+    EXPECT_EQ(output.stats.blocks_decoded + output.stats.blocks_unreadable,
+              output.stats.row_blocks)
+        << "seed " << seed;
+    ASSERT_EQ(output.stats.unreadable_blocks.size(),
+              output.stats.blocks_unreadable);
+    ASSERT_EQ(output.stats.unreadable_reasons.size(),
+              output.stats.blocks_unreadable);
+    for (size_t i = 0; i < output.stats.unreadable_blocks.size(); i++) {
+      u32 b = output.stats.unreadable_blocks[i];
+      EXPECT_EQ(output.block_outcomes[b], BlockOutcome::kUnreadable);
+      EXPECT_FALSE(output.stats.unreadable_reasons[i].ok());
+      unreadable_total++;
+    }
+    for (u32 b = 0; b < output.stats.row_blocks; b++) {
+      if (output.block_outcomes[b] != BlockOutcome::kDecoded) continue;
+      for (size_t c = 0; c < output.columns.size(); c++) {
+        ExpectBlocksBitIdentical(f.reference.columns[c].blocks[b],
+                                 output.columns[c].blocks[b], seed);
+      }
+    }
+  }
+  f.store.ClearFaultPlan();
+  EXPECT_GT(unreadable_total, 0u)
+      << "25% chaos at 2 attempts must make some blocks unreadable";
+}
+
+// Chaos under a predicate scan: pruned blocks are never fetched (zone
+// maps), and the surviving blocks still come back right or typed.
+TEST(ChaosTest, PredicateScansSurviveTransientChaos) {
+  Fixture f;
+  Scanner scanner(&f.store, "chaos_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  ScanSpec spec = ChaosSpec();
+  spec.columns = {"id", "city"};
+  spec.predicates.push_back(Predicate::EqualsString("city", "bonn"));
+  ScanOutput expected;
+  ASSERT_TRUE(scanner.Scan(spec, &expected).ok());
+
+  for (u64 seed = 1; seed <= 20; seed++) {
+    f.store.InstallFaultPlan(s3sim::MakeTransientPlan(seed, 0.10));
+    ScanOutput output;
+    Status status = scanner.Scan(spec, &output);
+    ASSERT_TRUE(status.ok()) << "seed " << seed << ": " << status.ToString();
+    EXPECT_EQ(output.stats.rows_matched, expected.stats.rows_matched);
+    ExpectOutputsBitIdentical(expected, output, seed);
+  }
+  f.store.ClearFaultPlan();
+}
+
+// Open() under chaos: metadata, header and zone-map GETs retry transients
+// and detect corruption exactly like block GETs.
+TEST(ChaosTest, OpenUnderChaosIsTypedOrSucceeds) {
+  Fixture f;
+  for (u64 seed = 1; seed <= 20; seed++) {
+    f.store.InstallFaultPlan(s3sim::MakeChaosPlan(seed, 0.20, true));
+    Scanner scanner(&f.store, "chaos_table", "lake/");
+    ScanConfig config = ChaosSpec().config;
+    Status status = scanner.Open(config);
+    if (!status.ok()) {
+      EXPECT_TRUE(status.IsCorruption() || status.IsTransient())
+          << "seed " << seed << ": " << status.ToString();
+      continue;
+    }
+    // An Open that succeeded parsed CRC-clean headers; the scan must work
+    // once faults stop.
+    f.store.ClearFaultPlan();
+    ScanOutput output;
+    ASSERT_TRUE(scanner.Scan(ChaosSpec(), &output).ok()) << "seed " << seed;
+    ExpectOutputsBitIdentical(f.reference, output, seed);
+  }
+  f.store.ClearFaultPlan();
+}
+
+// Targeted schedule: "the 2nd GET of column 0" throttles once. Fail-fast
+// config turns that into Status::Throttled; the default retrying config
+// absorbs it. Single fetch thread keeps the GET order deterministic.
+TEST(ChaosTest, TargetedThrottleFailsFastOrRetries) {
+  Fixture f;
+  Scanner scanner(&f.store, "chaos_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  s3sim::FaultPlan plan;
+  plan.seed = 5;
+  plan.rules.push_back(s3sim::FaultRule::Throttle(".0.btr", 2));
+
+  ScanSpec fail_fast = ChaosSpec();
+  fail_fast.config.fetch_threads = 1;
+  fail_fast.config.max_attempts = 1;
+  f.store.InstallFaultPlan(plan);
+  ScanOutput output;
+  Status status = scanner.Scan(fail_fast, &output);
+  EXPECT_TRUE(status.IsThrottled()) << status.ToString();
+
+  ScanSpec retrying = fail_fast;
+  retrying.config.max_attempts = 4;
+  f.store.InstallFaultPlan(plan);
+  status = scanner.Scan(retrying, &output);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectOutputsBitIdentical(f.reference, output, 5);
+  EXPECT_EQ(output.stats.retries, 1u);
+  EXPECT_EQ(f.store.faults_injected(), 1u);
+  f.store.ClearFaultPlan();
+}
+
+// The driver-level agreement check: under a purely transient plan every
+// injected fault is one failed GET, and every failed GET costs exactly one
+// granted retry — so scan.retries must equal s3.get.faults_injected (both
+// the obs counters and the per-scan stats).
+TEST(ChaosTest, RetryMetricsAgreeWithInjectedFaults) {
+  Fixture f;
+  Scanner scanner(&f.store, "chaos_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  obs::Registry& registry = obs::Registry::Get();
+  registry.ResetAll();
+  u64 expected_retries = 0;
+  for (u64 seed = 1; seed <= 12; seed++) {
+    // Throttle/unavailable only — no latency rule, so "fault" and "failed
+    // GET needing a retry" coincide exactly.
+    s3sim::FaultPlan plan;
+    plan.seed = seed;
+    s3sim::FaultRule throttle;
+    throttle.kind = s3sim::FaultKind::kThrottle;
+    throttle.probability = 0.05;
+    plan.rules.push_back(throttle);
+    s3sim::FaultRule unavailable;
+    unavailable.kind = s3sim::FaultKind::kUnavailable;
+    unavailable.probability = 0.05;
+    plan.rules.push_back(unavailable);
+    f.store.InstallFaultPlan(plan);
+
+    ScanOutput output;
+    Status status = scanner.Scan(ChaosSpec(), &output);
+    ASSERT_TRUE(status.ok()) << "seed " << seed << ": " << status.ToString();
+    ExpectOutputsBitIdentical(f.reference, output, seed);
+    EXPECT_EQ(output.stats.retries, f.store.faults_injected())
+        << "seed " << seed;
+    expected_retries += f.store.faults_injected();
+  }
+  f.store.ClearFaultPlan();
+  EXPECT_GT(expected_retries, 0u);
+  EXPECT_EQ(registry.GetCounter("scan.retries").Value(), expected_retries);
+  EXPECT_EQ(registry.GetCounter("s3.get.faults_injected").Value(),
+            expected_retries);
+}
+
+}  // namespace
+}  // namespace btr

@@ -232,7 +232,7 @@ TEST(ScannerTest, PoisonedBlockSurfacesStatusNotCrash) {
   // Corrupt the type byte of block 1 of the "id" column object.
   std::string key = ColumnFileKey("lake/", "scan_table", 0);
   std::vector<u8> object;
-  f.store.GetObject(key, &object);
+  ASSERT_TRUE(f.store.GetObject(key, &object).ok());
   const CompressedColumn& column = f.compressed.columns[0];
   u64 offset = ColumnFileHeaderBytes(column.blocks.size());
   offset += column.blocks[0].size();  // start of block 1

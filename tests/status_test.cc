@@ -1,0 +1,108 @@
+// Tests for util/status.h: every code's predicates and ToString, the
+// transient classification exec/retry.h keys on, and the
+// BTR_RETURN_IF_ERROR short-circuit macro.
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace btr {
+namespace {
+
+TEST(StatusTest, DefaultAndOkAreOk) {
+  EXPECT_TRUE(Status().ok());
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().code(), Status::Code::kOk);
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  EXPECT_FALSE(Status::Ok().IsTransient());
+}
+
+TEST(StatusTest, EveryFactorySetsItsCodeAndMessage) {
+  struct Case {
+    Status status;
+    Status::Code code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("m"), Status::Code::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::Corruption("m"), Status::Code::kCorruption, "Corruption"},
+      {Status::IoError("m"), Status::Code::kIoError, "IoError"},
+      {Status::NotFound("m"), Status::Code::kNotFound, "NotFound"},
+      {Status::Internal("m"), Status::Code::kInternal, "Internal"},
+      {Status::Unavailable("m"), Status::Code::kUnavailable, "Unavailable"},
+      {Status::Throttled("m"), Status::Code::kThrottled, "Throttled"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": m") << c.name;
+  }
+}
+
+TEST(StatusTest, PredicatesMatchExactlyOneCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Throttled("x").IsThrottled());
+  // Cross-checks: a predicate never matches another code.
+  EXPECT_FALSE(Status::NotFound("x").IsCorruption());
+  EXPECT_FALSE(Status::Unavailable("x").IsThrottled());
+  EXPECT_FALSE(Status::Throttled("x").IsUnavailable());
+}
+
+TEST(StatusTest, OnlyUnavailableAndThrottledAreTransient) {
+  EXPECT_TRUE(Status::Unavailable("x").IsTransient());
+  EXPECT_TRUE(Status::Throttled("x").IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsTransient());
+  EXPECT_FALSE(Status::Corruption("x").IsTransient());
+  EXPECT_FALSE(Status::IoError("x").IsTransient());
+  EXPECT_FALSE(Status::NotFound("x").IsTransient());
+  EXPECT_FALSE(Status::Internal("x").IsTransient());
+}
+
+Status CountingHelper(const Status& first, int* calls_after) {
+  BTR_RETURN_IF_ERROR(first);
+  (*calls_after)++;
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorShortCircuits) {
+  int calls_after = 0;
+  Status s = CountingHelper(Status::Corruption("boom"), &calls_after);
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "boom");
+  EXPECT_EQ(calls_after, 0) << "code after the macro must not run";
+
+  s = CountingHelper(Status::Ok(), &calls_after);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls_after, 1) << "OK must fall through";
+}
+
+TEST(StatusTest, ReturnIfErrorEvaluatesExpressionOnce) {
+  int evaluations = 0;
+  auto once = [&]() -> Status {
+    evaluations++;
+    return Status::IoError("io");
+  };
+  auto wrapper = [&]() -> Status {
+    BTR_RETURN_IF_ERROR(once());
+    return Status::Ok();
+  };
+  EXPECT_TRUE(wrapper().IsIoError());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(StatusTest, CopySemanticsPreserveCodeAndMessage) {
+  Status original = Status::Throttled("slow down");
+  Status copy = original;
+  EXPECT_TRUE(copy.IsThrottled());
+  EXPECT_EQ(copy.message(), "slow down");
+  EXPECT_TRUE(original.IsThrottled()) << "copy must not steal the source";
+}
+
+}  // namespace
+}  // namespace btr
