@@ -292,6 +292,28 @@ int CmdScan(const std::string& csv_path,
                   stats.unreadable_reasons[i].ToString().c_str());
     }
   }
+  if (scan_config.enable_block_cache) {
+    std::printf("block cache: %llu hits, %llu misses (%.0f MiB capacity)\n",
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.cache_misses),
+                scan_config.block_cache_bytes / (1024.0 * 1024.0));
+  }
+  if (scan_config.enable_hedged_gets) {
+    std::printf("hedged GETs: %llu issued, %llu won by the duplicate\n",
+                static_cast<unsigned long long>(stats.hedges),
+                static_cast<unsigned long long>(stats.hedge_wins));
+  }
+  if (scan_config.enable_circuit_breaker) {
+    std::printf("circuit breaker: %llu trips, %llu fast failures\n",
+                static_cast<unsigned long long>(stats.breaker_trips),
+                static_cast<unsigned long long>(stats.breaker_fast_failures));
+  }
+  if (scan_config.refetch_on_crc_failure &&
+      (stats.crc_refetches != 0 || stats.crc_rescues != 0)) {
+    std::printf("CRC re-fetch: %llu re-fetched, %llu rescued\n",
+                static_cast<unsigned long long>(stats.crc_refetches),
+                static_cast<unsigned long long>(stats.crc_rescues));
+  }
   return 0;
 }
 
@@ -344,6 +366,18 @@ int main(int argc, char** argv) {
           retries < 0 ? 1 : static_cast<btr::u32>(retries) + 1;
     } else if (arg == "--skip-corrupt") {
       scan_config.skip_unreadable_blocks = true;
+    } else if (arg.rfind("--block-cache=", 0) == 0) {
+      int mib = std::atoi(arg.c_str() + std::strlen("--block-cache="));
+      scan_config.enable_block_cache = mib > 0;
+      if (mib > 0) {
+        scan_config.block_cache_bytes = static_cast<btr::u64>(mib) << 20;
+      }
+    } else if (arg == "--hedge") {
+      scan_config.enable_hedged_gets = true;
+    } else if (arg == "--breaker") {
+      scan_config.enable_circuit_breaker = true;
+    } else if (arg == "--crc-refetch") {
+      scan_config.refetch_on_crc_failure = true;
     } else {
       args.push_back(std::move(arg));
     }
@@ -403,6 +437,9 @@ int main(int argc, char** argv) {
                "flags: --metrics-json=<path>  --trace-json=<path>\n"
                "       --scan-threads=<n>  --prefetch-depth=<n>  (scan)\n"
                "       --fault-seed=<n>  --fault-rate=<f>  --max-retries=<n>\n"
-               "       --skip-corrupt  (scan robustness, docs/ROBUSTNESS.md)\n");
+               "       --skip-corrupt  (scan robustness, docs/ROBUSTNESS.md)\n"
+               "       --block-cache=<MiB>  --hedge  --breaker  --crc-refetch\n"
+               "         (resilient read path: checksum-verified cache,\n"
+               "          hedged GETs, circuit breaker, CRC re-fetch)\n");
   return 2;
 }

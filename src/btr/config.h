@@ -165,6 +165,46 @@ struct ScanConfig {
   // ScanStats::blocks_unreadable. When false (default), the first such
   // block fails the whole scan with a typed Status.
   bool skip_unreadable_blocks = false;
+
+  // --- block cache (exec/block_cache.h) ------------------------------------
+  // Checksum-verified in-memory cache of compressed block payloads, keyed
+  // by the exact ranged GET (key, offset, length). A warm repeat scan
+  // through the same Scanner issues zero GETs for cached blocks. Entries
+  // are admitted only when their bytes hash to the column header's CRC32C.
+  bool enable_block_cache = false;
+  u64 block_cache_bytes = 64ull << 20;  // total cache capacity
+  u32 block_cache_shards = 8;           // independent LRU partitions
+
+  // --- hedged GETs ("The Tail at Scale") -----------------------------------
+  // A GET that outlives the running `hedge_quantile` of recent GET
+  // latencies gets one duplicate request; the first response wins. Hedges
+  // arm only after `hedge_min_samples` latencies and are capped per scan
+  // by `hedge_budget` so a degraded backend cannot double its own load.
+  bool enable_hedged_gets = false;
+  double hedge_quantile = 0.95;
+  u32 hedge_min_samples = 16;
+  u64 hedge_min_threshold_ns = 200 * 1000;  // threshold floor, 200 us
+  u64 hedge_budget = 64;                    // duplicate GETs per scan
+  u32 hedge_latency_window = 128;           // quantile ring size
+
+  // --- circuit breaker -----------------------------------------------------
+  // Past `breaker_failure_threshold` transient failures over a sliding
+  // window of `breaker_window` outcomes the breaker trips: GETs fail fast
+  // as Status::Unavailable (no retry budget burned) until a cooldown
+  // elapses, then a few half-open probes decide whether to close again.
+  bool enable_circuit_breaker = false;
+  u32 breaker_window = 32;
+  u32 breaker_min_samples = 8;
+  double breaker_failure_threshold = 0.5;
+  u64 breaker_cooldown_ns = 10 * 1000 * 1000;  // 10 ms open before probing
+  u32 breaker_half_open_probes = 2;
+
+  // --- CRC refetch ---------------------------------------------------------
+  // When a block's payload fails its header CRC32C, re-fetch it once
+  // directly from the store (bypassing any cache) before declaring
+  // Status::Corruption — distinguishes transient wire corruption from
+  // at-rest damage.
+  bool refetch_on_crc_failure = false;
 };
 
 // Per-call compression state threaded through cascade recursion.

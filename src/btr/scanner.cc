@@ -1,6 +1,7 @@
 #include "btr/scanner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <map>
@@ -8,6 +9,7 @@
 #include <unordered_map>
 
 #include "btr/datablock.h"
+#include "exec/block_cache.h"
 #include "exec/pipeline.h"
 #include "exec/retry.h"
 #include "exec/thread_pool.h"
@@ -28,6 +30,8 @@ struct ScanMetrics {
   obs::Counter& blocks_unreadable;
   obs::Counter& rows_matched;
   obs::Counter& crc_failures;
+  obs::Counter& crc_refetches;
+  obs::Counter& crc_rescues;
 
   static ScanMetrics& Get() {
     static ScanMetrics* m = [] {
@@ -38,7 +42,9 @@ struct ScanMetrics {
                              r.GetCounter("scan.blocks_decoded"),
                              r.GetCounter("scan.blocks_unreadable"),
                              r.GetCounter("scan.rows_matched"),
-                             r.GetCounter("scan.crc_failures")};
+                             r.GetCounter("scan.crc_failures"),
+                             r.GetCounter("scan.crc_refetches"),
+                             r.GetCounter("scan.crc_rescues")};
     }();
     return *m;
   }
@@ -52,6 +58,27 @@ exec::RetryPolicy MakeRetryPolicy(const ScanConfig& config) {
   policy.request_deadline_ns = config.request_deadline_ns;
   policy.retry_budget = config.retry_budget;
   policy.jitter_seed = config.retry_jitter_seed;
+  return policy;
+}
+
+exec::HedgePolicy MakeHedgePolicy(const ScanConfig& config) {
+  exec::HedgePolicy policy;
+  policy.enabled = config.enable_hedged_gets;
+  policy.quantile = config.hedge_quantile;
+  policy.min_samples = config.hedge_min_samples;
+  policy.min_threshold_ns = config.hedge_min_threshold_ns;
+  policy.hedge_budget = config.hedge_budget;
+  policy.latency_window = config.hedge_latency_window;
+  return policy;
+}
+
+exec::CircuitBreakerPolicy MakeBreakerPolicy(const ScanConfig& config) {
+  exec::CircuitBreakerPolicy policy;
+  policy.window = config.breaker_window;
+  policy.min_samples = config.breaker_min_samples;
+  policy.failure_threshold = config.breaker_failure_threshold;
+  policy.cooldown_ns = config.breaker_cooldown_ns;
+  policy.half_open_probes = config.breaker_half_open_probes;
   return policy;
 }
 
@@ -88,6 +115,9 @@ Scanner::Scanner(s3sim::ObjectStore* store, std::string table_name,
       table_name_(std::move(table_name)),
       prefix_(std::move(prefix)),
       config_(config) {}
+
+// Out-of-line so scanner.h can hold the cache behind a forward declaration.
+Scanner::~Scanner() = default;
 
 Status Scanner::Open(const ScanConfig& config) {
   if (store_ == nullptr) return Status::InvalidArgument("null object store");
@@ -293,6 +323,10 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
       request.offset = block_offsets_[column][b];
       request.length = block_offsets_[column][b + 1] - block_offsets_[column][b];
       request.tag = static_cast<u64>(b) * needed_count + pos;
+      // Arms the block cache for this request: a hit skips the GET, a
+      // fetched payload is admitted only when it matches this checksum.
+      request.expected_crc = block_crcs_[column][b];
+      request.verify_crc = true;
       requests.push_back(std::move(request));
     }
   }
@@ -306,11 +340,33 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   bool failed = false;
 
   const bool degraded = spec.config.skip_unreadable_blocks;
+
+  // Resilience attachments. The cache is Scanner-owned (created on the
+  // first cache-enabled scan) so warm repeat scans hit it; the breaker is
+  // per-scan — backend health verdicts should not leak across scans with
+  // possibly different tolerance for failure.
+  if (spec.config.enable_block_cache && block_cache_ == nullptr) {
+    exec::BlockCacheConfig cache_config;
+    cache_config.capacity_bytes = spec.config.block_cache_bytes;
+    cache_config.shards = spec.config.block_cache_shards;
+    block_cache_ = std::make_unique<exec::BlockCache>(cache_config);
+  }
+  std::unique_ptr<exec::CircuitBreaker> breaker;
+  if (spec.config.enable_circuit_breaker) {
+    breaker = std::make_unique<exec::CircuitBreaker>(
+        MakeBreakerPolicy(spec.config));
+  }
+  exec::FetchOptions fetch_options;
+  fetch_options.cache =
+      spec.config.enable_block_cache ? block_cache_.get() : nullptr;
+  fetch_options.hedge = MakeHedgePolicy(spec.config);
+  fetch_options.breaker = breaker.get();
+
   exec::BoundedQueue<exec::FetchedBlock> queue(
       std::max<u32>(1, spec.config.prefetch_depth));
   exec::Prefetcher prefetcher(store_, std::move(requests), &queue,
                               spec.config.fetch_threads,
-                              MakeRetryPolicy(spec.config));
+                              MakeRetryPolicy(spec.config), fetch_options);
 
   auto fail = [&](Status status) {
     {
@@ -325,8 +381,13 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
     ready_cv.notify_all();
   };
 
+  // CRC-refetch accounting (ScanStats::crc_refetches / crc_rescues);
+  // atomics because process_bundle runs on the decode workers.
+  std::atomic<u64> crc_refetch_count{0};
+  std::atomic<u64> crc_rescue_count{0};
+
   // Decodes one complete bundle into a BlockResult. Runs on a worker.
-  auto process_bundle = [&](u32 b, const Bundle& bundle,
+  auto process_bundle = [&](u32 b, Bundle& bundle,
                             BlockResult* result) -> Status {
     u32 expected_rows = resolved.block_rows[b];
     for (u32 pos = 0; pos < needed_count; pos++) {
@@ -340,9 +401,40 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
       if (part.size() != expected_size ||
           Crc32c(part.data(), part.size()) != block_crcs_[column][b]) {
         metrics.crc_failures.Add();
-        return Status::Corruption(
-            "block " + std::to_string(b) + " of column " +
-            meta_.columns[column].name + " failed CRC verification");
+        // The mismatch may be transient wire corruption rather than
+        // at-rest damage: re-fetch the range once, straight from the store
+        // (a direct GET cannot be served by the cache), and re-verify
+        // before giving up on the block.
+        bool rescued = false;
+        if (spec.config.refetch_on_crc_failure) {
+          metrics.crc_refetches.Add();
+          crc_refetch_count.fetch_add(1, std::memory_order_relaxed);
+          const std::string key = ColumnFileKey(prefix_, table_name_, column);
+          std::vector<u8> fresh;
+          Status refetch = store_->GetChunk(key, block_offsets_[column][b],
+                                            expected_size, &fresh);
+          if (refetch.ok() && fresh.size() == expected_size &&
+              Crc32c(fresh.data(), fresh.size()) == block_crcs_[column][b]) {
+            ByteBuffer& repaired = bundle.parts[pos];
+            repaired.Clear();
+            repaired.Append(fresh.data(), fresh.size());
+            if (spec.config.enable_block_cache && block_cache_ != nullptr) {
+              // The verified bytes are exactly what the cache wants; the
+              // corrupt ones were already refused at admission.
+              block_cache_->Insert(key, block_offsets_[column][b],
+                                   expected_size, fresh.data(), fresh.size(),
+                                   block_crcs_[column][b]);
+            }
+            metrics.crc_rescues.Add();
+            crc_rescue_count.fetch_add(1, std::memory_order_relaxed);
+            rescued = true;
+          }
+        }
+        if (!rescued) {
+          return Status::Corruption(
+              "block " + std::to_string(b) + " of column " +
+              meta_.columns[column].name + " failed CRC verification");
+        }
       }
       ColumnType type = meta_.columns[column].type;
       BTR_RETURN_IF_ERROR(
@@ -448,7 +540,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
         ColumnChunk chunk;
         chunk.column = static_cast<u32>(p);
         chunk.block = b;
-        chunk.row_begin = b * kBlockCapacity;
+        chunk.row_begin = BlockRowBegin(b);
         chunk.row_count = resolved.block_rows[b];
         chunk.outcome = BlockOutcome::kPruned;
         emit(std::move(chunk));
@@ -484,7 +576,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
       ColumnChunk chunk;
       chunk.column = static_cast<u32>(p);
       chunk.block = b;
-      chunk.row_begin = b * kBlockCapacity;
+      chunk.row_begin = BlockRowBegin(b);
       chunk.row_count = resolved.block_rows[b];
       chunk.outcome = result.outcome;
       if (result.outcome == BlockOutcome::kDecoded) {
@@ -523,6 +615,16 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   prefetcher.Join();
 
   stats.retries = prefetcher.retries();
+  stats.cache_hits = prefetcher.cache_hits();
+  stats.cache_misses = prefetcher.cache_misses();
+  stats.hedges = prefetcher.hedges();
+  stats.hedge_wins = prefetcher.hedge_wins();
+  if (breaker != nullptr) {
+    stats.breaker_trips = breaker->trips();
+    stats.breaker_fast_failures = breaker->fast_failures();
+  }
+  stats.crc_refetches = crc_refetch_count.load(std::memory_order_relaxed);
+  stats.crc_rescues = crc_rescue_count.load(std::memory_order_relaxed);
   stats.bytes_fetched = store_->total_bytes_fetched() - base_bytes;
   stats.requests = store_->total_requests() - base_requests;
   stats.seconds = timer.ElapsedSeconds();

@@ -34,6 +34,7 @@
 #define BTR_BTR_SCANNER_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,7 +46,18 @@
 #include "s3sim/object_store.h"
 #include "util/status.h"
 
+namespace btr::exec {
+class BlockCache;  // exec/block_cache.h
+}  // namespace btr::exec
+
 namespace btr {
+
+// First table row of row block `block`. 64-bit on purpose: a table's row
+// count is u64, so past 2^32 / kBlockCapacity ≈ 67k blocks the product no
+// longer fits in u32 — computing it in u32 silently wraps row positions.
+inline u64 BlockRowBegin(u32 block) {
+  return static_cast<u64>(block) * kBlockCapacity;
+}
 
 // What to scan. Embeds the "how" (ScanConfig, btr/config.h).
 struct ScanSpec {
@@ -73,7 +85,8 @@ enum class BlockOutcome : u8 {
 struct ColumnChunk {
   u32 column = 0;     // index into the resolved projection
   u32 block = 0;      // row-block index within the table
-  u32 row_begin = 0;  // first table row this block covers
+  u64 row_begin = 0;  // first table row this block covers (u64: table row
+                      // counts are u64, so u32 wraps past 2^32 rows)
   u32 row_count = 0;  // rows this block covers
   BlockOutcome outcome = BlockOutcome::kDecoded;
   // Decoded values; empty unless outcome == kDecoded.
@@ -94,6 +107,14 @@ struct ScanStats {
   u64 bytes_fetched = 0;       // compressed bytes GET'd (headers included)
   u64 requests = 0;            // GET requests issued
   u64 retries = 0;             // transient-failure retries granted
+  u64 cache_hits = 0;          // block fetches served from the block cache
+  u64 cache_misses = 0;        // cacheable fetches that had to GET
+  u64 hedges = 0;              // duplicate GETs issued against tail latency
+  u64 hedge_wins = 0;          // hedges whose duplicate response won
+  u64 breaker_trips = 0;       // circuit-breaker open transitions
+  u64 breaker_fast_failures = 0;  // GETs rejected while the breaker was open
+  u64 crc_refetches = 0;       // CRC-failed blocks re-fetched once
+  u64 crc_rescues = 0;         // re-fetches that produced verified bytes
   double seconds = 0;          // wall clock of Scan()
   // Degraded mode: indices of the kUnreadable row blocks, with the Status
   // that made each unreadable (same order).
@@ -131,6 +152,7 @@ class Scanner {
   Scanner(s3sim::ObjectStore* store, std::string table_name,
           std::string prefix = "",
           const CompressionConfig& config = CompressionConfig());
+  ~Scanner();
 
   // Fetches and parses table metadata, per-column file headers (block byte
   // offsets and payload CRCs for ranged GETs) and the zone-map sidecar
@@ -170,6 +192,11 @@ class Scanner {
   std::vector<std::vector<u64>> block_offsets_;
   // Per column: CRC32C of each block payload, from the column header.
   std::vector<std::vector<u32>> block_crcs_;
+  // Checksum-verified block cache, created lazily on the first Scan with
+  // ScanConfig::enable_block_cache. Scanner-owned so repeat scans through
+  // the same Scanner hit it; entries are keyed by exact GET identity and
+  // admitted only after CRC verification (exec/block_cache.h).
+  std::unique_ptr<exec::BlockCache> block_cache_;
 };
 
 }  // namespace btr

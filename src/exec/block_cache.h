@@ -1,0 +1,99 @@
+// Checksum-verified in-memory block cache for the scan read path.
+//
+// Repeated scans of the same table re-GET the same compressed block
+// payloads; since decompression is cheap (the paper's premise), those GETs
+// *are* the scan cost. The cache keys entries by the exact ranged-GET
+// identity (object key, offset, length), so a warm scan skips the object
+// store entirely for every cached block.
+//
+// Integrity contract: an entry is admitted only when its bytes hash to the
+// CRC32C the column header promised (the same checksum the scanner
+// verifies before decoding). A GET that arrived corrupt is therefore
+// *rejected at insert* — the cache can serve stale-but-verified bytes,
+// never corrupt ones. Lookups return a copy; entries are immutable.
+//
+// Concurrency: the cache is sharded by key hash. Each shard owns a mutex,
+// an LRU list and a byte budget (capacity_bytes / shards), so concurrent
+// fetch threads mostly touch different locks. Metrics (process-wide):
+//   cache.block.hits / cache.block.misses      lookup outcomes
+//   cache.block.inserts / cache.block.evictions admissions and LRU victims
+//   cache.block.crc_rejects                    corrupt payloads refused
+//   cache.block.bytes                          gauge, bytes currently held
+#ifndef BTR_EXEC_BLOCK_CACHE_H_
+#define BTR_EXEC_BLOCK_CACHE_H_
+
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/types.h"
+
+namespace btr::exec {
+
+struct BlockCacheConfig {
+  u64 capacity_bytes = 64ull << 20;  // total payload bytes across shards
+  u32 shards = 8;                    // independent LRU partitions
+};
+
+class BlockCache {
+ public:
+  explicit BlockCache(const BlockCacheConfig& config = BlockCacheConfig());
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  // Copies the cached payload for this exact (key, offset, length) GET
+  // into `out` and returns true; false on miss (out untouched).
+  bool Lookup(const std::string& key, u64 offset, u64 length,
+              ByteBuffer* out);
+
+  // Admits the payload after verifying Crc32c(data, size) == expected_crc.
+  // Returns false without caching when the CRC does not match (the bytes
+  // are wire-corrupt), when the payload alone exceeds a shard's budget, or
+  // on size 0. An existing entry under the same key is replaced.
+  bool Insert(const std::string& key, u64 offset, u64 length, const u8* data,
+              size_t size, u32 expected_crc);
+
+  // Drops the entry if present (e.g. after an at-rest corruption verdict).
+  void Erase(const std::string& key, u64 offset, u64 length);
+
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 inserts = 0;
+    u64 evictions = 0;
+    u64 crc_rejects = 0;
+    u64 bytes = 0;     // payload bytes currently cached
+    u64 entries = 0;   // entries currently cached
+  };
+  Stats GetStats() const;
+
+  u64 capacity_bytes() const { return config_.capacity_bytes; }
+
+ private:
+  struct Entry {
+    std::string composite_key;
+    std::vector<u8> bytes;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    u64 bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& composite_key);
+  // Evicts LRU entries of `shard` (mutex held) until it fits its budget.
+  void EvictLocked(Shard* shard);
+
+  const BlockCacheConfig config_;
+  u64 shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace btr::exec
+
+#endif  // BTR_EXEC_BLOCK_CACHE_H_

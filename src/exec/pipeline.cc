@@ -1,9 +1,11 @@
 #include "exec/pipeline.h"
 
 #include <chrono>
+#include <memory>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/timer.h"
 
 namespace btr::exec {
 
@@ -48,7 +50,7 @@ void RecordQueueDepth(i64 delta) {
   if (delta != 0) QueueMetrics::Get().depth.Add(delta);
 }
 
-u64 StallNanos(const std::function<bool()>& ready, std::mutex&,
+u64 StallNanos(const std::function<bool()>& ready,
                std::condition_variable& cv,
                std::unique_lock<std::mutex>& lock) {
   if (ready()) return 0;
@@ -62,15 +64,36 @@ u64 StallNanos(const std::function<bool()>& ready, std::mutex&,
 
 }  // namespace detail
 
+namespace {
+
+struct HedgeMetrics {
+  obs::Counter& hedges;
+  obs::Counter& hedge_wins;
+
+  static HedgeMetrics& Get() {
+    static HedgeMetrics* m = [] {
+      obs::Registry& r = obs::Registry::Get();
+      return new HedgeMetrics{r.GetCounter("scan.hedges"),
+                              r.GetCounter("scan.hedge_wins")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
 Prefetcher::Prefetcher(s3sim::ObjectStore* store,
                        std::vector<FetchRequest> requests,
                        BoundedQueue<FetchedBlock>* out, u32 fetch_threads,
-                       const RetryPolicy& retry_policy)
+                       const RetryPolicy& retry_policy,
+                       const FetchOptions& options)
     : store_(store),
       requests_(std::move(requests)),
       out_(out),
       fetch_threads_(fetch_threads == 0 ? 1 : fetch_threads),
-      retry_state_(retry_policy) {}
+      retry_state_(retry_policy),
+      options_(options),
+      hedge_state_(options.hedge) {}
 
 Prefetcher::~Prefetcher() {
   RequestStop();
@@ -118,6 +141,117 @@ void Prefetcher::Join() {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+  // Hedge losers: their GET result is already discarded, but the threads
+  // must still be reaped before the Prefetcher (and the store) go away.
+  std::vector<std::thread> stragglers;
+  {
+    std::lock_guard<std::mutex> lock(stragglers_mutex_);
+    stragglers.swap(stragglers_);
+  }
+  for (std::thread& t : stragglers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+Status Prefetcher::IssueGet(const FetchRequest& request,
+                            std::vector<u8>* out) {
+  out->clear();
+  const u64 threshold_ns = hedge_state_.ThresholdNs();
+  if (threshold_ns == 0) {
+    // Hedging not armed (disabled, warming up, or budget spent): plain GET
+    // on this thread. Successful latencies still feed the quantile so the
+    // threshold can arm.
+    Timer timer;
+    Status status =
+        store_->GetChunk(request.key, request.offset, request.length, out);
+    if (options_.hedge.enabled && status.ok()) {
+      hedge_state_.RecordLatency(static_cast<u64>(timer.ElapsedNanos()));
+    }
+    return status;
+  }
+
+  // Hedged path: primary GET on its own thread; if it outlives the
+  // threshold, issue one duplicate on this thread and take the first
+  // response. The loser's bytes are discarded — both responses verify
+  // against the same header CRC downstream, so either is acceptable.
+  struct HedgedCall {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    std::vector<u8> data;
+    u64 latency_ns = 0;
+  };
+  auto call = std::make_shared<HedgedCall>();
+  s3sim::ObjectStore* store = store_;
+  const FetchRequest req = request;  // owned copy: thread may outlive *this scope
+  std::thread primary([store, req, call] {
+    std::vector<u8> data;
+    Timer timer;
+    Status status = store->GetChunk(req.key, req.offset, req.length, &data);
+    u64 latency_ns = static_cast<u64>(timer.ElapsedNanos());
+    {
+      std::lock_guard<std::mutex> lock(call->mutex);
+      call->done = true;
+      call->status = std::move(status);
+      call->data = std::move(data);
+      call->latency_ns = latency_ns;
+    }
+    call->cv.notify_all();
+  });
+
+  bool primary_done;
+  {
+    std::unique_lock<std::mutex> lock(call->mutex);
+    primary_done = call->cv.wait_for(
+        lock, std::chrono::nanoseconds(threshold_ns),
+        [&] { return call->done; });
+  }
+  if (!primary_done && hedge_state_.TryAcquireHedge()) {
+    HedgeMetrics::Get().hedges.Add();
+    std::vector<u8> hedge_data;
+    Timer hedge_timer;
+    Status hedge_status = store_->GetChunk(request.key, request.offset,
+                                           request.length, &hedge_data);
+    u64 hedge_latency_ns = static_cast<u64>(hedge_timer.ElapsedNanos());
+    bool primary_finished;
+    {
+      std::lock_guard<std::mutex> lock(call->mutex);
+      primary_finished = call->done;
+    }
+    if (hedge_status.ok() && !primary_finished) {
+      // The duplicate beat the straggling primary: park the primary's
+      // thread for Join() and return the hedge's bytes.
+      {
+        std::lock_guard<std::mutex> lock(stragglers_mutex_);
+        stragglers_.push_back(std::move(primary));
+      }
+      hedge_state_.RecordHedgeOutcome(true);
+      hedge_state_.RecordLatency(hedge_latency_ns);
+      HedgeMetrics::Get().hedge_wins.Add();
+      *out = std::move(hedge_data);
+      return hedge_status;
+    }
+    primary.join();
+    if (!call->status.ok() && hedge_status.ok()) {
+      // Primary finished first but failed; the duplicate rescued it.
+      hedge_state_.RecordHedgeOutcome(true);
+      hedge_state_.RecordLatency(hedge_latency_ns);
+      HedgeMetrics::Get().hedge_wins.Add();
+      *out = std::move(hedge_data);
+      return hedge_status;
+    }
+    hedge_state_.RecordHedgeOutcome(false);
+    if (call->status.ok()) hedge_state_.RecordLatency(call->latency_ns);
+    *out = std::move(call->data);
+    return call->status;
+  }
+
+  // Primary answered in time, or the hedge budget is spent: wait it out.
+  primary.join();
+  if (call->status.ok()) hedge_state_.RecordLatency(call->latency_ns);
+  *out = std::move(call->data);
+  return call->status;
 }
 
 void Prefetcher::FetchLoop() {
@@ -128,24 +262,43 @@ void Prefetcher::FetchLoop() {
     u64 i = next_request_.fetch_add(1, std::memory_order_relaxed);
     if (i >= requests_.size()) break;
     const FetchRequest& request = requests_[i];
+    FetchedBlock block;
+    block.tag = request.tag;
+    // Cache fast path: only requests carrying a header CRC are cacheable —
+    // without the checksum the admission gate cannot vouch for the bytes.
+    const bool cacheable = options_.cache != nullptr && request.verify_crc;
+    if (cacheable && options_.cache->Lookup(request.key, request.offset,
+                                            request.length, &block.data)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      block.status = Status::Ok();
+      fetched.Add();
+      if (!out_->Push(std::move(block))) break;  // queue aborted
+      continue;
+    }
+    if (cacheable) cache_misses_.fetch_add(1, std::memory_order_relaxed);
     Status status;
     {
       BTR_TRACE_SPAN("scan.fetch");
       // Transient failures retry with interruptible backoff; permanent
       // ones (and exhausted retries) fall through as the block's status.
+      // The breaker, when installed, can fail the request fast instead.
       status = RunWithRetries(
-          &retry_state_,
-          [&] {
-            return store_->GetChunk(request.key, request.offset,
-                                    request.length, &chunk);
-          },
-          [this](u64 backoff_ns) { return BackoffSleep(backoff_ns); });
+          &retry_state_, [&] { return IssueGet(request, &chunk); },
+          [this](u64 backoff_ns) { return BackoffSleep(backoff_ns); },
+          options_.breaker);
     }
     if (stop_.load(std::memory_order_relaxed)) break;
-    FetchedBlock block;
-    block.tag = request.tag;
     block.status = status;
-    if (status.ok()) block.data.Append(chunk.data(), chunk.size());
+    if (status.ok()) {
+      block.data.Append(chunk.data(), chunk.size());
+      if (cacheable) {
+        // Verified admission: a corrupt payload is refused here and will
+        // fail the scanner's own CRC check downstream.
+        options_.cache->Insert(request.key, request.offset, request.length,
+                               chunk.data(), chunk.size(),
+                               request.expected_crc);
+      }
+    }
     fetched.Add();
     // Backpressure: blocks while consumers lag prefetch_depth behind.
     if (!out_->Push(std::move(block))) break;  // queue aborted

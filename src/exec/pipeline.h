@@ -18,6 +18,17 @@
 //     RetryPolicy; backoff sleeps are interruptible, so RequestStop()
 //     drains a thread parked in backoff promptly instead of waiting the
 //     sleep out.
+//
+// Read-path resilience (FetchOptions, docs/ROBUSTNESS.md):
+//   - Block cache: requests carrying a header CRC consult the cache before
+//     the store — a hit skips the GET entirely; a verified miss is
+//     admitted after the GET so the next scan hits.
+//   - Hedged GETs: a fetch that outlives the running latency quantile gets
+//     one duplicate GET; the first response wins, the straggler's result
+//     is discarded (its thread is reaped in Join()).
+//   - Circuit breaker: when installed, every GET attempt first asks the
+//     breaker; an open breaker fails the request fast as
+//     Status::Unavailable without burning retry budget.
 #ifndef BTR_EXEC_PIPELINE_H_
 #define BTR_EXEC_PIPELINE_H_
 
@@ -25,12 +36,14 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "exec/block_cache.h"
 #include "exec/retry.h"
 #include "s3sim/object_store.h"
 #include "util/buffer.h"
@@ -54,7 +67,7 @@ namespace detail {
 void RecordQueuePush(u64 stall_ns);
 void RecordQueuePop(bool hit, u64 stall_ns);
 void RecordQueueDepth(i64 delta);
-u64 StallNanos(const std::function<bool()>& ready, std::mutex& mutex,
+u64 StallNanos(const std::function<bool()>& ready,
                std::condition_variable& cv, std::unique_lock<std::mutex>& lock);
 }  // namespace detail
 
@@ -73,8 +86,8 @@ class BoundedQueue {
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
     u64 stall_ns = detail::StallNanos(
-        [this] { return items_.size() < capacity_ || closed_; }, mutex_,
-        not_full_, lock);
+        [this] { return items_.size() < capacity_ || closed_; }, not_full_,
+        lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
     detail::RecordQueuePush(stall_ns);
@@ -89,8 +102,7 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mutex_);
     bool hit = !items_.empty();
     u64 stall_ns = detail::StallNanos(
-        [this] { return !items_.empty() || closed_; }, mutex_, not_empty_,
-        lock);
+        [this] { return !items_.empty() || closed_; }, not_empty_, lock);
     if (items_.empty()) return false;  // closed and drained
     *out = std::move(items_.front());
     items_.pop_front();
@@ -146,6 +158,11 @@ struct FetchRequest {
   u64 offset = 0;
   u64 length = 0;
   u64 tag = 0;
+  // CRC32C the payload must hash to, from the column header. Arms the
+  // block cache for this request: lookups may serve it and a fetched
+  // payload is admitted only when it verifies against this checksum.
+  u32 expected_crc = 0;
+  bool verify_crc = false;
 };
 
 // A fetched block, or the reason it could not be fetched. `data` is
@@ -159,6 +176,14 @@ struct FetchedBlock {
   ByteBuffer data;
 };
 
+// Resilience attachments for a Prefetcher; everything optional and
+// caller-owned (must outlive the Prefetcher).
+struct FetchOptions {
+  BlockCache* cache = nullptr;      // null = no caching
+  HedgePolicy hedge;                // hedging disabled unless hedge.enabled
+  CircuitBreaker* breaker = nullptr;  // null = no breaker
+};
+
 // Pulls FetchRequests off a shared cursor and issues ObjectStore::GetChunk
 // calls on `fetch_threads` threads, pushing results into `out` — ahead of
 // consumption, up to the queue's capacity (the prefetch depth). Transient
@@ -170,7 +195,8 @@ class Prefetcher {
  public:
   Prefetcher(s3sim::ObjectStore* store, std::vector<FetchRequest> requests,
              BoundedQueue<FetchedBlock>* out, u32 fetch_threads,
-             const RetryPolicy& retry_policy = RetryPolicy());
+             const RetryPolicy& retry_policy = RetryPolicy(),
+             const FetchOptions& options = FetchOptions());
   ~Prefetcher();
 
   Prefetcher(const Prefetcher&) = delete;
@@ -182,14 +208,27 @@ class Prefetcher {
   // Asks fetch threads to stop after their current GET, and wakes any
   // thread sleeping in a retry backoff so the unwind is prompt.
   void RequestStop();
-  // Blocks until every fetch thread exited. Safe to call twice.
+  // Blocks until every fetch thread exited, including hedge stragglers
+  // whose duplicate GET lost the race. Safe to call twice.
   void Join();
 
   // Transient-failure retries granted so far (scan-wide).
   u64 retries() const { return retry_state_.retries_granted(); }
+  // Block cache outcomes for this prefetcher's requests.
+  u64 cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
+  u64 cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  // Hedged GETs issued / won by the duplicate (scan-wide).
+  u64 hedges() const { return hedge_state_.hedges_issued(); }
+  u64 hedge_wins() const { return hedge_state_.hedge_wins(); }
 
  private:
   void FetchLoop();
+  // One GET attempt, hedged when the latency tracker says the primary is
+  // overdue. The winning response lands in *out; a losing duplicate is
+  // discarded and its thread reaped in Join().
+  Status IssueGet(const FetchRequest& request, std::vector<u8>* out);
   // Interruptible backoff: returns false when RequestStop arrived.
   bool BackoffSleep(u64 backoff_ns);
 
@@ -198,6 +237,8 @@ class Prefetcher {
   BoundedQueue<FetchedBlock>* out_;
   u32 fetch_threads_;
   RetryState retry_state_;
+  FetchOptions options_;
+  HedgeState hedge_state_;
   std::atomic<u64> next_request_{0};
   std::atomic<bool> stop_{false};
   bool started_ = false;
@@ -205,6 +246,10 @@ class Prefetcher {
   std::condition_variable stop_cv_;
   std::atomic<u32> live_threads_{0};
   std::vector<std::thread> threads_;
+  std::atomic<u64> cache_hits_{0};
+  std::atomic<u64> cache_misses_{0};
+  std::mutex stragglers_mutex_;
+  std::vector<std::thread> stragglers_;  // hedge losers, reaped in Join()
 };
 
 }  // namespace btr::exec

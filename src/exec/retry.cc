@@ -25,6 +25,22 @@ struct RetryMetrics {
   }
 };
 
+struct BreakerMetrics {
+  obs::Counter& trips;
+  obs::Counter& fast_failures;
+  obs::Gauge& state;
+
+  static BreakerMetrics& Get() {
+    static BreakerMetrics* m = [] {
+      obs::Registry& r = obs::Registry::Get();
+      return new BreakerMetrics{r.GetCounter("scan.breaker.trips"),
+                                r.GetCounter("scan.breaker.fast_failures"),
+                                r.GetGauge("scan.breaker.state")};
+    }();
+    return *m;
+  }
+};
+
 }  // namespace
 
 RetryState::RetryState(const RetryPolicy& policy)
@@ -40,27 +56,37 @@ bool RetryState::NextBackoff(u32 attempts, u64 elapsed_ns, u64* backoff_ns) {
   for (u32 i = 1; i < attempts; i++) target *= policy_.backoff_multiplier;
   target = std::min(target, static_cast<double>(policy_.max_backoff_ns));
 
-  u64 backoff;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (budget_used_ >= policy_.retry_budget) return false;
-    backoff = static_cast<u64>(target * (0.5 + 0.5 * jitter_rng_.NextDouble()));
-    if (policy_.request_deadline_ns != 0 &&
-        elapsed_ns + backoff > policy_.request_deadline_ns) {
-      return false;
-    }
-    budget_used_++;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (budget_used_ >= policy_.retry_budget) return false;
+  u64 backoff =
+      static_cast<u64>(target * (0.5 + 0.5 * jitter_rng_.NextDouble()));
+  if (policy_.request_deadline_ns != 0 &&
+      elapsed_ns + backoff > policy_.request_deadline_ns) {
+    return false;
   }
-  RetryMetrics& metrics = RetryMetrics::Get();
-  metrics.retries.Add();
-  metrics.backoff_ns.Record(backoff);
+  budget_used_++;  // reserved; committed or refunded after the sleep
   *backoff_ns = backoff;
   return true;
 }
 
+void RetryState::CommitRetry(u64 backoff_ns) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retries_committed_++;
+  }
+  RetryMetrics& metrics = RetryMetrics::Get();
+  metrics.retries.Add();
+  metrics.backoff_ns.Record(backoff_ns);
+}
+
+void RetryState::CancelRetry() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (budget_used_ > 0) budget_used_--;
+}
+
 u64 RetryState::retries_granted() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return budget_used_;
+  return retries_committed_;
 }
 
 bool SleepUninterruptible(u64 backoff_ns) {
@@ -68,20 +94,171 @@ bool SleepUninterruptible(u64 backoff_ns) {
   return true;
 }
 
+// --- hedging ----------------------------------------------------------------
+
+HedgeState::HedgeState(const HedgePolicy& policy)
+    : policy_(policy), window_(std::max<u32>(1, policy.latency_window), 0) {}
+
+void HedgeState::RecordLatency(u64 ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  window_[next_] = ns;
+  next_ = (next_ + 1) % window_.size();
+  samples_++;
+}
+
+u64 HedgeState::ThresholdNs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!policy_.enabled || samples_ < policy_.min_samples) return 0;
+  if (hedges_ >= policy_.hedge_budget) return 0;
+  size_t filled = static_cast<size_t>(
+      std::min<u64>(samples_, static_cast<u64>(window_.size())));
+  std::vector<u64> sorted(window_.begin(), window_.begin() + filled);
+  double q = std::clamp(policy_.quantile, 0.0, 1.0);
+  size_t rank = static_cast<size_t>(q * static_cast<double>(filled - 1));
+  std::nth_element(sorted.begin(), sorted.begin() + rank, sorted.end());
+  return std::max(sorted[rank], policy_.min_threshold_ns);
+}
+
+bool HedgeState::TryAcquireHedge() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!policy_.enabled || hedges_ >= policy_.hedge_budget) return false;
+  hedges_++;
+  return true;
+}
+
+void HedgeState::RecordHedgeOutcome(bool hedge_won) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (hedge_won) wins_++;
+}
+
+u64 HedgeState::hedges_issued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hedges_;
+}
+
+u64 HedgeState::hedge_wins() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wins_;
+}
+
+// --- circuit breaker --------------------------------------------------------
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerPolicy& policy)
+    : policy_(policy), outcomes_(std::max<u32>(1, policy.window), 0) {}
+
+void CircuitBreaker::TripLocked() {
+  state_ = State::kOpen;
+  open_until_ = Clock::now() + std::chrono::nanoseconds(policy_.cooldown_ns);
+  probes_granted_ = 0;
+  probe_successes_ = 0;
+  trips_++;
+  BreakerMetrics& metrics = BreakerMetrics::Get();
+  metrics.trips.Add();
+  metrics.state.Set(static_cast<i64>(State::kOpen));
+}
+
+void CircuitBreaker::CloseLocked() {
+  state_ = State::kClosed;
+  std::fill(outcomes_.begin(), outcomes_.end(), 0);
+  next_ = 0;
+  samples_ = 0;
+  failures_ = 0;
+  probes_granted_ = 0;
+  probe_successes_ = 0;
+  BreakerMetrics::Get().state.Set(static_cast<i64>(State::kClosed));
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kClosed) return true;
+  if (state_ == State::kOpen) {
+    if (Clock::now() < open_until_) {
+      fast_failures_++;
+      BreakerMetrics::Get().fast_failures.Add();
+      return false;
+    }
+    // Cooldown over: half-open, let a bounded number of probes through.
+    state_ = State::kHalfOpen;
+    probes_granted_ = 0;
+    probe_successes_ = 0;
+    BreakerMetrics::Get().state.Set(static_cast<i64>(State::kHalfOpen));
+  }
+  if (probes_granted_ < policy_.half_open_probes) {
+    probes_granted_++;
+    return true;
+  }
+  fast_failures_++;
+  BreakerMetrics::Get().fast_failures.Add();
+  return false;
+}
+
+void CircuitBreaker::Record(bool success) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    if (!success) {
+      TripLocked();  // probe failed: straight back to open
+      return;
+    }
+    probe_successes_++;
+    if (probe_successes_ >= policy_.half_open_probes) CloseLocked();
+    return;
+  }
+  if (state_ == State::kOpen) return;  // stale outcome from before the trip
+  // Closed: slide the outcome window and check the failure fraction.
+  u32 window = static_cast<u32>(outcomes_.size());
+  if (samples_ >= window) failures_ -= outcomes_[next_];
+  outcomes_[next_] = success ? 0 : 1;
+  failures_ += outcomes_[next_];
+  next_ = (next_ + 1) % window;
+  if (samples_ < window) samples_++;
+  if (samples_ >= policy_.min_samples && samples_ > 0 &&
+      static_cast<double>(failures_) / static_cast<double>(samples_) >=
+          policy_.failure_threshold) {
+    TripLocked();
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+u64 CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+u64 CircuitBreaker::fast_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fast_failures_;
+}
+
 Status RunWithRetries(RetryState* state, const std::function<Status()>& op,
-                      const SleepFn& sleep) {
+                      const SleepFn& sleep, CircuitBreaker* breaker) {
   Timer timer;
   u32 attempts = 0;
   for (;;) {
+    if (breaker != nullptr && !breaker->Allow()) {
+      // Fail fast: no attempt, no retry budget burned against a backend
+      // the breaker already knows is down.
+      return Status::Unavailable("circuit breaker open: failing fast");
+    }
     Status status = op();
     attempts++;
+    if (breaker != nullptr) breaker->Record(!status.IsTransient());
     if (status.ok() || !status.IsTransient()) return status;
     u64 backoff_ns = 0;
     if (!state->NextBackoff(attempts, static_cast<u64>(timer.ElapsedNanos()),
                             &backoff_ns)) {
       return status;  // attempts, budget, or deadline exhausted
     }
-    if (!sleep(backoff_ns)) return status;  // interrupted: unwind now
+    if (!sleep(backoff_ns)) {
+      // Interrupted mid-backoff: the retry never happens, so it must not
+      // be counted and its budget reservation is refunded.
+      state->CancelRetry();
+      return status;
+    }
+    state->CommitRetry(backoff_ns);
   }
 }
 

@@ -1,7 +1,12 @@
-// Retry policy for transient object-store failures (Status::Throttled /
-// Status::Unavailable): capped exponential backoff with deterministic
-// jitter, a per-request deadline, and a shared retry budget so one scan
-// cannot retry without bound when the backend is down.
+// Resilience policies for the object-store read path: retry/backoff for
+// transient failures, hedged requests against tail latency, and a circuit
+// breaker against a dying backend.
+//
+// --- retry (RetryPolicy / RetryState) ---------------------------------------
+// Transient failures (Status::Throttled / Status::Unavailable) retry with
+// capped exponential backoff, deterministic jitter, a per-request deadline,
+// and a shared retry budget so one scan cannot retry without bound when the
+// backend is down.
 //
 // One RetryState is shared by all fetch threads of a scan (and by
 // Scanner::Open's metadata GETs): the budget is scan-wide and the jitter
@@ -10,13 +15,34 @@
 // the prefetcher can make them interruptible — an aborting pipeline must
 // not wait out a pending backoff (exec/pipeline.h).
 //
-// Every granted retry is counted in the `scan.retries` metric and its
-// backoff recorded in `scan.backoff_ns`.
+// Accounting discipline: a retry only *counts* once its backoff sleep
+// completed and the next attempt is actually going to happen. NextBackoff
+// reserves a unit of budget; the caller commits it (metrics `scan.retries`
+// and `scan.backoff_ns`, retries_granted()) after the sleep returns true,
+// or cancels it (budget refunded, nothing recorded) when the sleep was
+// interrupted — an aborted scan neither overcounts retries nor leaks
+// budget. RunWithRetries does this bookkeeping for you.
+//
+// --- hedging (HedgePolicy / HedgeState) -------------------------------------
+// "The Tail at Scale" discipline: when a GET outlives the running latency
+// quantile of its peers, issue one duplicate GET and take whichever
+// response arrives first. HedgeState tracks recent `s3.get` latencies in a
+// ring, arms once min_samples are in, and caps total hedges per scan with
+// hedge_budget. The prefetcher owns the mechanics (exec/pipeline.h).
+//
+// --- circuit breaker (CircuitBreakerPolicy / CircuitBreaker) ----------------
+// Past an error-rate threshold over a sliding outcome window the breaker
+// trips open: requests fail fast with Status::Unavailable instead of
+// burning attempts and retry budget against a backend that is down. After
+// cooldown_ns it half-opens and lets a few probe requests through;
+// enough successes close it, any probe failure re-opens it.
 #ifndef BTR_EXEC_RETRY_H_
 #define BTR_EXEC_RETRY_H_
 
+#include <chrono>
 #include <functional>
 #include <mutex>
+#include <vector>
 
 #include "util/random.h"
 #include "util/status.h"
@@ -44,17 +70,29 @@ class RetryState {
 
   // Decides whether a request that has completed `attempts` tries (>= 1),
   // spending `elapsed_ns` so far, may retry. On true, one unit of budget
-  // is consumed, metrics are recorded, and *backoff_ns holds the jittered
-  // backoff to sleep before the next try.
+  // is *reserved* and *backoff_ns holds the jittered backoff to sleep
+  // before the next try. The caller must then either CommitRetry (the
+  // sleep completed, the retry happens) or CancelRetry (the sleep was
+  // interrupted, the reservation is refunded). Nothing is recorded yet.
   bool NextBackoff(u32 attempts, u64 elapsed_ns, u64* backoff_ns);
 
+  // The backoff slept to completion: count the retry (`scan.retries`) and
+  // record its backoff (`scan.backoff_ns`).
+  void CommitRetry(u64 backoff_ns);
+
+  // The backoff sleep was interrupted and no retry will happen: refund the
+  // reserved budget, record nothing.
+  void CancelRetry();
+
+  // Retries that actually happened (committed, not merely reserved).
   u64 retries_granted() const;
 
  private:
   const RetryPolicy policy_;
   mutable std::mutex mutex_;
   Random jitter_rng_;
-  u64 budget_used_ = 0;
+  u64 budget_used_ = 0;       // reservations (refunded on cancel)
+  u64 retries_committed_ = 0; // retries whose backoff completed
 };
 
 // Sleeps for the given nanoseconds; returns false when interrupted (the
@@ -64,11 +102,114 @@ using SleepFn = std::function<bool(u64 backoff_ns)>;
 // Blocking sleep that is never interrupted (for non-pipelined callers).
 bool SleepUninterruptible(u64 backoff_ns);
 
+// --- hedged requests --------------------------------------------------------
+
+struct HedgePolicy {
+  bool enabled = false;
+  double quantile = 0.95;        // hedge when a GET outlives this quantile
+  u32 min_samples = 16;          // latencies required before hedging arms
+  u64 min_threshold_ns = 200 * 1000;  // floor under the quantile threshold
+  u64 hedge_budget = 64;         // duplicate GETs allowed per scan
+  u32 latency_window = 128;      // ring size of the running quantile
+};
+
+// Shared per-scan hedging state: the latency ring the threshold derives
+// from, and the hedge budget. Thread-safe.
+class HedgeState {
+ public:
+  explicit HedgeState(const HedgePolicy& policy);
+
+  const HedgePolicy& policy() const { return policy_; }
+
+  // Records one completed GET's latency into the quantile window.
+  void RecordLatency(u64 ns);
+
+  // Nanoseconds a GET may run before a hedge should be issued, from the
+  // running quantile (floored at min_threshold_ns). 0 = hedging not armed
+  // (disabled, too few samples, or budget exhausted).
+  u64 ThresholdNs() const;
+
+  // Consumes one unit of hedge budget; false once the budget is gone.
+  bool TryAcquireHedge();
+
+  // Outcome of an issued hedge: did the duplicate win the race?
+  void RecordHedgeOutcome(bool hedge_won);
+
+  u64 hedges_issued() const;
+  u64 hedge_wins() const;
+
+ private:
+  const HedgePolicy policy_;
+  mutable std::mutex mutex_;
+  std::vector<u64> window_;  // ring of recent latencies
+  size_t next_ = 0;
+  u64 samples_ = 0;
+  u64 hedges_ = 0;
+  u64 wins_ = 0;
+};
+
+// --- circuit breaker --------------------------------------------------------
+
+struct CircuitBreakerPolicy {
+  u32 window = 32;                 // sliding window of request outcomes
+  u32 min_samples = 8;             // outcomes required before tripping
+  double failure_threshold = 0.5;  // trip at >= this failure fraction
+  u64 cooldown_ns = 10 * 1000 * 1000;  // open -> half-open after 10 ms
+  u32 half_open_probes = 2;        // probe successes required to close
+};
+
+// Per-backend breaker shared by every fetch thread of a scan. Thread-safe.
+// Transient failures count against the backend; successes and permanent,
+// request-specific errors (NotFound, InvalidArgument) count as healthy
+// responses. Fail-fast rejections surface as Status::Unavailable — a
+// typed, transient status, so callers keep their error contract.
+class CircuitBreaker {
+ public:
+  enum class State : u8 { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreaker(const CircuitBreakerPolicy& policy);
+
+  // May a request go to the backend right now? false = fail fast (counted
+  // in fast_failures and `scan.breaker.fast_failures`).
+  bool Allow();
+
+  // Reports a completed request's outcome (success = the backend answered,
+  // even with a permanent error; failure = transient backend failure).
+  void Record(bool success);
+
+  State state() const;
+  u64 trips() const;          // closed/half-open -> open transitions
+  u64 fast_failures() const;  // requests rejected while open
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void TripLocked();   // -> kOpen, starts the cooldown
+  void CloseLocked();  // -> kClosed, resets the window
+
+  const CircuitBreakerPolicy policy_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  std::vector<u8> outcomes_;  // ring: 1 = failure
+  size_t next_ = 0;
+  u32 samples_ = 0;
+  u32 failures_ = 0;
+  Clock::time_point open_until_{};
+  u32 probes_granted_ = 0;
+  u32 probe_successes_ = 0;
+  u64 trips_ = 0;
+  u64 fast_failures_ = 0;
+};
+
 // Runs `op` until it succeeds, fails permanently, or retries are
 // exhausted. Only transient statuses (Status::IsTransient) are retried;
-// the last status is returned either way.
+// the last status is returned either way. With a breaker, every attempt
+// first asks Allow() — a fail-fast rejection returns immediately as
+// Status::Unavailable without consuming attempts or retry budget — and
+// every completed attempt's outcome is Record()ed.
 Status RunWithRetries(RetryState* state, const std::function<Status()>& op,
-                      const SleepFn& sleep = SleepUninterruptible);
+                      const SleepFn& sleep = SleepUninterruptible,
+                      CircuitBreaker* breaker = nullptr);
 
 }  // namespace btr::exec
 

@@ -341,5 +341,216 @@ TEST(ChaosTest, RetryMetricsAgreeWithInjectedFaults) {
             expected_retries);
 }
 
+// A warm block cache makes repeat scans immune to chaos: the cold scan
+// (fault-free) admits every CRC-verified block, after which warm scans
+// issue zero GETs — no GETs, no faults, bit-identical output every time.
+TEST(ChaosTest, WarmCacheScanIsBitIdenticalAndGetFreeUnderChaos) {
+  Fixture f;
+  Scanner scanner(&f.store, "chaos_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  ScanSpec spec = ChaosSpec();
+  spec.config.enable_block_cache = true;
+
+  // Cold scan, fault-free: populates the Scanner-owned cache.
+  ScanOutput cold;
+  ASSERT_TRUE(scanner.Scan(spec, &cold).ok());
+  ExpectOutputsBitIdentical(f.reference, cold, 0);
+  EXPECT_EQ(cold.stats.cache_hits, 0u);
+  EXPECT_EQ(cold.stats.cache_misses, 6u) << "2 blocks x 3 columns";
+  EXPECT_EQ(cold.stats.requests, 6u);
+
+  for (u64 seed = 1; seed <= 25; seed++) {
+    f.store.InstallFaultPlan(s3sim::MakeChaosPlan(seed, 0.25, true));
+    ScanOutput warm;
+    Status status = scanner.Scan(spec, &warm);
+    ASSERT_TRUE(status.ok()) << "a warm scan issues no GETs and cannot be "
+                                "faulted, seed " << seed << ": "
+                             << status.ToString();
+    ExpectOutputsBitIdentical(f.reference, warm, seed);
+    EXPECT_EQ(warm.stats.requests, 0u)
+        << "every block must come from the cache, seed " << seed;
+    EXPECT_EQ(warm.stats.cache_hits, 6u) << "seed " << seed;
+    EXPECT_EQ(warm.stats.cache_misses, 0u) << "seed " << seed;
+    EXPECT_EQ(f.store.faults_injected(), 0u) << "seed " << seed;
+  }
+  f.store.ClearFaultPlan();
+}
+
+// The chaos contract must survive with every resilience feature enabled at
+// once: cache + hedging + breaker + CRC re-fetch. Fresh Scanner per seed
+// so each scan starts cache-cold and actually exercises the fault plan.
+TEST(ChaosTest, FullChaosWithCacheHedgingBreakerKeepsContract) {
+  Fixture f;
+  u32 ok_scans = 0;
+  for (u64 seed = 1; seed <= 60; seed++) {
+    Scanner scanner(&f.store, "chaos_table", "lake/");
+    ASSERT_TRUE(scanner.Open().ok());
+    f.store.InstallFaultPlan(s3sim::MakeChaosPlan(seed, 0.15, true));
+
+    ScanSpec spec = ChaosSpec();
+    spec.config.enable_block_cache = true;
+    spec.config.enable_hedged_gets = true;
+    spec.config.hedge_quantile = 0.9;
+    spec.config.hedge_min_samples = 4;
+    spec.config.hedge_min_threshold_ns = 1000;  // 1 us
+    spec.config.hedge_budget = 8;
+    spec.config.enable_circuit_breaker = true;
+    spec.config.breaker_window = 16;
+    spec.config.breaker_min_samples = 8;
+    spec.config.breaker_failure_threshold = 0.8;
+    spec.config.breaker_cooldown_ns = 100 * 1000;  // 100 us
+    spec.config.refetch_on_crc_failure = true;
+
+    ScanOutput output;
+    Status status = scanner.Scan(spec, &output);
+    if (status.ok()) {
+      ok_scans++;
+      ExpectOutputsBitIdentical(f.reference, output, seed);
+    } else {
+      EXPECT_TRUE(status.IsCorruption() || status.IsTransient())
+          << "seed " << seed << " produced an untyped failure: "
+          << status.ToString();
+    }
+    EXPECT_LE(output.stats.hedge_wins, output.stats.hedges) << "seed " << seed;
+    EXPECT_LE(output.stats.hedges, spec.config.hedge_budget) << "seed " << seed;
+    EXPECT_LE(output.stats.crc_rescues, output.stats.crc_refetches)
+        << "seed " << seed;
+    f.store.ClearFaultPlan();
+  }
+  // Re-fetch rescues wire corruption and retries absorb transients, so a
+  // healthy majority must succeed bit-identically.
+  EXPECT_GT(ok_scans, 30u);
+}
+
+// A single bit flipped on the wire is transient: the CRC check catches it
+// and one cache-bypassing re-fetch returns the true bytes — the scan
+// completes bit-identically instead of failing with Corruption.
+TEST(ChaosTest, SingleFlipWireCorruptionRescuedByRefetch) {
+  Fixture f;
+  Scanner scanner(&f.store, "chaos_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  // Targeted: the first block GET of column 0 after Open arrives corrupt,
+  // exactly once (targeted rules disarm after firing) — so the re-fetch of
+  // the same range gets clean bytes.
+  s3sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.rules.push_back(s3sim::FaultRule::Corrupt(".0.btr", 1));
+
+  ScanSpec rescue = ChaosSpec();
+  rescue.config.fetch_threads = 1;  // deterministic GET order
+  rescue.config.refetch_on_crc_failure = true;
+  f.store.InstallFaultPlan(plan);
+  ScanOutput output;
+  Status status = scanner.Scan(rescue, &output);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectOutputsBitIdentical(f.reference, output, 7);
+  EXPECT_EQ(output.stats.crc_refetches, 1u);
+  EXPECT_EQ(output.stats.crc_rescues, 1u);
+  EXPECT_EQ(f.store.faults_injected(), 1u);
+
+  // Same schedule without the re-fetch: the flip is a typed Corruption.
+  ScanSpec strict = rescue;
+  strict.config.refetch_on_crc_failure = false;
+  f.store.InstallFaultPlan(plan);
+  status = scanner.Scan(strict, &output);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  f.store.ClearFaultPlan();
+}
+
+// A backend that is fully down trips the breaker: later GETs fail fast
+// (Status::Unavailable, no retry budget burned waiting out backoffs). In
+// degraded mode the scan itself completes with every block reported
+// unreadable; in strict mode it fails with a transient typed Status.
+TEST(ChaosTest, BreakerTripsAndFailsFastWhenBackendIsDown) {
+  Fixture f;
+  Scanner scanner(&f.store, "chaos_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  s3sim::FaultPlan down;
+  down.seed = 11;
+  s3sim::FaultRule unavailable;
+  unavailable.kind = s3sim::FaultKind::kUnavailable;
+  unavailable.probability = 1.0;  // every GET fails
+  down.rules.push_back(unavailable);
+
+  ScanSpec spec = ChaosSpec();
+  spec.config.skip_unreadable_blocks = true;
+  spec.config.max_attempts = 2;
+  spec.config.enable_circuit_breaker = true;
+  spec.config.breaker_window = 8;
+  spec.config.breaker_min_samples = 4;
+  spec.config.breaker_failure_threshold = 0.5;
+  spec.config.breaker_cooldown_ns = 50ull * 1000 * 1000;  // outlives the scan
+
+  f.store.InstallFaultPlan(down);
+  ScanOutput output;
+  Status status = scanner.Scan(spec, &output);
+  ASSERT_TRUE(status.ok()) << "degraded scan must complete: "
+                           << status.ToString();
+  EXPECT_EQ(output.stats.blocks_unreadable, output.stats.row_blocks);
+  EXPECT_GE(output.stats.breaker_trips, 1u)
+      << "4+ consecutive failures must trip the breaker";
+  EXPECT_GE(output.stats.breaker_fast_failures, 1u)
+      << "requests after the trip must fail fast";
+  for (const Status& reason : output.stats.unreadable_reasons) {
+    EXPECT_TRUE(reason.IsTransient()) << reason.ToString();
+  }
+
+  // Strict mode: the scan fails, and the failure keeps its transient type
+  // whether it came from the backend or from a breaker fast-fail.
+  ScanSpec strict = spec;
+  strict.config.skip_unreadable_blocks = false;
+  f.store.InstallFaultPlan(down);
+  status = scanner.Scan(strict, &output);
+  EXPECT_TRUE(status.IsTransient()) << status.ToString();
+  f.store.ClearFaultPlan();
+}
+
+// Hedged GETs absorb latency spikes: with a spiky (but never failing)
+// plan, scans stay bit-identical and the duplicate requests show up in the
+// stats once the latency quantile arms.
+TEST(ChaosTest, HedgedGetsAbsorbLatencySpikes) {
+  Fixture f;
+  Scanner scanner(&f.store, "chaos_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  u64 total_hedges = 0, total_wins = 0;
+  for (u64 seed = 1; seed <= 20; seed++) {
+    s3sim::FaultPlan spiky;
+    spiky.seed = seed;
+    s3sim::FaultRule spike;
+    spike.kind = s3sim::FaultKind::kLatency;
+    spike.probability = 0.3;
+    spike.latency_ns = 3 * 1000 * 1000;  // 3 ms against ~us base latency
+    spiky.rules.push_back(spike);
+    f.store.InstallFaultPlan(spiky);
+
+    ScanSpec spec = ChaosSpec();
+    spec.config.enable_hedged_gets = true;
+    spec.config.hedge_quantile = 0.5;
+    spec.config.hedge_min_samples = 2;
+    spec.config.hedge_min_threshold_ns = 1000;  // 1 us
+    spec.config.hedge_budget = 16;
+
+    ScanOutput output;
+    Status status = scanner.Scan(spec, &output);
+    ASSERT_TRUE(status.ok())
+        << "latency never fails a GET, seed " << seed << ": "
+        << status.ToString();
+    ExpectOutputsBitIdentical(f.reference, output, seed);
+    EXPECT_LE(output.stats.hedges, spec.config.hedge_budget) << "seed " << seed;
+    EXPECT_LE(output.stats.hedge_wins, output.stats.hedges) << "seed " << seed;
+    total_hedges += output.stats.hedges;
+    total_wins += output.stats.hedge_wins;
+  }
+  f.store.ClearFaultPlan();
+  EXPECT_GT(total_hedges, 0u)
+      << "3 ms spikes at 30% over 20 scans must trigger hedges";
+  EXPECT_GT(total_wins, 0u)
+      << "an instant duplicate should beat a 3 ms straggler sometimes";
+}
+
 }  // namespace
 }  // namespace btr

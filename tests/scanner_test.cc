@@ -6,6 +6,7 @@
 
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -290,6 +291,47 @@ TEST(ScannerTest, StreamingChunksArriveInOrder) {
   }
   EXPECT_GT(stats.bytes_fetched, 0u);
   EXPECT_GT(stats.requests, 0u);
+}
+
+// Regression: ColumnChunk::row_begin used to be computed as
+// u32 * kBlockCapacity, which wraps past 2^32 rows (block ≈ 67k). The
+// field is u64 now and BlockRowBegin widens before multiplying.
+TEST(ScannerTest, RowBeginIs64BitAndDoesNotWrap) {
+  static_assert(std::is_same_v<decltype(ColumnChunk::row_begin), u64>,
+                "row_begin must hold u64 row positions");
+
+  EXPECT_EQ(BlockRowBegin(0), 0u);
+  EXPECT_EQ(BlockRowBegin(1), static_cast<u64>(kBlockCapacity));
+  // Block counts past 2^32 / kBlockCapacity ≈ 67109: the product no longer
+  // fits in 32 bits. The u32 arithmetic would have produced the wrapped
+  // value on the right.
+  EXPECT_EQ(BlockRowBegin(70000), 70000ull * kBlockCapacity);
+  EXPECT_GT(BlockRowBegin(70000), u64{1} << 32);
+  EXPECT_NE(BlockRowBegin(70000),
+            static_cast<u64>(static_cast<u32>(70000u * kBlockCapacity)));
+  // The largest representable block index must not overflow u64.
+  EXPECT_EQ(BlockRowBegin(0xFFFFFFFFu) / kBlockCapacity, 0xFFFFFFFFull);
+}
+
+// The emitted chunks carry BlockRowBegin-consistent row positions for
+// every outcome (decoded here; pruned/skipped share the same code path).
+TEST(ScannerTest, EmittedRowBeginMatchesBlockTimesCapacity) {
+  Fixture f;
+  Scanner scanner(&f.store, "scan_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  u32 chunks = 0;
+  Status status = scanner.Scan(
+      PipelinedSpec(),
+      [&](ColumnChunk&& chunk) {
+        EXPECT_EQ(chunk.row_begin, BlockRowBegin(chunk.block));
+        EXPECT_EQ(chunk.row_begin,
+                  static_cast<u64>(chunk.block) * kBlockCapacity);
+        chunks++;
+      },
+      nullptr);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(chunks, 3u * 3u);  // 3 blocks x 3 columns
 }
 
 }  // namespace
