@@ -15,8 +15,8 @@ constexpr u32 kRows = 64000;
 constexpr int kRepeats = 200;
 
 template <typename ScanFn, typename RefFn>
-void Measure(const char* name, const ByteBuffer& block, const ScanFn& scan,
-             const RefFn& reference) {
+void Measure(const char* name, const char* metric, const ByteBuffer& block,
+             const ScanFn& scan, const RefFn& reference) {
   u32 scan_result = 0;
   Timer scan_timer;
   for (int r = 0; r < kRepeats; r++) scan_result = scan();
@@ -30,6 +30,9 @@ void Measure(const char* name, const ByteBuffer& block, const ScanFn& scan,
               name, HasFastEqualsPath(block.data()) ? "yes" : "no", scan_result,
               kRows * kRepeats / scan_seconds / 1e6,
               kRows * kRepeats / ref_seconds / 1e6, ref_seconds / scan_seconds);
+  Report(std::string(metric) + ".mrows_per_s",
+         kRows * kRepeats / scan_seconds / 1e6, "M rows/s",
+         MetricKind::kThroughput, kRepeats);
 }
 
 void Run() {
@@ -43,7 +46,7 @@ void Run() {
     ByteBuffer block;
     CompressIntBlock(data.data(), nullptr, kRows, &block, config);
     DecodedBlock scratch;
-    Measure("int skewed (= dominant)", block,
+    Measure("int skewed (= dominant)", "int_skewed", block,
             [&] { return CountEqualsInt(block.data(), 1, config); },
             [&] {
               DecompressBlock(block.data(), &scratch, config);
@@ -59,7 +62,7 @@ void Run() {
     CompressIntBlock(data.data(), nullptr, kRows, &block, config);
     DecodedBlock scratch;
     i32 probe = data[kRows / 2];
-    Measure("int fk runs (= key)", block,
+    Measure("int fk runs (= key)", "int_fk_runs", block,
             [&] { return CountEqualsInt(block.data(), probe, config); },
             [&] {
               DecompressBlock(block.data(), &scratch, config);
@@ -79,7 +82,7 @@ void Run() {
     ByteBuffer block;
     CompressStringBlock(view, nullptr, &block, config);
     DecodedBlock scratch;
-    Measure("string cities (= PHOENIX)", block,
+    Measure("string cities (= PHOENIX)", "string_cities", block,
             [&] { return CountEqualsString(block.data(), "PHOENIX", config); },
             [&] {
               DecompressBlock(block.data(), &scratch, config);
@@ -96,7 +99,7 @@ void Run() {
     ByteBuffer block;
     CompressDoubleBlock(data.data(), nullptr, kRows, &block, config);
     DecodedBlock scratch;
-    Measure("double zero-dom (= 0.0)", block,
+    Measure("double zero-dom (= 0.0)", "double_zero_dom", block,
             [&] { return CountEqualsDouble(block.data(), 0.0, config); },
             [&] {
               DecompressBlock(block.data(), &scratch, config);
@@ -114,7 +117,7 @@ void Run() {
     ByteBuffer block;
     CompressIntBlock(data.data(), nullptr, kRows, &block, config);
     DecodedBlock scratch;
-    Measure("int sequential (fallback)", block,
+    Measure("int sequential (fallback)", "int_sequential", block,
             [&] { return CountEqualsInt(block.data(), 777, config); },
             [&] {
               DecompressBlock(block.data(), &scratch, config);
@@ -129,6 +132,7 @@ void Run() {
 }  // namespace btr::bench
 
 int main() {
+  btr::bench::InitBench("compressed_scan");
   btr::bench::PrintHeader(
       "Ablation: predicate evaluation on compressed blocks (paper Section 7)");
   btr::bench::Run();

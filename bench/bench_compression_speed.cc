@@ -76,12 +76,19 @@ void Run() {
     std::printf("%-22s  %14.1f  %16.1f  %13.2fx\n", row.name, row.from_csv_mbps,
                 row.from_binary_mbps, row.factor);
   }
+  Report("btrblocks.from_csv_mbps", rows[0].from_csv_mbps, "MB/s",
+         MetricKind::kThroughput);
+  Report("btrblocks.from_binary_mbps", rows[0].from_binary_mbps, "MB/s",
+         MetricKind::kThroughput);
+  Report("btrblocks.compression_factor", rows[0].factor, "x",
+         MetricKind::kRatio);
 }
 
 }  // namespace
 }  // namespace btr::bench
 
 int main() {
+  btr::bench::InitBench("compression_speed");
   btr::bench::PrintHeader(
       "Section 6.4: single-threaded compression speed (CSV / binary)");
   btr::bench::Run();

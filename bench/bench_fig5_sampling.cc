@@ -41,8 +41,13 @@ void Run() {
       u8 pick = StrategyPick(blocks[b], s.runs, s.run_length);
       if (oracles[b].IsCorrect(pick)) correct++;
     }
-    std::printf("%-18s  %5.1f%%\n", s.name,
-                100.0 * correct / static_cast<double>(blocks.size()));
+    double percent = 100.0 * correct / static_cast<double>(blocks.size());
+    std::printf("%-18s  %5.1f%%\n", s.name, percent);
+    if (s.runs == 10 && s.run_length == 64) {
+      // Deterministic given the seeded corpus: gate exactly in CI.
+      Report("default_10x64.correct_percent", percent, "%",
+             MetricKind::kRatio);
+    }
   }
 
   // Section 3.1: estimation CPU share during full compression.
@@ -50,11 +55,15 @@ void Run() {
   CompressionConfig config;
   config.telemetry = &telemetry;
   for (const Relation& table : corpus) CompressRelation(table, config);
+  double estimate_share =
+      100.0 * static_cast<double>(telemetry.estimate_ns) /
+      static_cast<double>(telemetry.compress_ns);
+  Report("estimation.cpu_share_percent", estimate_share, "%",
+         MetricKind::kTime);
   std::printf(
       "\nSample-based ratio estimation: %.1f%% of compression time "
       "(paper: ~1.2%%)\n",
-      100.0 * static_cast<double>(telemetry.estimate_ns) /
-          static_cast<double>(telemetry.compress_ns));
+      estimate_share);
   std::printf(
       "Statistics collection (min/max/unique/runs): %.1f%% of compression "
       "time\n(note: this repo's absolute compression speed is several times "
@@ -67,6 +76,7 @@ void Run() {
 }  // namespace btr::bench
 
 int main() {
+  btr::bench::InitBench("fig5_sampling");
   btr::bench::PrintHeader(
       "Figure 5: correct scheme choices per sampling strategy (N=640)");
   btr::bench::Run();

@@ -25,9 +25,15 @@ void Run() {
   std::vector<Relation> corpus = PbiCorpus();
   std::printf("\n%-26s  %10s\n", "format", "ratio");
 
-  auto print_btr = [&](const char* name, CompressionConfig config) {
+  auto report = [](const char* metric, const FormatResult& r) {
+    Report(std::string("pbi.") + metric + ".ratio", r.Ratio(), "x",
+           MetricKind::kRatio);
+  };
+  auto print_btr = [&](const char* name, const char* metric,
+                       CompressionConfig config) {
     FormatResult r = MeasureBtr(corpus, config);
     std::printf("%-26s  %9.2fx\n", name, r.Ratio());
+    report(metric, r);
   };
 
   {
@@ -36,7 +42,7 @@ void Run() {
     a.double_schemes = Mask({0, 1, 3});
     a.string_schemes = Mask({0, 1, 2});
     a.max_cascade_depth = 1;             // byte-addressable: no cascades
-    print_btr("DB-A (datablocks-style)", a);
+    print_btr("DB-A (datablocks-style)", "db_a", a);
   }
   {
     CompressionConfig b;
@@ -44,7 +50,7 @@ void Run() {
     b.double_schemes = Mask({0, 1, 2});
     b.string_schemes = Mask({0, 1, 2});
     b.max_cascade_depth = 2;
-    print_btr("DB-B (sqlserver-style)", b);
+    print_btr("DB-B (sqlserver-style)", "db_b", b);
   }
   {
     CompressionConfig c;
@@ -52,32 +58,37 @@ void Run() {
     c.double_schemes = Mask({0, 1, 3, 4});
     c.string_schemes = Mask({0, 1, 2});
     c.max_cascade_depth = 2;
-    print_btr("DB-C (db2blu-style)", c);
+    print_btr("DB-C (db2blu-style)", "db_c", c);
   }
   {
     lakeformat::OrcOptions d;
     d.codec = gpc::CodecKind::kEntropyLz;
     FormatResult r = MeasureOrcLike(corpus, d);
     std::printf("%-26s  %9.2fx\n", "DB-D (heavyweight)", r.Ratio());
+    report("db_d", r);
   }
   {
     lakeformat::ParquetOptions p;
     FormatResult r = MeasureParquetLike(corpus, p);
     std::printf("%-26s  %9.2fx\n", "Parquet", r.Ratio());
+    report("parquet", r);
     p.codec = gpc::CodecKind::kLz77;
     r = MeasureParquetLike(corpus, p);
     std::printf("%-26s  %9.2fx\n", "Parquet+Snappy-class", r.Ratio());
+    report("parquet_snappy", r);
     p.codec = gpc::CodecKind::kEntropyLz;
     r = MeasureParquetLike(corpus, p);
     std::printf("%-26s  %9.2fx\n", "Parquet+Zstd-class", r.Ratio());
+    report("parquet_zstd", r);
   }
-  print_btr("BtrBlocks", CompressionConfig{});
+  print_btr("BtrBlocks", "btrblocks", CompressionConfig{});
 }
 
 }  // namespace
 }  // namespace btr::bench
 
 int main() {
+  btr::bench::InitBench("fig7_ratios");
   btr::bench::PrintHeader(
       "Figure 7: Public BI compression ratios across formats");
   btr::bench::Run();

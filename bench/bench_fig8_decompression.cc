@@ -14,19 +14,26 @@
 namespace btr::bench {
 namespace {
 
-void RunCorpus(const char* name, const std::vector<Relation>& corpus) {
+void RunCorpus(const char* name, const char* tag,
+               const std::vector<Relation>& corpus) {
   std::printf("\n--- %s ---\n", name);
   std::printf("%-26s  %8s  %18s\n", "format", "ratio", "decompression GB/s");
 
-  auto print = [](const char* format, const FormatResult& r) {
+  auto print = [&](const char* format, const FormatResult& r) {
     std::printf("%-26s  %7.2fx  %18.2f\n", format, r.Ratio(), r.DecompressGBps());
   };
 
   {
     CompressionConfig config;
-    print("BtrBlocks", MeasureBtr(corpus, config));
+    FormatResult btr = MeasureBtr(corpus, config);
+    print("BtrBlocks", btr);
+    Reporter::Get().ReportFormatResult(std::string(tag) + ".btrblocks", btr);
     ScopedSimd scalar(false);
-    print("BtrBlocks (scalar, 6.8)", MeasureBtr(corpus, config));
+    FormatResult scalar_btr = MeasureBtr(corpus, config);
+    print("BtrBlocks (scalar, 6.8)", scalar_btr);
+    Report(std::string(tag) + ".btrblocks_scalar.decompress_gbps",
+           scalar_btr.DecompressGBps(), "GB/s", MetricKind::kThroughput,
+           kDecompressRepeats);
   }
   for (auto [label, codec] :
        {std::pair{"Parquet", gpc::CodecKind::kNone},
@@ -51,9 +58,10 @@ void RunCorpus(const char* name, const std::vector<Relation>& corpus) {
 
 int main() {
   using namespace btr::bench;
+  InitBench("fig8_decompression");
   PrintHeader(
       "Figure 8: ratio vs in-memory decompression bandwidth (single thread)");
-  RunCorpus("Public BI (synthetic archetypes)", PbiCorpus());
-  RunCorpus("TPC-H (synthetic dbgen-like)", TpchCorpus());
+  RunCorpus("Public BI (synthetic archetypes)", "pbi", PbiCorpus());
+  RunCorpus("TPC-H (synthetic dbgen-like)", "tpch", TpchCorpus());
   return 0;
 }

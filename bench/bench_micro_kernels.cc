@@ -10,6 +10,7 @@
 #include "bitpack/bitpack.h"
 #include "btr/btrblocks.h"
 #include "btr/schemes/double_schemes.h"
+#include "common.h"
 #include "datagen/archetypes.h"
 #include "fsst/fsst.h"
 #include "util/random.h"
@@ -19,14 +20,6 @@ namespace btr {
 namespace {
 
 constexpr u32 kRows = 64000;
-
-ByteBuffer CompressIntsWith(const std::vector<i32>& data) {
-  CompressionConfig config;
-  CompressionContext ctx{&config, config.max_cascade_depth};
-  ByteBuffer out;
-  CompressInts(data.data(), static_cast<u32>(data.size()), &out, ctx);
-  return out;
-}
 
 void BM_RleDecodeInts(benchmark::State& state) {
   std::vector<i32> data =
@@ -152,7 +145,43 @@ void BM_FusedRleDictStrings(benchmark::State& state) {
 }
 BENCHMARK(BM_FusedRleDictStrings)->Arg(0)->Arg(1)->ArgName("fused");
 
+// Prints the normal console table AND captures every run into the shared
+// bench reporter, so this binary emits the same BENCH_<name>.json sidecar
+// as the harness benches (one throughput metric per kernel variant).
+class SidecarReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::string metric = run.benchmark_name();
+      for (char& c : metric) {
+        if (c == '/' || c == ':' || c == '=') c = '.';
+      }
+      auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) {
+        bench::Report(metric + ".gbps", it->second.value / 1e9, "GB/s",
+                      bench::MetricKind::kThroughput,
+                      static_cast<u64>(run.iterations));
+      } else {
+        bench::Report(metric + ".real_time_ns", run.GetAdjustedRealTime(),
+                      "ns", bench::MetricKind::kTime,
+                      static_cast<u64>(run.iterations));
+      }
+    }
+  }
+};
+
 }  // namespace
 }  // namespace btr
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN() so the capturing reporter sees every run.
+int main(int argc, char** argv) {
+  btr::bench::InitBench("micro_kernels");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  btr::SidecarReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -63,7 +63,8 @@ void PrintRow(const char* format_name, const TypeAccumulator& acc) {
   std::printf("  %6.2fx\n", combined);
 }
 
-void RunDataset(const char* name, const std::vector<Relation>& corpus) {
+void RunDataset(const char* name, const char* tag,
+                const std::vector<Relation>& corpus) {
   std::printf("\n--- %s ---\n", name);
   std::printf("%-22s  %-14s  %-14s  %-14s  %s\n", "format",
               "string(sh,cr)", "double(sh,cr)", "int(sh,cr)", "combined");
@@ -90,6 +91,12 @@ void RunDataset(const char* name, const std::vector<Relation>& corpus) {
       return CompressRelation(r, config).CompressedBytes();
     });
     PrintRow("BtrBlocks", acc);
+    double combined = acc.TotalCompressed() == 0
+                          ? 0
+                          : static_cast<double>(acc.TotalUncompressed()) /
+                                acc.TotalCompressed();
+    Report(std::string(tag) + ".btrblocks.combined_ratio", combined, "x",
+           MetricKind::kRatio);
   }
   std::printf("(* Snappy/LZ4 and Zstd stand-ins are the from-scratch gpc codecs)\n");
 }
@@ -99,9 +106,10 @@ void RunDataset(const char* name, const std::vector<Relation>& corpus) {
 
 int main() {
   using namespace btr::bench;
+  InitBench("table2_datasets");
   PrintHeader(
       "Table 2: PBI vs TPC-H — per-type compressed volume share and ratio");
-  RunDataset("Public BI (synthetic archetypes)", PbiCorpus());
-  RunDataset("TPC-H (synthetic dbgen-like)", TpchCorpus());
+  RunDataset("Public BI (synthetic archetypes)", "pbi", PbiCorpus());
+  RunDataset("TPC-H (synthetic dbgen-like)", "tpch", TpchCorpus());
   return 0;
 }

@@ -97,16 +97,25 @@ void Run() {
   std::printf("\n-- Table 3: PDE vs dedicated double compressors --\n");
   std::printf("%-26s  %7s %8s %7s %9s %7s\n", "column", "FPC", "Gorilla",
               "Chimp", "Chimp128", "PDE");
+  u64 pde_total = 0, chimp128_total = 0;
   for (const NamedColumn& column : columns) {
     ByteBuffer fpc, gorilla, chimp, chimp128;
     floatcomp::FpcCompress(column.values.data(), kRows, &fpc);
     floatcomp::GorillaCompress(column.values.data(), kRows, &gorilla);
     floatcomp::ChimpCompress(column.values.data(), kRows, &chimp);
     floatcomp::Chimp128Compress(column.values.data(), kRows, &chimp128);
+    pde_total += PdeFixedCascadeBytes(column.values);
+    chimp128_total += chimp128.size();
     std::printf("%-26s  %6.2f %8.2f %7.2f %9.2f %7.2f\n", column.name,
                 Ratio(fpc.size()), Ratio(gorilla.size()), Ratio(chimp.size()),
                 Ratio(chimp128.size()), Ratio(PdeFixedCascadeBytes(column.values)));
   }
+  double raw_bytes =
+      static_cast<double>(columns.size()) * kRows * sizeof(double);
+  Report("pde.aggregate_ratio", raw_bytes / pde_total, "x",
+         MetricKind::kRatio);
+  Report("chimp128.aggregate_ratio", raw_bytes / chimp128_total, "x",
+         MetricKind::kRatio);
 
   std::printf(
       "\n-- Section 6.5: general schemes vs PDE (each -> FastBP128) --\n");
@@ -126,6 +135,7 @@ void Run() {
 }  // namespace btr::bench
 
 int main() {
+  btr::bench::InitBench("table3_doubles");
   btr::bench::PrintHeader(
       "Table 3 + Section 6.5: Pseudodecimal Encoding vs other schemes");
   btr::bench::Run();

@@ -25,11 +25,19 @@ const char* RootSchemeName(ColumnType type, u8 code) {
   return "?";
 }
 
+// Aggregated across every column for the sidecar headline metrics.
+u64 g_btr_uncompressed = 0;
+u64 g_btr_compressed = 0;
+double g_btr_decompress_seconds = 0;
+
 void RunColumn(const char* paper_name, const Relation& single) {
   CompressionConfig config;
   const Column& column = single.columns()[0];
   std::vector<Relation> corpus = SingleColumnRelation(column);
   FormatResult btr = MeasureBtr(corpus, config);
+  g_btr_uncompressed += btr.uncompressed_bytes;
+  g_btr_compressed += btr.compressed_bytes;
+  g_btr_decompress_seconds += btr.decompress_seconds;
   lakeformat::ParquetOptions zstd_options;
   zstd_options.codec = gpc::CodecKind::kEntropyLz;
   FormatResult zstd = MeasureParquetLike(corpus, zstd_options);
@@ -89,12 +97,21 @@ void Run() {
             OneDouble("c", DoubleArchetype::kPrice2Decimals, 12));
   RunColumn("Redfin4/median_sale_price_mom",
             OneDouble("c", DoubleArchetype::kMixedWithNulls, 13));
+
+  Report("btrblocks.aggregate_ratio",
+         static_cast<double>(g_btr_uncompressed) / g_btr_compressed, "x",
+         MetricKind::kRatio);
+  Report("btrblocks.aggregate_decompress_gbps",
+         static_cast<double>(g_btr_uncompressed) / g_btr_decompress_seconds /
+             1e9,
+         "GB/s", MetricKind::kThroughput, kDecompressRepeats);
 }
 
 }  // namespace
 }  // namespace btr::bench
 
 int main() {
+  btr::bench::InitBench("table4_columns");
   btr::bench::PrintHeader(
       "Table 4: per-column ratio & decompression speed, BtrBlocks vs "
       "Parquet+Zstd-class");

@@ -19,17 +19,25 @@
 //   --max-retries=<n>       `scan`: retries per GET on transient failures
 //   --skip-corrupt          `scan`: degrade instead of failing — skip
 //                           unreadable row blocks and report them
+//   --profile[=<path.json>] `scan`: collect a per-scan ScanProfile (stage
+//                           breakdown, GET latency histogram, per-scheme
+//                           decode cost, slow-op exemplars); prints the
+//                           text report and, with =<path>, writes the
+//                           stable-schema JSON form (docs/OBSERVABILITY.md)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "btr/btrblocks.h"
 #include "datagen/csv.h"
 #include "datagen/public_bi.h"
 #include "obs/cascade_trace.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "s3sim/object_store.h"
 
@@ -156,6 +164,23 @@ int CmdInspect(const std::string& csv_path) {
     std::printf("\n");
   }
 
+  // Process-wide data-volume counters (obs/metrics.h). Zero unless this
+  // process also ran scans/caching, but always reported so the names and
+  // units are discoverable from the tool.
+  {
+    obs::Registry& registry = obs::Registry::Get();
+    std::printf("data-volume counters (this process):\n");
+    std::printf("  scan.bytes_fetched        %llu\n",
+                static_cast<unsigned long long>(
+                    registry.GetCounter("scan.bytes_fetched").Value()));
+    std::printf("  scan.bytes_decoded        %llu\n",
+                static_cast<unsigned long long>(
+                    registry.GetCounter("scan.bytes_decoded").Value()));
+    std::printf("  cache.block.bytes_evicted %llu\n\n",
+                static_cast<unsigned long long>(
+                    registry.GetCounter("cache.block.bytes_evicted").Value()));
+  }
+
   // Depth-indexed scheme usage across the whole table (satellite view of
   // the cascade: which schemes appear at which recursion level).
   std::printf("scheme uses by cascade depth (count x type/scheme):\n");
@@ -190,7 +215,8 @@ int CmdInspect(const std::string& csv_path) {
 // maps pruned, what predicate pushdown skipped, and the pipeline timing.
 int CmdScan(const std::string& csv_path,
             const std::vector<std::string>& filters,
-            const ScanConfig& scan_config, u64 fault_seed, double fault_rate) {
+            const ScanConfig& scan_config, u64 fault_seed, double fault_rate,
+            const std::string& profile_json_path) {
   std::string name = csv_path;
   size_t slash = name.find_last_of('/');
   if (slash != std::string::npos) name = name.substr(slash + 1);
@@ -273,10 +299,12 @@ int CmdScan(const std::string& csv_path,
     std::printf("rows matching all predicates: %llu\n",
                 static_cast<unsigned long long>(stats.rows_matched));
   }
-  std::printf("fetched %.1f KiB in %llu GETs; %.3f s with %u scan threads, "
+  std::printf("fetched %.1f KiB in %llu GETs, decoded %.1f KiB logical; "
+              "%.3f s with %u scan threads, "
               "%u fetch threads, prefetch depth %u\n",
               stats.bytes_fetched / 1024.0,
-              static_cast<unsigned long long>(stats.requests), stats.seconds,
+              static_cast<unsigned long long>(stats.requests),
+              stats.bytes_decoded / 1024.0, stats.seconds,
               spec.config.scan_threads, spec.config.fetch_threads,
               spec.config.prefetch_depth);
   if (fault_seed != 0 || stats.retries != 0 || stats.blocks_unreadable != 0) {
@@ -293,9 +321,14 @@ int CmdScan(const std::string& csv_path,
     }
   }
   if (scan_config.enable_block_cache) {
-    std::printf("block cache: %llu hits, %llu misses (%.0f MiB capacity)\n",
+    std::printf("block cache: %llu hits, %llu misses, %llu bytes evicted "
+                "(%.0f MiB capacity)\n",
                 static_cast<unsigned long long>(stats.cache_hits),
                 static_cast<unsigned long long>(stats.cache_misses),
+                static_cast<unsigned long long>(
+                    obs::Registry::Get()
+                        .GetCounter("cache.block.bytes_evicted")
+                        .Value()),
                 scan_config.block_cache_bytes / (1024.0 * 1024.0));
   }
   if (scan_config.enable_hedged_gets) {
@@ -313,6 +346,22 @@ int CmdScan(const std::string& csv_path,
     std::printf("CRC re-fetch: %llu re-fetched, %llu rescued\n",
                 static_cast<unsigned long long>(stats.crc_refetches),
                 static_cast<unsigned long long>(stats.crc_rescues));
+  }
+  if (scan_config.collect_profile && stats.profile != nullptr) {
+    std::printf("\n%s", stats.profile->ToText().c_str());
+    if (!profile_json_path.empty()) {
+      std::ofstream out(profile_json_path,
+                        std::ios::binary | std::ios::trunc);
+      if (out) out << stats.profile->ToJson() << "\n";
+      if (out.good()) {
+        std::fprintf(stderr, "profile written to %s\n",
+                     profile_json_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     profile_json_path.c_str());
+        return 1;
+      }
+    }
   }
   return 0;
 }
@@ -338,6 +387,7 @@ int main(int argc, char** argv) {
   // Global flags, stripped before command dispatch.
   std::string metrics_path;
   std::string trace_path;
+  std::string profile_json_path;
   btr::ScanConfig scan_config;
   btr::u64 fault_seed = 0;
   double fault_rate = 0.05;
@@ -378,6 +428,11 @@ int main(int argc, char** argv) {
       scan_config.enable_circuit_breaker = true;
     } else if (arg == "--crc-refetch") {
       scan_config.refetch_on_crc_failure = true;
+    } else if (arg == "--profile") {
+      scan_config.collect_profile = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      scan_config.collect_profile = true;
+      profile_json_path = arg.substr(std::strlen("--profile="));
     } else {
       args.push_back(std::move(arg));
     }
@@ -421,7 +476,8 @@ int main(int argc, char** argv) {
   }
   if (command == "scan" && args.size() >= 2) {
     std::vector<std::string> filters(args.begin() + 2, args.end());
-    return finish(CmdScan(args[1], filters, scan_config, fault_seed, fault_rate));
+    return finish(CmdScan(args[1], filters, scan_config, fault_seed, fault_rate,
+                          profile_json_path));
   }
   if (command == "demo") {
     return finish(CmdDemo());
@@ -440,6 +496,8 @@ int main(int argc, char** argv) {
                "       --skip-corrupt  (scan robustness, docs/ROBUSTNESS.md)\n"
                "       --block-cache=<MiB>  --hedge  --breaker  --crc-refetch\n"
                "         (resilient read path: checksum-verified cache,\n"
-               "          hedged GETs, circuit breaker, CRC re-fetch)\n");
+               "          hedged GETs, circuit breaker, CRC re-fetch)\n"
+               "       --profile[=<path.json>]  (scan: per-scan profile —\n"
+               "          stage breakdown, GET latency histogram, slow ops)\n");
   return 2;
 }

@@ -205,6 +205,16 @@ struct ScanConfig {
   // Status::Corruption — distinguishes transient wire corruption from
   // at-rest damage.
   bool refetch_on_crc_failure = false;
+
+  // --- per-scan profile (obs/profile.h) ------------------------------------
+  // When true, the scan records a ScanProfile — per-stage wall/CPU
+  // breakdown, GET latency histogram, per-scheme decode cost, outcome
+  // tallies, and the `profile_slow_ops` slowest GETs/decodes — exposed
+  // on ScanStats::profile and via `btrtool scan --profile`. When false
+  // (default) the instrumentation path is a null-pointer test: no locks,
+  // no allocation.
+  bool collect_profile = false;
+  u32 profile_slow_ops = 8;  // exemplar ring capacity (0 = no exemplars)
 };
 
 // Per-call compression state threaded through cascade recursion.

@@ -32,6 +32,8 @@ struct ScanMetrics {
   obs::Counter& crc_failures;
   obs::Counter& crc_refetches;
   obs::Counter& crc_rescues;
+  obs::Counter& bytes_fetched;
+  obs::Counter& bytes_decoded;
 
   static ScanMetrics& Get() {
     static ScanMetrics* m = [] {
@@ -44,7 +46,9 @@ struct ScanMetrics {
                              r.GetCounter("scan.rows_matched"),
                              r.GetCounter("scan.crc_failures"),
                              r.GetCounter("scan.crc_refetches"),
-                             r.GetCounter("scan.crc_rescues")};
+                             r.GetCounter("scan.crc_rescues"),
+                             r.GetCounter("scan.bytes_fetched"),
+                             r.GetCounter("scan.bytes_decoded")};
     }();
     return *m;
   }
@@ -121,6 +125,8 @@ Scanner::~Scanner() = default;
 
 Status Scanner::Open(const ScanConfig& config) {
   if (store_ == nullptr) return Status::InvalidArgument("null object store");
+  // Metadata-fetch time surfaces as ScanProfile::open_ns on later scans.
+  Timer open_timer;
   // Metadata GETs ride the same retry discipline as block fetches: a
   // transiently failing store must not fail Open.
   exec::RetryState retry(MakeRetryPolicy(config));
@@ -178,6 +184,7 @@ Status Scanner::Open(const ScanConfig& config) {
     }
   }
   opened_ = true;
+  open_ns_ = static_cast<u64>(open_timer.ElapsedNanos());
   return Status::Ok();
 }
 
@@ -287,6 +294,18 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   ResolvedSpec resolved;
   BTR_RETURN_IF_ERROR(ResolveSpec(spec, &resolved));
 
+  // Per-scan profile. Null when disabled: every instrumentation site
+  // below tests this pointer and records nothing — no locks, no
+  // allocation, no clock reads on the disabled path.
+  std::unique_ptr<obs::ScanProfileCollector> collector;
+  if (spec.config.collect_profile) {
+    collector = std::make_unique<obs::ScanProfileCollector>(
+        spec.config.profile_slow_ops);
+    collector->SetOpenNanos(open_ns_);
+  }
+  obs::ScanProfileCollector* profile = collector.get();
+  obs::StageTimer stage_timer;  // calling-thread stages; starts in kPlan
+
   ScanStats stats;
   stats.row_blocks = resolved.row_blocks;
   const u64 base_requests = store_->total_requests();
@@ -296,6 +315,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
 
   // --- stage 0: zone-map pruning -------------------------------------------
   // A row block is pruned when any ANDed predicate proves it empty.
+  Timer prune_timer;
   std::vector<u8> pruned(resolved.row_blocks, 0);
   if (has_zones_ && !resolved.predicates.empty()) {
     for (u32 b = 0; b < resolved.row_blocks; b++) {
@@ -307,6 +327,9 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
         }
       }
     }
+  }
+  if (profile != nullptr) {
+    profile->SetZonePruneNanos(static_cast<u64>(prune_timer.ElapsedNanos()));
   }
 
   // --- stage 1: fetch plan ---------------------------------------------------
@@ -361,6 +384,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
       spec.config.enable_block_cache ? block_cache_.get() : nullptr;
   fetch_options.hedge = MakeHedgePolicy(spec.config);
   fetch_options.breaker = breaker.get();
+  fetch_options.profile = profile;
 
   exec::BoundedQueue<exec::FetchedBlock> queue(
       std::max<u32>(1, spec.config.prefetch_depth));
@@ -369,13 +393,18 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
                               MakeRetryPolicy(spec.config), fetch_options);
 
   auto fail = [&](Status status) {
+    bool first = false;
     {
       std::lock_guard<std::mutex> lock(mutex);
       if (!failed) {
         failed = true;
+        first = true;
         first_error = std::move(status);
       }
     }
+    // Mark the failure point in the trace so an aborted scan's spans are
+    // diagnosable — the RAII spans themselves flush normally on unwind.
+    if (first) BTR_TRACE_INSTANT("scan.error");
     prefetcher.RequestStop();
     queue.Abort();
     ready_cv.notify_all();
@@ -385,11 +414,13 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   // atomics because process_bundle runs on the decode workers.
   std::atomic<u64> crc_refetch_count{0};
   std::atomic<u64> crc_rescue_count{0};
+  std::atomic<u64> bytes_decoded_count{0};
 
   // Decodes one complete bundle into a BlockResult. Runs on a worker.
   auto process_bundle = [&](u32 b, Bundle& bundle,
                             BlockResult* result) -> Status {
     u32 expected_rows = resolved.block_rows[b];
+    Timer validate_timer;
     for (u32 pos = 0; pos < needed_count; pos++) {
       const ByteBuffer& part = bundle.parts[pos];
       u32 column = resolved.needed[pos];
@@ -429,6 +460,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
             crc_rescue_count.fetch_add(1, std::memory_order_relaxed);
             rescued = true;
           }
+          if (profile != nullptr) profile->AddCrcRefetch(rescued);
         }
         if (!rescued) {
           return Status::Corruption(
@@ -440,9 +472,15 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
       BTR_RETURN_IF_ERROR(
           ValidateBlock(part.data(), part.size(), type, expected_rows));
     }
+    if (profile != nullptr) {
+      profile->AddActivity(obs::ScanActivity::kValidate,
+                           static_cast<u64>(validate_timer.ElapsedNanos()),
+                           needed_count);
+    }
 
     if (!resolved.predicates.empty()) {
       BTR_TRACE_SPAN("scan.predicate");
+      Timer predicate_timer;
       bool first = true;
       for (const auto& [predicate, pos] : resolved.predicates) {
         RoaringBitmap matches =
@@ -452,6 +490,11 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
                   : RoaringBitmap::And(result->selection, matches);
         first = false;
         if (result->selection.Empty()) break;
+      }
+      if (profile != nullptr) {
+        profile->AddActivity(obs::ScanActivity::kPredicate,
+                             static_cast<u64>(predicate_timer.ElapsedNanos()),
+                             resolved.predicates.size());
       }
       if (result->selection.Empty()) {
         result->outcome = BlockOutcome::kSkipped;
@@ -463,7 +506,25 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
     result->decoded.resize(resolved.projection.size());
     for (size_t p = 0; p < resolved.projection.size(); p++) {
       const ByteBuffer& part = bundle.parts[resolved.projection_pos[p]];
-      DecompressBlock(part.data(), &result->decoded[p], config_);
+      u32 column = resolved.projection[p];
+      if (profile != nullptr) {
+        Timer decode_timer;
+        DecompressBlock(part.data(), &result->decoded[p], config_);
+        obs::DecodeRecord record;
+        record.column = &meta_.columns[column].name;
+        record.offset = block_offsets_[column][b];
+        record.length = part.size();
+        record.duration_ns = static_cast<u64>(decode_timer.ElapsedNanos());
+        record.bytes_decoded = result->decoded[p].ValueBytes();
+        record.block = b;
+        record.scheme = PeekBlockScheme(part.data());
+        record.type = static_cast<u8>(meta_.columns[column].type);
+        profile->RecordDecode(record);
+      } else {
+        DecompressBlock(part.data(), &result->decoded[p], config_);
+      }
+      bytes_decoded_count.fetch_add(result->decoded[p].ValueBytes(),
+                                    std::memory_order_relaxed);
     }
     return Status::Ok();
   };
@@ -499,7 +560,19 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
     pool.Submit([&] {
       try {
         exec::FetchedBlock fetched;
-        while (queue.Pop(&fetched)) {
+        for (;;) {
+          bool popped;
+          if (profile != nullptr) {
+            // Time spent blocked on the queue = decode capacity wasted
+            // waiting for the prefetcher (ScanProfile "prefetch_wait").
+            Timer pop_timer;
+            popped = queue.Pop(&fetched);
+            profile->AddActivity(obs::ScanActivity::kPrefetchWait,
+                                 static_cast<u64>(pop_timer.ElapsedNanos()));
+          } else {
+            popped = queue.Pop(&fetched);
+          }
+          if (!popped) break;
           u32 b = static_cast<u32>(fetched.tag / needed_count);
           u32 pos = static_cast<u32>(fetched.tag % needed_count);
           Bundle complete;
@@ -534,6 +607,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   Status emit_status;
   for (u32 b = 0; b < resolved.row_blocks; b++) {
     if (pruned[b]) {
+      if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kEmit);
       stats.blocks_pruned++;
       metrics.blocks_pruned.Add();
       for (size_t p = 0; p < resolved.projection.size(); p++) {
@@ -549,12 +623,14 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
     }
     BlockResult result;
     {
+      if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kEmitWait);
       std::unique_lock<std::mutex> lock(mutex);
       ready_cv.wait(lock, [&] { return failed || ready.count(b) != 0; });
       if (failed) break;
       result = std::move(ready[b]);
       ready.erase(b);
     }
+    if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kEmit);
     u64 block_matches = resolved.predicates.empty()
                             ? resolved.block_rows[b]
                             : result.selection.Cardinality();
@@ -590,6 +666,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   // --- unwind ---------------------------------------------------------------
   // On failure Abort() unblocks producers and consumers; on success the
   // prefetcher has closed the queue and workers drain to end-of-stream.
+  if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kTeardown);
   {
     std::lock_guard<std::mutex> lock(mutex);
     if (failed) emit_status = first_error;
@@ -625,9 +702,21 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   }
   stats.crc_refetches = crc_refetch_count.load(std::memory_order_relaxed);
   stats.crc_rescues = crc_rescue_count.load(std::memory_order_relaxed);
+  stats.bytes_decoded = bytes_decoded_count.load(std::memory_order_relaxed);
   stats.bytes_fetched = store_->total_bytes_fetched() - base_bytes;
   stats.requests = store_->total_requests() - base_requests;
   stats.seconds = timer.ElapsedSeconds();
+  metrics.bytes_fetched.Add(stats.bytes_fetched);
+  metrics.bytes_decoded.Add(stats.bytes_decoded);
+  if (profile != nullptr) {
+    collector->AddBlockTallies(stats.blocks_pruned, stats.blocks_skipped,
+                               stats.blocks_decoded, stats.blocks_unreadable);
+    collector->SetBytesFetched(stats.bytes_fetched);
+    collector->SetWallSeconds(stats.seconds);
+    stage_timer.Finish(collector.get());  // flush the tail stage
+    stats.profile =
+        std::make_shared<const obs::ScanProfile>(collector->Snapshot());
+  }
   if (stats_out != nullptr) *stats_out = stats;
   return emit_status;
 }

@@ -43,6 +43,7 @@
 #include "btr/predicate.h"
 #include "btr/relation.h"
 #include "btr/zonemap.h"
+#include "obs/profile.h"
 #include "s3sim/object_store.h"
 #include "util/status.h"
 
@@ -116,10 +117,16 @@ struct ScanStats {
   u64 crc_refetches = 0;       // CRC-failed blocks re-fetched once
   u64 crc_rescues = 0;         // re-fetches that produced verified bytes
   double seconds = 0;          // wall clock of Scan()
+  u64 bytes_decoded = 0;       // logical uncompressed bytes produced
   // Degraded mode: indices of the kUnreadable row blocks, with the Status
   // that made each unreadable (same order).
   std::vector<u32> unreadable_blocks;
   std::vector<Status> unreadable_reasons;
+  // Per-scan profile snapshot (stage breakdown, GET latency histogram,
+  // per-scheme decode cost, slow-op exemplars). Null unless the scan ran
+  // with ScanConfig::collect_profile. Shared so copies of ScanStats stay
+  // cheap; the profile itself is immutable once the scan returns.
+  std::shared_ptr<const obs::ScanProfile> profile;
 };
 
 // Materialized scan result (the convenience overload).
@@ -192,6 +199,9 @@ class Scanner {
   std::vector<std::vector<u64>> block_offsets_;
   // Per column: CRC32C of each block payload, from the column header.
   std::vector<std::vector<u32>> block_crcs_;
+  // Wall nanoseconds the last successful Open() spent fetching/parsing
+  // metadata — stamped into ScanProfile::open_ns when profiling.
+  u64 open_ns_ = 0;
   // Checksum-verified block cache, created lazily on the first Scan with
   // ScanConfig::enable_block_cache. Scanner-owned so repeat scans through
   // the same Scanner hit it; entries are keyed by exact GET identity and

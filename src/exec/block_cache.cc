@@ -15,6 +15,7 @@ struct CacheMetrics {
   obs::Counter& misses;
   obs::Counter& inserts;
   obs::Counter& evictions;
+  obs::Counter& bytes_evicted;
   obs::Counter& crc_rejects;
   obs::Gauge& bytes;
 
@@ -25,6 +26,7 @@ struct CacheMetrics {
                               r.GetCounter("cache.block.misses"),
                               r.GetCounter("cache.block.inserts"),
                               r.GetCounter("cache.block.evictions"),
+                              r.GetCounter("cache.block.bytes_evicted"),
                               r.GetCounter("cache.block.crc_rejects"),
                               r.GetGauge("cache.block.bytes")};
     }();
@@ -125,6 +127,7 @@ void BlockCache::EvictLocked(Shard* shard) {
     Entry& victim = shard->lru.back();
     shard->bytes -= victim.bytes.size();
     metrics.bytes.Add(-static_cast<i64>(victim.bytes.size()));
+    metrics.bytes_evicted.Add(victim.bytes.size());
     shard->index.erase(victim.composite_key);
     shard->lru.pop_back();
     metrics.evictions.Add();
@@ -145,6 +148,7 @@ BlockCache::Stats BlockCache::GetStats() const {
   stats.misses = metrics.misses.Value();
   stats.inserts = metrics.inserts.Value();
   stats.evictions = metrics.evictions.Value();
+  stats.bytes_evicted = metrics.bytes_evicted.Value();
   stats.crc_rejects = metrics.crc_rejects.Value();
   return stats;
 }

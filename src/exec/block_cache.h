@@ -19,6 +19,7 @@
 //   cache.block.inserts / cache.block.evictions admissions and LRU victims
 //   cache.block.crc_rejects                    corrupt payloads refused
 //   cache.block.bytes                          gauge, bytes currently held
+//   cache.block.bytes_evicted                  payload bytes LRU-evicted
 #ifndef BTR_EXEC_BLOCK_CACHE_H_
 #define BTR_EXEC_BLOCK_CACHE_H_
 
@@ -65,6 +66,7 @@ class BlockCache {
     u64 misses = 0;
     u64 inserts = 0;
     u64 evictions = 0;
+    u64 bytes_evicted = 0;  // payload bytes dropped by LRU eviction
     u64 crc_rejects = 0;
     u64 bytes = 0;     // payload bytes currently cached
     u64 entries = 0;   // entries currently cached

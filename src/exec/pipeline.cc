@@ -153,8 +153,8 @@ void Prefetcher::Join() {
   }
 }
 
-Status Prefetcher::IssueGet(const FetchRequest& request,
-                            std::vector<u8>* out) {
+Status Prefetcher::IssueGet(const FetchRequest& request, std::vector<u8>* out,
+                            bool* hedged, bool* hedge_won) {
   out->clear();
   const u64 threshold_ns = hedge_state_.ThresholdNs();
   if (threshold_ns == 0) {
@@ -209,6 +209,7 @@ Status Prefetcher::IssueGet(const FetchRequest& request,
   }
   if (!primary_done && hedge_state_.TryAcquireHedge()) {
     HedgeMetrics::Get().hedges.Add();
+    *hedged = true;
     std::vector<u8> hedge_data;
     Timer hedge_timer;
     Status hedge_status = store_->GetChunk(request.key, request.offset,
@@ -229,6 +230,7 @@ Status Prefetcher::IssueGet(const FetchRequest& request,
       hedge_state_.RecordHedgeOutcome(true);
       hedge_state_.RecordLatency(hedge_latency_ns);
       HedgeMetrics::Get().hedge_wins.Add();
+      *hedge_won = true;
       *out = std::move(hedge_data);
       return hedge_status;
     }
@@ -238,6 +240,7 @@ Status Prefetcher::IssueGet(const FetchRequest& request,
       hedge_state_.RecordHedgeOutcome(true);
       hedge_state_.RecordLatency(hedge_latency_ns);
       HedgeMetrics::Get().hedge_wins.Add();
+      *hedge_won = true;
       *out = std::move(hedge_data);
       return hedge_status;
     }
@@ -257,6 +260,7 @@ Status Prefetcher::IssueGet(const FetchRequest& request,
 void Prefetcher::FetchLoop() {
   static obs::Counter& fetched =
       obs::Registry::Get().GetCounter("exec.pipeline.blocks_fetched");
+  obs::ScanProfileCollector* profile = options_.profile;
   std::vector<u8> chunk;
   while (!stop_.load(std::memory_order_relaxed)) {
     u64 i = next_request_.fetch_add(1, std::memory_order_relaxed);
@@ -272,20 +276,49 @@ void Prefetcher::FetchLoop() {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       block.status = Status::Ok();
       fetched.Add();
+      if (profile != nullptr) {
+        obs::FetchRecord record;
+        record.key = &request.key;
+        record.offset = request.offset;
+        record.length = request.length;
+        record.cacheable = true;
+        record.cache_hit = true;
+        profile->RecordFetch(record);
+      }
       if (!out_->Push(std::move(block))) break;  // queue aborted
       continue;
     }
     if (cacheable) cache_misses_.fetch_add(1, std::memory_order_relaxed);
     Status status;
+    bool hedged = false;
+    bool hedge_won = false;
+    RetryOutcome outcome;
+    Timer get_timer;
     {
       BTR_TRACE_SPAN("scan.fetch");
       // Transient failures retry with interruptible backoff; permanent
       // ones (and exhausted retries) fall through as the block's status.
       // The breaker, when installed, can fail the request fast instead.
       status = RunWithRetries(
-          &retry_state_, [&] { return IssueGet(request, &chunk); },
+          &retry_state_,
+          [&] { return IssueGet(request, &chunk, &hedged, &hedge_won); },
           [this](u64 backoff_ns) { return BackoffSleep(backoff_ns); },
-          options_.breaker);
+          options_.breaker, profile != nullptr ? &outcome : nullptr);
+    }
+    if (profile != nullptr) {
+      obs::FetchRecord record;
+      record.key = &request.key;
+      record.offset = request.offset;
+      record.length = request.length;
+      record.duration_ns = static_cast<u64>(get_timer.ElapsedNanos());
+      record.attempts = outcome.attempts == 0 ? 1 : outcome.attempts;
+      record.retries = outcome.retries;
+      record.cacheable = cacheable;
+      record.hedged = hedged;
+      record.hedge_won = hedge_won;
+      record.breaker_rejected = outcome.breaker_rejected;
+      record.ok = status.ok();
+      profile->RecordFetch(record);
     }
     if (stop_.load(std::memory_order_relaxed)) break;
     block.status = status;

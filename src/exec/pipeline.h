@@ -45,6 +45,7 @@
 
 #include "exec/block_cache.h"
 #include "exec/retry.h"
+#include "obs/profile.h"
 #include "s3sim/object_store.h"
 #include "util/buffer.h"
 #include "util/status.h"
@@ -182,6 +183,10 @@ struct FetchOptions {
   BlockCache* cache = nullptr;      // null = no caching
   HedgePolicy hedge;                // hedging disabled unless hedge.enabled
   CircuitBreaker* breaker = nullptr;  // null = no breaker
+  // Per-scan profile sink (obs/profile.h): when set, every resolved
+  // request reports its latency, attempt count and cache/hedge/breaker
+  // state. Null = profiling off — the recording path is never entered.
+  obs::ScanProfileCollector* profile = nullptr;
 };
 
 // Pulls FetchRequests off a shared cursor and issues ObjectStore::GetChunk
@@ -227,8 +232,10 @@ class Prefetcher {
   void FetchLoop();
   // One GET attempt, hedged when the latency tracker says the primary is
   // overdue. The winning response lands in *out; a losing duplicate is
-  // discarded and its thread reaped in Join().
-  Status IssueGet(const FetchRequest& request, std::vector<u8>* out);
+  // discarded and its thread reaped in Join(). `hedged`/`hedge_won` are
+  // OR-accumulated for the profiler (never reset across retry attempts).
+  Status IssueGet(const FetchRequest& request, std::vector<u8>* out,
+                  bool* hedged, bool* hedge_won);
   // Interruptible backoff: returns false when RequestStop arrived.
   bool BackoffSleep(u64 backoff_ns);
 

@@ -234,31 +234,46 @@ u64 CircuitBreaker::fast_failures() const {
 }
 
 Status RunWithRetries(RetryState* state, const std::function<Status()>& op,
-                      const SleepFn& sleep, CircuitBreaker* breaker) {
+                      const SleepFn& sleep, CircuitBreaker* breaker,
+                      RetryOutcome* outcome) {
   Timer timer;
   u32 attempts = 0;
+  u32 retries = 0;
+  auto record = [&](bool breaker_rejected) {
+    if (outcome == nullptr) return;
+    outcome->attempts = attempts;
+    outcome->retries = retries;
+    outcome->breaker_rejected = breaker_rejected;
+  };
   for (;;) {
     if (breaker != nullptr && !breaker->Allow()) {
       // Fail fast: no attempt, no retry budget burned against a backend
       // the breaker already knows is down.
+      record(true);
       return Status::Unavailable("circuit breaker open: failing fast");
     }
     Status status = op();
     attempts++;
     if (breaker != nullptr) breaker->Record(!status.IsTransient());
-    if (status.ok() || !status.IsTransient()) return status;
+    if (status.ok() || !status.IsTransient()) {
+      record(false);
+      return status;
+    }
     u64 backoff_ns = 0;
     if (!state->NextBackoff(attempts, static_cast<u64>(timer.ElapsedNanos()),
                             &backoff_ns)) {
+      record(false);
       return status;  // attempts, budget, or deadline exhausted
     }
     if (!sleep(backoff_ns)) {
       // Interrupted mid-backoff: the retry never happens, so it must not
       // be counted and its budget reservation is refunded.
       state->CancelRetry();
+      record(false);
       return status;
     }
     state->CommitRetry(backoff_ns);
+    retries++;
   }
 }
 

@@ -201,6 +201,15 @@ class CircuitBreaker {
   u64 fast_failures_ = 0;
 };
 
+// Per-call accounting RunWithRetries fills when the caller passes one —
+// the per-request view the scan profiler needs (the RetryState totals
+// are scan-wide and cannot attribute retries to a single request).
+struct RetryOutcome {
+  u32 attempts = 0;       // op() invocations, including the first
+  u32 retries = 0;        // committed retries (backoff slept to completion)
+  bool breaker_rejected = false;  // the breaker fast-failed this call
+};
+
 // Runs `op` until it succeeds, fails permanently, or retries are
 // exhausted. Only transient statuses (Status::IsTransient) are retried;
 // the last status is returned either way. With a breaker, every attempt
@@ -209,7 +218,8 @@ class CircuitBreaker {
 // every completed attempt's outcome is Record()ed.
 Status RunWithRetries(RetryState* state, const std::function<Status()>& op,
                       const SleepFn& sleep = SleepUninterruptible,
-                      CircuitBreaker* breaker = nullptr);
+                      CircuitBreaker* breaker = nullptr,
+                      RetryOutcome* outcome = nullptr);
 
 }  // namespace btr::exec
 

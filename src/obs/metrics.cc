@@ -8,6 +8,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/json.h"
+
 namespace btr::obs {
 
 namespace detail {
@@ -16,26 +18,6 @@ u32 ThreadStripe() {
   static std::atomic<u32> next{0};
   thread_local u32 stripe = next.fetch_add(1, std::memory_order_relaxed);
   return stripe;
-}
-
-void AppendJsonEscaped(const std::string& s, std::string* out) {
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\r': *out += "\\r"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
 }
 
 }  // namespace detail
@@ -141,7 +123,7 @@ std::string Registry::ExportJson() const {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"";
-    detail::AppendJsonEscaped(name, &out);
+    AppendJsonEscaped(name, &out);
     std::snprintf(buf, sizeof(buf), "\": %" PRIu64, c->Value());
     out += buf;
   }
@@ -151,7 +133,7 @@ std::string Registry::ExportJson() const {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"";
-    detail::AppendJsonEscaped(name, &out);
+    AppendJsonEscaped(name, &out);
     std::snprintf(buf, sizeof(buf), "\": %" PRId64, g->Value());
     out += buf;
   }
@@ -161,7 +143,7 @@ std::string Registry::ExportJson() const {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"";
-    detail::AppendJsonEscaped(name, &out);
+    AppendJsonEscaped(name, &out);
     std::snprintf(buf, sizeof(buf),
                   "\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
                   ", \"min\": %" PRIu64 ", \"max\": %" PRIu64 ", \"buckets\": [",

@@ -62,7 +62,15 @@ u64 Tracer::NowNanos() const {
 void Tracer::RecordSpan(const char* name, u64 start_ns, u64 end_ns) {
   ThreadBuffer& buffer = LocalBuffer();
   std::lock_guard<std::mutex> lock(buffer.mutex);
-  buffer.spans.push_back(SpanRecord{name, start_ns, end_ns});
+  buffer.spans.push_back(SpanRecord{name, start_ns, end_ns, false});
+}
+
+void Tracer::RecordInstant(const char* name) {
+  if (!enabled()) return;
+  u64 now = NowNanos();
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.spans.push_back(SpanRecord{name, now, now, true});
 }
 
 size_t Tracer::SpanCount() const {
@@ -92,7 +100,7 @@ std::string Tracer::ExportChromeJson() const {
   // close before the next one opens).
   struct Event {
     u64 ns;
-    bool begin;
+    char phase;  // 'B', 'E', or 'i' (instant marker)
     u32 tid;
     const char* name;
     u64 pair_ns;  // matching begin ts, stabilizes E-before-B nesting
@@ -104,16 +112,21 @@ std::string Tracer::ExportChromeJson() const {
     for (const auto& b : state.buffers) {
       std::lock_guard<std::mutex> buffer_lock(b->mutex);
       for (const SpanRecord& s : b->spans) {
-        events.push_back(Event{s.start_ns, true, b->tid, s.name, s.end_ns});
-        events.push_back(Event{s.end_ns, false, b->tid, s.name, s.start_ns});
+        if (s.instant) {
+          events.push_back(Event{s.start_ns, 'i', b->tid, s.name, s.start_ns});
+          continue;
+        }
+        events.push_back(Event{s.start_ns, 'B', b->tid, s.name, s.end_ns});
+        events.push_back(Event{s.end_ns, 'E', b->tid, s.name, s.start_ns});
       }
     }
   }
   std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
     if (a.ns != b.ns) return a.ns < b.ns;
-    // Close inner spans before opening/closing outer ones.
-    if (a.begin != b.begin) return !a.begin;
-    return false;
+    // Close inner spans before opening/closing outer ones; instants land
+    // between the closes and the opens.
+    auto rank = [](char phase) { return phase == 'E' ? 0 : phase == 'i' ? 1 : 2; };
+    return rank(a.phase) < rank(b.phase);
   });
 
   std::string out = "{\"traceEvents\":[";
@@ -123,12 +136,12 @@ std::string Tracer::ExportChromeJson() const {
     if (!first) out += ",";
     first = false;
     // Timestamps are microseconds (Chrome trace convention), with
-    // fractional precision preserved.
+    // fractional precision preserved. Instant events carry thread scope.
     std::snprintf(buf, sizeof(buf),
                   "\n{\"name\":\"%s\",\"cat\":\"btr\",\"ph\":\"%c\","
-                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f}",
-                  e.name, e.begin ? 'B' : 'E', e.tid,
-                  static_cast<double>(e.ns) / 1000.0);
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f%s}",
+                  e.name, e.phase, e.tid, static_cast<double>(e.ns) / 1000.0,
+                  e.phase == 'i' ? ",\"s\":\"t\"" : "");
     out += buf;
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";

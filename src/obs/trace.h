@@ -31,6 +31,7 @@ struct SpanRecord {
   const char* name;
   u64 start_ns;  // relative to tracer epoch
   u64 end_ns;
+  bool instant = false;  // zero-duration marker ("i"-phase event)
 };
 
 class Tracer {
@@ -43,6 +44,13 @@ class Tracer {
 
   // Appends one completed span for the calling thread.
   void RecordSpan(const char* name, u64 start_ns, u64 end_ns);
+
+  // Appends a zero-duration instant marker (exported as an "i"-phase
+  // event). Used on error paths — e.g. btr::Scanner stamps "scan.error"
+  // when a scan fails, so an aborted run's trace shows where it died.
+  // No-op while the tracer is disabled. `name` must outlive the tracer
+  // (string literal).
+  void RecordInstant(const char* name);
 
   // Nanoseconds since the tracer epoch (process-global steady clock).
   u64 NowNanos() const;
@@ -94,8 +102,10 @@ class ScopedSpan {
 #define BTR_TRACE_CONCAT(a, b) BTR_TRACE_CONCAT_(a, b)
 #define BTR_TRACE_SPAN(name) \
   ::btr::obs::ScopedSpan BTR_TRACE_CONCAT(btr_trace_span_, __LINE__)(name)
+#define BTR_TRACE_INSTANT(name) ::btr::obs::Tracer::Get().RecordInstant(name)
 #else
 #define BTR_TRACE_SPAN(name) ((void)0)
+#define BTR_TRACE_INSTANT(name) ((void)0)
 #endif
 
 #endif  // BTR_OBS_TRACE_H_

@@ -8,10 +8,14 @@
 #include <thread>
 #include <vector>
 
+#include "btr/btrblocks.h"
 #include "btr/datablock.h"
+#include "btr/scanner.h"
 #include "obs/cascade_trace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "s3sim/fault.h"
+#include "s3sim/object_store.h"
 
 namespace btr::obs {
 namespace {
@@ -135,6 +139,55 @@ TEST(RegistryTest, ExportJsonContainsRegisteredMetrics) {
   EXPECT_EQ(depth, 0);
 }
 
+// String-aware structural check: braces/brackets must balance *outside*
+// string literals, and every string must terminate. The naive depth check
+// above would pass a document whose keys leak unescaped quotes.
+void ExpectWellFormedJson(const std::string& json) {
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+    } else if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      // An unescaped control character inside a string is invalid JSON.
+      ASSERT_FALSE(static_cast<unsigned char>(c) < 0x20)
+          << "raw control char in string";
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      depth++;
+    } else if (c == '}' || c == ']') {
+      depth--;
+      ASSERT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string) << "unterminated string literal";
+}
+
+// Metric names are caller-chosen strings; quotes, backslashes, newlines
+// and control characters must round-trip through ExportJson as valid
+// escaped JSON instead of corrupting the document.
+TEST(RegistryTest, ExportJsonEscapesHostileMetricNames) {
+  Registry& registry = Registry::Get();
+  registry.GetCounter("obs_test.esc.say_\"hi\"").Add(1);
+  registry.GetCounter("obs_test.esc.back\\slash").Add(2);
+  registry.GetCounter("obs_test.esc.line\nbreak\ttab").Add(3);
+  registry.GetCounter(std::string("obs_test.esc.ctl\x01") + "end").Add(4);
+
+  std::string json = registry.ExportJson();
+  ExpectWellFormedJson(json);
+  EXPECT_NE(json.find("obs_test.esc.say_\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(json.find("obs_test.esc.back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("obs_test.esc.line\\nbreak\\ttab"), std::string::npos);
+  EXPECT_NE(json.find("obs_test.esc.ctl\\u0001end"), std::string::npos);
+  // The raw (unescaped) forms must not appear.
+  EXPECT_EQ(json.find("line\nbreak"), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
 // --- tracer ------------------------------------------------------------------
 
 size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
@@ -186,6 +239,75 @@ TEST(TracerTest, ExportIsBalancedChromeJson) {
     ASSERT_GE(depth, 0);
   }
   EXPECT_EQ(depth, 0);
+  tracer.Reset();
+}
+
+// Instant markers export as Chrome "i"-phase events with thread scope,
+// interleaved with the B/E pairs.
+TEST(TracerTest, InstantEventsExportAsIPhase) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Reset();
+  tracer.Enable();
+  {
+    ScopedSpan span("obs_test.around_instant");
+    tracer.RecordInstant("obs_test.instant");
+  }
+  tracer.Disable();
+
+  std::string json = tracer.ExportChromeJson();
+  EXPECT_NE(json.find("\"name\":\"obs_test.instant\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"i\""), 1u);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""),
+            CountOccurrences(json, "\"ph\":\"E\""));
+  tracer.Reset();
+}
+
+// A scan that dies mid-flight must still leave a coherent trace: every
+// span balanced (flushed on scope unwind, not lost) plus a "scan.error"
+// instant marking where it died.
+TEST(TracerTest, FailedScanLeavesBalancedSpansAndErrorInstant) {
+  Relation table("trace_table");
+  Column& ints = table.AddColumn("v", ColumnType::kInteger);
+  for (u32 i = 0; i < 5000; i++) ints.AppendInt(static_cast<i32>(i % 100));
+  CompressionConfig config;
+  CompressedRelation compressed = CompressRelation(table, config);
+  s3sim::ObjectStore store;
+  ASSERT_TRUE(
+      UploadCompressedRelation(compressed, nullptr, "lake/", &store).ok());
+
+  Scanner scanner(&store, "trace_table", "lake/");
+  ASSERT_TRUE(scanner.Open().ok());
+
+  // Every GET fails and retries are exhausted immediately: the scan must
+  // return a typed error.
+  s3sim::FaultPlan plan;
+  plan.seed = 1;
+  s3sim::FaultRule unavailable;
+  unavailable.kind = s3sim::FaultKind::kUnavailable;
+  unavailable.probability = 1.0;
+  plan.rules.push_back(unavailable);
+  store.InstallFaultPlan(plan);
+
+  Tracer& tracer = Tracer::Get();
+  tracer.Reset();
+  tracer.Enable();
+  ScanSpec spec;
+  spec.config.max_attempts = 1;
+  spec.config.initial_backoff_ns = 1000;
+  spec.config.max_backoff_ns = 2000;
+  ScanOutput output;
+  Status status = scanner.Scan(spec, &output);
+  tracer.Disable();
+  store.ClearFaultPlan();
+  ASSERT_FALSE(status.ok());
+
+  std::string json = tracer.ExportChromeJson();
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""),
+            CountOccurrences(json, "\"ph\":\"E\""))
+      << "abnormal termination must not lose span ends";
+  EXPECT_NE(json.find("\"name\":\"scan.error\""), std::string::npos);
+  EXPECT_GE(CountOccurrences(json, "\"ph\":\"i\""), 1u);
   tracer.Reset();
 }
 

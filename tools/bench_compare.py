@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Compare two sets of BENCH_<name>.json sidecars and flag regressions.
+
+Usage:
+    tools/bench_compare.py <baseline-dir> <candidate-dir> [options]
+
+Each directory holds sidecars written by the bench binaries (see
+bench/common.h, docs/OBSERVABILITY.md). The comparison is kind-aware:
+
+    kind         direction of regression      default gating
+    ----         -----------------------      --------------
+    ratio        value decreases              gate
+    bytes        value increases              gate
+    count        value differs at all         gate (exact)
+    time         value increases              --time-mode (warn|gate)
+    throughput   value decreases              --time-mode (warn|gate)
+
+Deterministic kinds (ratio/bytes/count) gate strictly: they depend only on
+the code and the seeded corpora, so any drift past the threshold is a real
+change. Timing kinds are machine-dependent; CI compares them against
+committed baselines in warn mode (prints but does not fail) and proves the
+gate works with a same-machine synthetic check (see .github/workflows).
+
+Exit codes: 0 = no gated regression, 1 = gated regression(s), 2 = usage or
+missing/invalid sidecar.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA_VERSION = 1
+
+# kinds whose regression direction is "value went down"
+LOWER_IS_REGRESSION = {"ratio", "throughput"}
+# kinds whose regression direction is "value went up"
+HIGHER_IS_REGRESSION = {"time", "bytes"}
+TIMING_KINDS = {"time", "throughput"}
+KNOWN_KINDS = LOWER_IS_REGRESSION | HIGHER_IS_REGRESSION | {"count"}
+
+
+def load_sidecars(directory):
+    """Returns {bench_name: sidecar_dict}; exits(2) on malformed files."""
+    if not os.path.isdir(directory):
+        sys.stderr.write("error: not a directory: %s\n" % directory)
+        sys.exit(2)
+    sidecars = {}
+    for entry in sorted(os.listdir(directory)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        path = os.path.join(directory, entry)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            sys.stderr.write("error: cannot parse %s: %s\n" % (path, e))
+            sys.exit(2)
+        for key in ("schema_version", "bench", "metrics"):
+            if key not in doc:
+                sys.stderr.write("error: %s missing '%s'\n" % (path, key))
+                sys.exit(2)
+        if doc["schema_version"] != SCHEMA_VERSION:
+            sys.stderr.write(
+                "error: %s has schema_version %s, expected %s\n"
+                % (path, doc["schema_version"], SCHEMA_VERSION)
+            )
+            sys.exit(2)
+        sidecars[doc["bench"]] = doc
+    return sidecars
+
+
+def classify(kind, base, cand, threshold):
+    """Returns (is_regression, relative_change or None)."""
+    if kind == "count":
+        return (base != cand, None)
+    if base is None or cand is None:
+        # A null value means the bench produced NaN/Inf: always flag.
+        return (True, None)
+    if base == 0:
+        return (cand != 0 and kind in HIGHER_IS_REGRESSION, None)
+    change = (cand - base) / abs(base)
+    if kind in LOWER_IS_REGRESSION:
+        return (change < -threshold, change)
+    if kind in HIGHER_IS_REGRESSION:
+        return (change > threshold, change)
+    return (False, change)  # unknown kind: report only
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json sidecar sets; exit 1 on regressions."
+    )
+    parser.add_argument("baseline", help="directory of baseline sidecars")
+    parser.add_argument("candidate", help="directory of candidate sidecars")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative regression threshold (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--time-mode",
+        choices=["gate", "warn"],
+        default="gate",
+        help="gate or only warn on time/throughput kinds (default gate; "
+        "CI uses warn against cross-machine baselines)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_sidecars(args.baseline)
+    candidate = load_sidecars(args.candidate)
+    if not baseline:
+        sys.stderr.write("error: no BENCH_*.json in %s\n" % args.baseline)
+        sys.exit(2)
+
+    gated = []
+    warned = []
+    improved = 0
+    unchanged = 0
+
+    for bench, base_doc in sorted(baseline.items()):
+        cand_doc = candidate.get(bench)
+        if cand_doc is None:
+            gated.append("%s: sidecar missing from candidate set" % bench)
+            continue
+        cand_metrics = cand_doc["metrics"]
+        for name, base_m in sorted(base_doc["metrics"].items()):
+            cand_m = cand_metrics.get(name)
+            qualified = "%s/%s" % (bench, name)
+            if cand_m is None:
+                gated.append("%s: metric missing from candidate" % qualified)
+                continue
+            kind = base_m.get("kind", "count")
+            if kind not in KNOWN_KINDS:
+                sys.stderr.write(
+                    "note: %s has unknown kind '%s', skipping\n"
+                    % (qualified, kind)
+                )
+                continue
+            is_regression, change = classify(
+                kind, base_m.get("value"), cand_m.get("value"), args.threshold
+            )
+            desc = "%s [%s]: %s -> %s" % (
+                qualified,
+                kind,
+                base_m.get("value"),
+                cand_m.get("value"),
+            )
+            if change is not None:
+                desc += " (%+.1f%%)" % (100.0 * change)
+            if is_regression:
+                if kind in TIMING_KINDS and args.time_mode == "warn":
+                    warned.append(desc)
+                else:
+                    gated.append(desc)
+            elif change is not None and abs(change) > args.threshold:
+                improved += 1
+            else:
+                unchanged += 1
+
+    for extra_bench in sorted(set(candidate) - set(baseline)):
+        sys.stderr.write("note: new bench not in baseline: %s\n" % extra_bench)
+
+    print(
+        "bench_compare: %d metric(s) within threshold, %d improved, "
+        "%d warning(s), %d regression(s)"
+        % (unchanged, improved, len(warned), len(gated))
+    )
+    for line in warned:
+        print("  WARN  %s" % line)
+    for line in gated:
+        print("  FAIL  %s" % line)
+    if gated:
+        print(
+            "bench_compare: FAILED (threshold %.0f%%, time-mode %s)"
+            % (100.0 * args.threshold, args.time_mode)
+        )
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
