@@ -4,7 +4,8 @@
 // support processing compressed data".
 #include <cstdio>
 
-#include "btr/compressed_scan.h"
+#include "btr/kernels/scan_kernels.h"
+#include "btr/predicate.h"
 #include "common.h"
 #include "datagen/archetypes.h"
 
@@ -27,7 +28,7 @@ void Measure(const char* name, const char* metric, const ByteBuffer& block,
   double ref_seconds = ref_timer.ElapsedSeconds();
   BTR_CHECK(scan_result == ref_result);
   std::printf("%-28s  %-5s  matches %6u  %9.1f M rows/s  %9.1f M rows/s  %6.1fx\n",
-              name, HasFastEqualsPath(block.data()) ? "yes" : "no", scan_result,
+              name, kernels::HasFastEqualsPath(block.data()) ? "yes" : "no", scan_result,
               kRows * kRepeats / scan_seconds / 1e6,
               kRows * kRepeats / ref_seconds / 1e6, ref_seconds / scan_seconds);
   Report(std::string(metric) + ".mrows_per_s",
@@ -47,7 +48,7 @@ void Run() {
     CompressIntBlock(data.data(), nullptr, kRows, &block, config);
     DecodedBlock scratch;
     Measure("int skewed (= dominant)", "int_skewed", block,
-            [&] { return CountEqualsInt(block.data(), 1, config); },
+            [&] { return CountMatches(block.data(), Predicate::EqualsInt("c", 1), config); },
             [&] {
               DecompressBlock(block.data(), &scratch, config);
               u32 m = 0;
@@ -63,7 +64,7 @@ void Run() {
     DecodedBlock scratch;
     i32 probe = data[kRows / 2];
     Measure("int fk runs (= key)", "int_fk_runs", block,
-            [&] { return CountEqualsInt(block.data(), probe, config); },
+            [&] { return CountMatches(block.data(), Predicate::EqualsInt("c", probe), config); },
             [&] {
               DecompressBlock(block.data(), &scratch, config);
               u32 m = 0;
@@ -83,7 +84,7 @@ void Run() {
     CompressStringBlock(view, nullptr, &block, config);
     DecodedBlock scratch;
     Measure("string cities (= PHOENIX)", "string_cities", block,
-            [&] { return CountEqualsString(block.data(), "PHOENIX", config); },
+            [&] { return CountMatches(block.data(), Predicate::EqualsString("c", "PHOENIX"), config); },
             [&] {
               DecompressBlock(block.data(), &scratch, config);
               u32 m = 0;
@@ -100,7 +101,7 @@ void Run() {
     CompressDoubleBlock(data.data(), nullptr, kRows, &block, config);
     DecodedBlock scratch;
     Measure("double zero-dom (= 0.0)", "double_zero_dom", block,
-            [&] { return CountEqualsDouble(block.data(), 0.0, config); },
+            [&] { return CountMatches(block.data(), Predicate::EqualsDouble("c", 0.0), config); },
             [&] {
               DecompressBlock(block.data(), &scratch, config);
               u32 m = 0;
@@ -118,7 +119,7 @@ void Run() {
     CompressIntBlock(data.data(), nullptr, kRows, &block, config);
     DecodedBlock scratch;
     Measure("int sequential (fallback)", "int_sequential", block,
-            [&] { return CountEqualsInt(block.data(), 777, config); },
+            [&] { return CountMatches(block.data(), Predicate::EqualsInt("c", 777), config); },
             [&] {
               DecompressBlock(block.data(), &scratch, config);
               u32 m = 0;

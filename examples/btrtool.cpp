@@ -16,6 +16,16 @@
 //                           into the object store (docs/ROBUSTNESS.md)
 //   --fault-rate=<f>        per-GET fault probability for --fault-seed
 //                           (default 0.05)
+//   --where=<expr>          `scan`: SQL-ish filter expression, e.g.
+//                           --where="id >= 5 AND city IN ('a', 'b')"
+//                           (=, <, <=, >, >=, BETWEEN, IN, AND/OR/NOT;
+//                           see docs/PREDICATES.md). The positional
+//                           col=value filters are deprecated aliases for
+//                           --where equality conjuncts.
+//   --no-pushdown           `scan`: decode every block, then filter
+//                           (disables zone pruning + compressed-form
+//                           evaluation; the baseline the pushdown engine
+//                           is benched against)
 //   --max-retries=<n>       `scan`: retries per GET on transient failures
 //   --skip-corrupt          `scan`: degrade instead of failing — skip
 //                           unreadable row blocks and report them
@@ -33,6 +43,7 @@
 #include <fstream>
 
 #include "btr/btrblocks.h"
+#include "btr/predicate_parser.h"
 #include "datagen/csv.h"
 #include "datagen/public_bi.h"
 #include "obs/cascade_trace.h"
@@ -215,7 +226,8 @@ int CmdInspect(const std::string& csv_path) {
 // maps pruned, what predicate pushdown skipped, and the pipeline timing.
 int CmdScan(const std::string& csv_path,
             const std::vector<std::string>& filters,
-            const ScanConfig& scan_config, u64 fault_seed, double fault_rate,
+            const std::string& where_clause, const ScanConfig& scan_config,
+            u64 fault_seed, double fault_rate,
             const std::string& profile_json_path) {
   std::string name = csv_path;
   size_t slash = name.find_last_of('/');
@@ -246,6 +258,16 @@ int CmdScan(const std::string& csv_path,
 
   ScanSpec spec;
   spec.config = scan_config;
+  if (!where_clause.empty()) {
+    status = ParsePredicate(where_clause, &spec.filter);
+    if (!status.ok()) return Fail(status);
+    std::printf("where: %s\n", spec.filter.ToString().c_str());
+  }
+  if (!filters.empty()) {
+    std::fprintf(stderr,
+                 "note: col=value filters are deprecated; prefer "
+                 "--where=\"col = value AND ...\"\n");
+  }
   for (const std::string& filter : filters) {
     size_t eq = filter.find('=');
     if (eq == std::string::npos) {
@@ -288,16 +310,25 @@ int CmdScan(const std::string& csv_path,
       &stats);
   if (!status.ok()) return Fail(status);
 
-  std::printf("scanned %s: %u rows, %zu columns, %zu predicate%s\n",
+  size_t leaf_count = stats.predicate_leaves.size();
+  std::printf("scanned %s: %u rows, %zu columns, %zu predicate lea%s\n",
               name.c_str(), relation.row_count(), relation.columns().size(),
-              spec.predicates.size(), spec.predicates.size() == 1 ? "" : "s");
+              leaf_count, leaf_count == 1 ? "f" : "ves");
   std::printf("row blocks: %u total, %u zone-map pruned, %u skipped by "
               "compressed-form predicates, %u decoded\n",
               stats.row_blocks, stats.blocks_pruned, stats.blocks_skipped,
               stats.blocks_decoded);
-  if (!spec.predicates.empty()) {
-    std::printf("rows matching all predicates: %llu\n",
+  if (leaf_count != 0) {
+    std::printf("rows matching the filter: %llu\n",
                 static_cast<unsigned long long>(stats.rows_matched));
+    for (const PredicateLeafStats& leaf : stats.predicate_leaves) {
+      std::printf("  leaf %-32s  pruned %u blocks, %llu fast-path, "
+                  "%llu materialized\n",
+                  leaf.description.c_str(),
+                  static_cast<unsigned>(leaf.blocks_pruned),
+                  static_cast<unsigned long long>(leaf.fast_path),
+                  static_cast<unsigned long long>(leaf.materialized));
+    }
   }
   std::printf("fetched %.1f KiB in %llu GETs, decoded %.1f KiB logical; "
               "%.3f s with %u scan threads, "
@@ -388,6 +419,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   std::string profile_json_path;
+  std::string where_clause;
   btr::ScanConfig scan_config;
   btr::u64 fault_seed = 0;
   double fault_rate = 0.05;
@@ -414,6 +446,10 @@ int main(int argc, char** argv) {
       // N retries = N+1 attempts; --max-retries=0 means fail fast.
       scan_config.max_attempts =
           retries < 0 ? 1 : static_cast<btr::u32>(retries) + 1;
+    } else if (arg.rfind("--where=", 0) == 0) {
+      where_clause = arg.substr(std::strlen("--where="));
+    } else if (arg == "--no-pushdown") {
+      scan_config.enable_predicate_pushdown = false;
     } else if (arg == "--skip-corrupt") {
       scan_config.skip_unreadable_blocks = true;
     } else if (arg.rfind("--block-cache=", 0) == 0) {
@@ -476,7 +512,8 @@ int main(int argc, char** argv) {
   }
   if (command == "scan" && args.size() >= 2) {
     std::vector<std::string> filters(args.begin() + 2, args.end());
-    return finish(CmdScan(args[1], filters, scan_config, fault_seed, fault_rate,
+    return finish(CmdScan(args[1], filters, where_clause, scan_config,
+                          fault_seed, fault_rate,
                           profile_json_path));
   }
   if (command == "demo") {

@@ -61,20 +61,53 @@ void RoaringBitmap::AddToContainer(Container* c, u16 low) {
       return;
     }
     case ContainerType::kRun: {
-      // Run containers are only produced by RunOptimize(); extend the last
-      // run on append, otherwise add a fresh run (kept sorted by caller
-      // usage patterns — ascending adds).
+      // Run containers are produced by RunOptimize(), but adds can arrive
+      // in any order afterwards (e.g. patching exception positions into a
+      // run-compressed selection). Runs must stay sorted and disjoint:
+      // Contains() binary-searches them and ForEach() iterates them in
+      // stored order.
+      // Fast path: ascending append beyond the last run.
       if (!c->runs.empty()) {
         Run& last = c->runs.back();
         u32 end = static_cast<u32>(last.start) + last.length;
-        if (low <= end && low >= last.start) return;
-        if (low == end + 1 && end + 1 <= 0xFFFF) {
+        if (low >= last.start && low <= end) return;
+        if (low == end + 1) {
           last.length++;
           c->cardinality++;
           return;
         }
+        if (low > end) {
+          c->runs.push_back(Run{low, 0});
+          c->cardinality++;
+          return;
+        }
       }
-      c->runs.push_back(Run{low, 0});
+      // General case: sorted insert with neighbor merging.
+      auto it = std::upper_bound(
+          c->runs.begin(), c->runs.end(), low,
+          [](u16 v, const Run& r) { return v < r.start; });
+      if (it != c->runs.begin()) {
+        Run& prev = *(it - 1);
+        u32 end = static_cast<u32>(prev.start) + prev.length;
+        if (low >= prev.start && low <= end) return;  // already present
+        if (low == end + 1) {
+          prev.length++;
+          c->cardinality++;
+          if (it != c->runs.end() &&
+              static_cast<u32>(prev.start) + prev.length + 1 == it->start) {
+            prev.length += it->length + 1;
+            c->runs.erase(it);
+          }
+          return;
+        }
+      }
+      if (it != c->runs.end() && static_cast<u32>(low) + 1 == it->start) {
+        it->start = low;
+        it->length++;
+        c->cardinality++;
+        return;
+      }
+      c->runs.insert(it, Run{low, 0});
       c->cardinality++;
       return;
     }

@@ -150,6 +150,14 @@ struct ScanConfig {
   u32 fetch_threads = 4;   // concurrent ranged GETs the prefetcher issues
   u32 prefetch_depth = 8;  // blocks buffered between fetch and decode
 
+  // --- predicate pushdown (btr/predicate.h, docs/PREDICATES.md) ------------
+  // When true (default), the scan prunes row blocks against zone maps and
+  // evaluates PredicateExprs on the compressed form (EvaluateExpr), only
+  // decoding surviving blocks. When false the scan decodes every block and
+  // filters afterwards (EvaluateExprDecoded) — the decode-then-filter
+  // baseline bench_predicate_scan measures pushdown against.
+  bool enable_predicate_pushdown = true;
+
   // --- retry/backoff (docs/ROBUSTNESS.md) ----------------------------------
   u32 max_attempts = 4;              // GET tries per request; 1 = fail fast
   u64 initial_backoff_ns = 1000 * 1000;    // 1 ms before the first retry

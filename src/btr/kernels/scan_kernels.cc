@@ -1,4 +1,4 @@
-#include "btr/compressed_scan.h"
+#include "btr/kernels/scan_kernels.h"
 
 #include <cstring>
 #include <vector>
@@ -9,7 +9,7 @@
 #include "obs/trace.h"
 #include "util/timer.h"
 
-namespace btr {
+namespace btr::kernels {
 
 namespace {
 
@@ -616,4 +616,4 @@ RoaringBitmap SelectEqualsString(const u8* block, std::string_view value,
   }
 }
 
-}  // namespace btr
+}  // namespace btr::kernels

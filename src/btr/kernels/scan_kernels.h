@@ -12,22 +12,22 @@
 // Other root schemes fall back to decompress-and-count, so the functions
 // are exact for every block.
 //
-// DEPRECATED surface: the nine per-type free functions below are the
-// implementation kernels behind the typed btr::Predicate API
-// (btr/predicate.h: ZoneMayMatch / CountMatches / SelectMatches /
-// HasFastPath) that btr::Scanner consumes. New code should build a
-// Predicate and go through that surface — or through Scanner + ScanSpec
-// for whole-table scans — instead of calling these shims directly. They
-// are kept for existing callers and the kernel-level tests/benches.
-#ifndef BTR_BTR_COMPRESSED_SCAN_H_
-#define BTR_BTR_COMPRESSED_SCAN_H_
+// INTERNAL surface: these nine per-type equality kernels are
+// implementation details of the PredicateExpr engine (btr/predicate.h:
+// ZoneMayMatch / EvaluateExpr / SelectMatches / HasFastPath). They live
+// in btr::kernels and are not part of the public API — the former
+// btr/compressed_scan.h shims were retired in favor of PredicateExpr.
+// Kernel-level tests and the ablation bench are the only sanctioned
+// callers outside the engine itself.
+#ifndef BTR_BTR_KERNELS_SCAN_KERNELS_H_
+#define BTR_BTR_KERNELS_SCAN_KERNELS_H_
 
 #include <string_view>
 
 #include "bitmap/roaring.h"
 #include "btr/datablock.h"
 
-namespace btr {
+namespace btr::kernels {
 
 // `block` points at a serialized block (CompressIntBlock et al.). NULL
 // entries never match (SQL semantics: NULL = v is not true).
@@ -60,6 +60,6 @@ RoaringBitmap SelectEqualsDouble(const u8* block, double value,
 RoaringBitmap SelectEqualsString(const u8* block, std::string_view value,
                                  const CompressionConfig& config);
 
-}  // namespace btr
+}  // namespace btr::kernels
 
-#endif  // BTR_BTR_COMPRESSED_SCAN_H_
+#endif  // BTR_BTR_KERNELS_SCAN_KERNELS_H_

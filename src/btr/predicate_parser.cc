@@ -1,0 +1,441 @@
+#include "btr/predicate_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace btr {
+
+namespace {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,    // column names and keywords
+  kInt,      // integer literal
+  kDouble,   // double literal
+  kString,   // quoted literal (quotes stripped, '' / "" unescaped)
+  kOp,       // = == != <> < <= > >=
+  kLparen,
+  kRparen,
+  kComma,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // ident/op/string spelling
+  i64 int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); i++) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Status Parse(PredicateExpr* out) {
+    BTR_RETURN_IF_ERROR(Advance());
+    if (current_.kind == TokenKind::kEnd) {
+      *out = PredicateExpr();  // empty input: match everything
+      return Status::Ok();
+    }
+    BTR_RETURN_IF_ERROR(ParseOr(out));
+    if (current_.kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    std::string at = current_.kind == TokenKind::kEnd
+                         ? "end of input"
+                         : "'" + current_.text + "'";
+    return Status::InvalidArgument("predicate parse error at byte " +
+                                   std::to_string(current_.offset) + " (" +
+                                   at + "): " + message);
+  }
+
+  bool IsKeyword(std::string_view word) const {
+    return current_.kind == TokenKind::kIdent &&
+           EqualsIgnoreCase(current_.text, word);
+  }
+
+  // --- lexer ---------------------------------------------------------------
+
+  Status Advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+    current_ = Token();
+    current_.offset = pos_;
+    if (pos_ >= text_.size()) return Status::Ok();
+    char c = text_[pos_];
+    if (c == '(') {
+      current_ = {TokenKind::kLparen, "(", 0, 0, pos_++};
+      return Status::Ok();
+    }
+    if (c == ')') {
+      current_ = {TokenKind::kRparen, ")", 0, 0, pos_++};
+      return Status::Ok();
+    }
+    if (c == ',') {
+      current_ = {TokenKind::kComma, ",", 0, 0, pos_++};
+      return Status::Ok();
+    }
+    if (c == '\'' || c == '"') return LexString(c);
+    if (c == '=' || c == '<' || c == '>' || c == '!') return LexOperator();
+    if (IsIdentStart(c)) {
+      size_t begin = pos_;
+      while (pos_ < text_.size() && IsIdentChar(text_[pos_])) pos_++;
+      current_.kind = TokenKind::kIdent;
+      current_.text = std::string(text_.substr(begin, pos_ - begin));
+      return Status::Ok();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+        c == '.') {
+      return LexNumber();
+    }
+    current_.text = std::string(1, c);
+    return Error("unexpected character");
+  }
+
+  Status LexString(char quote) {
+    size_t begin = pos_++;
+    std::string value;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == quote) {
+        // Doubled quote is an escaped quote (SQL style).
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == quote) {
+          value.push_back(quote);
+          pos_ += 2;
+          continue;
+        }
+        pos_++;
+        current_.kind = TokenKind::kString;
+        current_.text = std::move(value);
+        current_.offset = begin;
+        return Status::Ok();
+      }
+      value.push_back(c);
+      pos_++;
+    }
+    current_.offset = begin;
+    current_.text = std::string(text_.substr(begin));
+    return Error("unterminated string literal");
+  }
+
+  Status LexOperator() {
+    size_t begin = pos_;
+    char c = text_[pos_++];
+    std::string op(1, c);
+    if (pos_ < text_.size()) {
+      char next = text_[pos_];
+      if ((c == '<' && (next == '=' || next == '>')) ||
+          (c == '>' && next == '=') || (c == '=' && next == '=') ||
+          (c == '!' && next == '=')) {
+        op.push_back(next);
+        pos_++;
+      }
+    }
+    if (op == "!") {
+      current_.text = op;
+      current_.offset = begin;
+      return Error("unknown operator");
+    }
+    current_ = {TokenKind::kOp, std::move(op), 0, 0, begin};
+    return Status::Ok();
+  }
+
+  Status LexNumber() {
+    size_t begin = pos_;
+    if (text_[pos_] == '-' || text_[pos_] == '+') pos_++;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        pos_++;
+      } else if (c == '.' && !is_double) {
+        is_double = true;
+        pos_++;
+      } else if ((c == 'e' || c == 'E') && pos_ + 1 < text_.size()) {
+        is_double = true;
+        pos_++;
+        if (text_[pos_] == '-' || text_[pos_] == '+') pos_++;
+      } else {
+        break;
+      }
+    }
+    std::string spelling(text_.substr(begin, pos_ - begin));
+    current_.offset = begin;
+    current_.text = spelling;
+    if (spelling.empty() || spelling == "-" || spelling == "+" ||
+        spelling == ".") {
+      return Error("malformed number");
+    }
+    char* end = nullptr;
+    if (is_double) {
+      current_.kind = TokenKind::kDouble;
+      current_.double_value = std::strtod(spelling.c_str(), &end);
+    } else {
+      current_.kind = TokenKind::kInt;
+      current_.int_value = std::strtoll(spelling.c_str(), &end, 10);
+      if (current_.int_value < INT32_MIN || current_.int_value > INT32_MAX) {
+        return Error("integer literal out of i32 range");
+      }
+    }
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    return Status::Ok();
+  }
+
+  // --- recursive descent ---------------------------------------------------
+
+  Status ParseOr(PredicateExpr* out) {
+    std::vector<PredicateExpr> operands(1);
+    BTR_RETURN_IF_ERROR(ParseAnd(&operands.back()));
+    while (IsKeyword("OR")) {
+      BTR_RETURN_IF_ERROR(Advance());
+      operands.emplace_back();
+      BTR_RETURN_IF_ERROR(ParseAnd(&operands.back()));
+    }
+    *out = operands.size() == 1 ? std::move(operands.front())
+                                : PredicateExpr::Or(std::move(operands));
+    return Status::Ok();
+  }
+
+  Status ParseAnd(PredicateExpr* out) {
+    std::vector<PredicateExpr> operands(1);
+    BTR_RETURN_IF_ERROR(ParseUnary(&operands.back()));
+    while (IsKeyword("AND")) {
+      BTR_RETURN_IF_ERROR(Advance());
+      operands.emplace_back();
+      BTR_RETURN_IF_ERROR(ParseUnary(&operands.back()));
+    }
+    *out = operands.size() == 1 ? std::move(operands.front())
+                                : PredicateExpr::And(std::move(operands));
+    return Status::Ok();
+  }
+
+  Status ParseUnary(PredicateExpr* out) {
+    if (IsKeyword("NOT")) {
+      BTR_RETURN_IF_ERROR(Advance());
+      PredicateExpr operand;
+      BTR_RETURN_IF_ERROR(ParseUnary(&operand));
+      *out = PredicateExpr::Not(std::move(operand));
+      return Status::Ok();
+    }
+    if (current_.kind == TokenKind::kLparen) {
+      BTR_RETURN_IF_ERROR(Advance());
+      BTR_RETURN_IF_ERROR(ParseOr(out));
+      if (current_.kind != TokenKind::kRparen) {
+        return Error("expected ')'");
+      }
+      return Advance();
+    }
+    return ParseComparison(out);
+  }
+
+  struct Literal {
+    TokenKind kind;  // kInt, kDouble or kString
+    i32 int_value;
+    double double_value;
+    std::string string_value;
+  };
+
+  Status ParseLiteral(Literal* out) {
+    switch (current_.kind) {
+      case TokenKind::kInt:
+        *out = {TokenKind::kInt, static_cast<i32>(current_.int_value),
+                static_cast<double>(current_.int_value), ""};
+        return Advance();
+      case TokenKind::kDouble:
+        *out = {TokenKind::kDouble, 0, current_.double_value, ""};
+        return Advance();
+      case TokenKind::kString:
+        *out = {TokenKind::kString, 0, 0, current_.text};
+        return Advance();
+      default:
+        return Error("expected a literal");
+    }
+  }
+
+  Status ParseComparison(PredicateExpr* out) {
+    if (current_.kind != TokenKind::kIdent || IsKeyword("AND") ||
+        IsKeyword("OR") || IsKeyword("NOT") || IsKeyword("BETWEEN") ||
+        IsKeyword("IN")) {
+      return Error("expected a column name");
+    }
+    std::string column = current_.text;
+    BTR_RETURN_IF_ERROR(Advance());
+
+    bool negate = false;
+    if (IsKeyword("NOT")) {  // col NOT IN (...)
+      negate = true;
+      BTR_RETURN_IF_ERROR(Advance());
+      if (!IsKeyword("IN")) return Error("expected IN after NOT");
+    }
+
+    if (IsKeyword("BETWEEN")) {
+      BTR_RETURN_IF_ERROR(Advance());
+      Literal lo, hi;
+      BTR_RETURN_IF_ERROR(ParseLiteral(&lo));
+      if (!IsKeyword("AND")) return Error("expected AND in BETWEEN");
+      BTR_RETURN_IF_ERROR(Advance());
+      BTR_RETURN_IF_ERROR(ParseLiteral(&hi));
+      return MakeBetween(std::move(column), lo, hi, out);
+    }
+
+    if (IsKeyword("IN")) {
+      BTR_RETURN_IF_ERROR(Advance());
+      if (current_.kind != TokenKind::kLparen) {
+        return Error("expected '(' after IN");
+      }
+      BTR_RETURN_IF_ERROR(Advance());
+      std::vector<Literal> values;
+      for (;;) {
+        values.emplace_back();
+        BTR_RETURN_IF_ERROR(ParseLiteral(&values.back()));
+        if (current_.kind == TokenKind::kComma) {
+          BTR_RETURN_IF_ERROR(Advance());
+          continue;
+        }
+        break;
+      }
+      if (current_.kind != TokenKind::kRparen) {
+        return Error("expected ')' closing IN list");
+      }
+      BTR_RETURN_IF_ERROR(Advance());
+      BTR_RETURN_IF_ERROR(MakeIn(std::move(column), values, out));
+      if (negate) *out = PredicateExpr::Not(std::move(*out));
+      return Status::Ok();
+    }
+
+    if (negate) return Error("expected IN after NOT");
+    if (current_.kind != TokenKind::kOp) {
+      return Error("expected a comparison operator, BETWEEN or IN");
+    }
+    std::string op = current_.text;
+    BTR_RETURN_IF_ERROR(Advance());
+    Literal value;
+    BTR_RETURN_IF_ERROR(ParseLiteral(&value));
+    return MakeComparison(std::move(column), op, value, out);
+  }
+
+  Status MakeComparison(std::string column, const std::string& op,
+                        const Literal& value, PredicateExpr* out) {
+    bool negate = op == "!=" || op == "<>";
+    CompareOp cmp;
+    if (op == "=" || op == "==" || negate) {
+      cmp = CompareOp::kEq;
+    } else if (op == "<") {
+      cmp = CompareOp::kLt;
+    } else if (op == "<=") {
+      cmp = CompareOp::kLe;
+    } else if (op == ">") {
+      cmp = CompareOp::kGt;
+    } else if (op == ">=") {
+      cmp = CompareOp::kGe;
+    } else {
+      return Error("unknown operator " + op);
+    }
+    switch (value.kind) {
+      case TokenKind::kInt:
+        *out = PredicateExpr::CompareInt(std::move(column), cmp,
+                                         value.int_value);
+        break;
+      case TokenKind::kDouble:
+        *out = PredicateExpr::CompareDouble(std::move(column), cmp,
+                                            value.double_value);
+        break;
+      default:
+        *out = PredicateExpr::CompareString(std::move(column), cmp,
+                                            value.string_value);
+        break;
+    }
+    if (negate) *out = PredicateExpr::Not(std::move(*out));
+    return Status::Ok();
+  }
+
+  Status MakeBetween(std::string column, const Literal& lo, const Literal& hi,
+                     PredicateExpr* out) {
+    if ((lo.kind == TokenKind::kString) != (hi.kind == TokenKind::kString)) {
+      return Error("BETWEEN bounds mix strings and numbers");
+    }
+    if (lo.kind == TokenKind::kString) {
+      *out = PredicateExpr::BetweenString(std::move(column), lo.string_value,
+                                          hi.string_value);
+    } else if (lo.kind == TokenKind::kDouble || hi.kind == TokenKind::kDouble) {
+      *out = PredicateExpr::BetweenDouble(std::move(column), lo.double_value,
+                                          hi.double_value);
+    } else {
+      *out = PredicateExpr::BetweenInt(std::move(column), lo.int_value,
+                                       hi.int_value);
+    }
+    return Status::Ok();
+  }
+
+  Status MakeIn(std::string column, const std::vector<Literal>& values,
+                PredicateExpr* out) {
+    bool any_string = false, all_string = true, any_double = false;
+    for (const Literal& v : values) {
+      any_string |= v.kind == TokenKind::kString;
+      all_string &= v.kind == TokenKind::kString;
+      any_double |= v.kind == TokenKind::kDouble;
+    }
+    if (any_string && !all_string) {
+      return Error("IN list mixes strings and numbers");
+    }
+    if (all_string) {
+      std::vector<std::string> set;
+      for (const Literal& v : values) set.push_back(v.string_value);
+      *out = PredicateExpr::InString(std::move(column), std::move(set));
+    } else if (any_double) {
+      std::vector<double> set;
+      for (const Literal& v : values) set.push_back(v.double_value);
+      *out = PredicateExpr::InDouble(std::move(column), std::move(set));
+    } else {
+      std::vector<i32> set;
+      for (const Literal& v : values) set.push_back(v.int_value);
+      *out = PredicateExpr::InInt(std::move(column), std::move(set));
+    }
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+}  // namespace
+
+Status ParsePredicate(std::string_view text, PredicateExpr* out) {
+  *out = PredicateExpr();
+  Parser parser(text);
+  PredicateExpr parsed;
+  Status status = parser.Parse(&parsed);
+  if (status.ok()) *out = std::move(parsed);
+  return status;
+}
+
+}  // namespace btr

@@ -1,0 +1,44 @@
+// A small SQL-ish WHERE-clause parser producing PredicateExpr trees, used
+// by `btrtool scan --where` and anywhere else a textual filter is handier
+// than composing the expression API by hand.
+//
+// Grammar (keywords case-insensitive, usual precedence NOT > AND > OR):
+//
+//   expr       := or
+//   or         := and ( OR and )*
+//   and        := unary ( AND unary )*
+//   unary      := NOT unary | '(' expr ')' | comparison
+//   comparison := ident ( '=' | '==' | '!=' | '<>' | '<' | '<=' | '>'
+//                       | '>=' ) literal
+//               | ident BETWEEN literal AND literal
+//               | ident [NOT] IN '(' literal ( ',' literal )* ')'
+//   literal    := 'string' | "string" | number
+//
+// Literal typing decides the leaf type: quoted literals are strings,
+// numbers containing '.', 'e' or 'E' are doubles, everything else is a
+// 32-bit integer. Mixed int/double lists and BETWEEN bounds promote to
+// double; btr::Scanner additionally coerces integer leaves that target
+// double columns at resolve time. `!=`/`<>` and NOT IN desugar to
+// NOT(...). Examples:
+//
+//   col >= 5 AND name IN ('a', 'b')
+//   NOT (price BETWEEN 10.5 AND 20 OR city = 'berlin')
+#ifndef BTR_BTR_PREDICATE_PARSER_H_
+#define BTR_BTR_PREDICATE_PARSER_H_
+
+#include <string_view>
+
+#include "btr/predicate.h"
+#include "util/status.h"
+
+namespace btr {
+
+// Parses `text` into `*out`. On error returns InvalidArgument with a
+// message naming the offending token and byte offset; *out is left empty.
+// An empty / all-whitespace input parses to the empty expression
+// (matches every row).
+Status ParsePredicate(std::string_view text, PredicateExpr* out);
+
+}  // namespace btr
+
+#endif  // BTR_BTR_PREDICATE_PARSER_H_

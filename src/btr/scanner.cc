@@ -190,14 +190,43 @@ Status Scanner::Open(const ScanConfig& config) {
 
 struct Scanner::ResolvedSpec {
   std::vector<u32> projection;  // table column indices, output order
-  std::vector<u32> needed;      // union of projection + predicate columns
+  std::vector<u32> needed;      // union of projection + filter columns
   // Position of each projection entry inside `needed`.
   std::vector<u32> projection_pos;
-  // (predicate, position inside `needed`).
-  std::vector<std::pair<const Predicate*, u32>> predicates;
+  // Resolved filter: spec.filter ANDed with the legacy spec.predicates,
+  // with integer leaves on double columns coerced. Empty() = no filtering.
+  PredicateExpr filter;
+  // Filter column name -> position inside `needed`.
+  std::unordered_map<std::string, u32> filter_pos;
+  u32 leaf_count = 0;                   // depth-first leaves of `filter`
+  std::vector<std::string> leaf_names;  // leaf ToString(), same order
   u32 row_blocks = 0;
   std::vector<u32> block_rows;  // values per row block
 };
+
+namespace {
+
+// Rebuilds an integer leaf as the equivalent double leaf (the raw operands
+// survive in the expression, so `x < 5` on a double column becomes
+// `x < 5.0` losslessly; IN sets are re-sorted into bit-pattern order by
+// the factory).
+PredicateExpr CoerceIntLeafToDouble(const PredicateExpr& leaf) {
+  switch (leaf.op) {
+    case CompareOp::kEq:
+      return PredicateExpr::EqualsDouble(leaf.column, leaf.int_lo);
+    case CompareOp::kBetween:
+      return PredicateExpr::BetweenDouble(leaf.column, leaf.int_lo,
+                                          leaf.int_hi);
+    case CompareOp::kIn: {
+      std::vector<double> values(leaf.int_set.begin(), leaf.int_set.end());
+      return PredicateExpr::InDouble(leaf.column, std::move(values));
+    }
+    default:
+      return PredicateExpr::CompareDouble(leaf.column, leaf.op, leaf.int_lo);
+  }
+}
+
+}  // namespace
 
 Status Scanner::ResolveSpec(const ScanSpec& spec, ResolvedSpec* out) const {
   if (!opened_) return Status::InvalidArgument("Scanner::Open() not called");
@@ -236,17 +265,48 @@ Status Scanner::ResolveSpec(const ScanSpec& spec, ResolvedSpec* out) const {
   for (u32 index : out->projection) {
     out->projection_pos.push_back(needed_pos(index));
   }
+
+  // One filter expression: the composable spec.filter ANDed with each
+  // legacy single predicate.
+  out->filter = spec.filter;
   for (const Predicate& predicate : spec.predicates) {
-    u32 index;
-    if (!find_column(predicate.column, &index)) {
-      return Status::NotFound("predicate column not found: " + predicate.column);
-    }
-    if (meta_.columns[index].type != predicate.type) {
-      return Status::InvalidArgument(
-          "predicate type does not match column type: " + predicate.column);
-    }
-    out->predicates.emplace_back(&predicate, needed_pos(index));
+    out->filter = PredicateExpr::And(std::move(out->filter), predicate);
   }
+
+  // Resolve every leaf: the column must exist, its type must match (or be
+  // coercible int -> double), and its block bytes must be fetched.
+  Status leaf_status = Status::Ok();
+  std::function<void(PredicateExpr&)> resolve = [&](PredicateExpr& node) {
+    if (!leaf_status.ok()) return;
+    if (node.kind != PredicateExpr::Kind::kLeaf) {
+      for (PredicateExpr& child : node.children) resolve(child);
+      return;
+    }
+    u32 index;
+    if (!find_column(node.column, &index)) {
+      leaf_status = Status::NotFound("predicate column not found: " +
+                                     node.column);
+      return;
+    }
+    ColumnType column_type = meta_.columns[index].type;
+    if (column_type != node.type) {
+      if (node.type == ColumnType::kInteger &&
+          column_type == ColumnType::kDouble) {
+        node = CoerceIntLeafToDouble(node);
+      } else {
+        leaf_status = Status::InvalidArgument(
+            "predicate type does not match column type: " + node.column);
+        return;
+      }
+    }
+    out->filter_pos.emplace(node.column, needed_pos(index));
+  };
+  resolve(out->filter);
+  BTR_RETURN_IF_ERROR(leaf_status);
+  out->filter.ForEachLeaf([&](const PredicateExpr& leaf) {
+    out->leaf_count++;
+    out->leaf_names.push_back(leaf.ToString());
+  });
 
   // Every column blocks its rows identically (kBlockCapacity), so all
   // needed columns must agree on the block structure.
@@ -314,17 +374,35 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   metrics.row_blocks.Add(resolved.row_blocks);
 
   // --- stage 0: zone-map pruning -------------------------------------------
-  // A row block is pruned when any ANDed predicate proves it empty.
+  // A row block is pruned when the whole filter expression proves it
+  // empty: AND prunes when any conjunct does, OR only when all disjuncts
+  // do (ZoneMayMatch walks the tree). Disabled together with pushdown so
+  // the decode-then-filter baseline really fetches and decodes everything.
+  const bool has_filter = !resolved.filter.Empty();
+  const bool pushdown = spec.config.enable_predicate_pushdown;
   Timer prune_timer;
   std::vector<u8> pruned(resolved.row_blocks, 0);
-  if (has_zones_ && !resolved.predicates.empty()) {
+  std::vector<u64> leaf_zone_prunes(resolved.leaf_count, 0);
+  if (has_zones_ && has_filter && pushdown) {
     for (u32 b = 0; b < resolved.row_blocks; b++) {
-      for (const auto& [predicate, pos] : resolved.predicates) {
-        const ColumnZoneMap& zones = zones_.columns[resolved.needed[pos]];
-        if (b < zones.zones.size() && !ZoneMayMatch(zones.zones[b], *predicate)) {
-          pruned[b] = 1;
-          break;
-        }
+      auto zone_of = [&](const std::string& name) -> const BlockZone* {
+        auto it = resolved.filter_pos.find(name);
+        if (it == resolved.filter_pos.end()) return nullptr;
+        const ColumnZoneMap& zones = zones_.columns[resolved.needed[it->second]];
+        return b < zones.zones.size() ? &zones.zones[b] : nullptr;
+      };
+      if (!ZoneMayMatch(resolved.filter, zone_of)) {
+        pruned[b] = 1;
+        // Attribute the prune to every leaf that alone proves the block
+        // empty (ScanStats::predicate_leaves).
+        u32 leaf = 0;
+        resolved.filter.ForEachLeaf([&](const PredicateExpr& l) {
+          const BlockZone* zone = zone_of(l.column);
+          if (zone != nullptr && !ZoneMayMatchLeaf(*zone, l)) {
+            leaf_zone_prunes[leaf]++;
+          }
+          leaf++;
+        });
       }
     }
   }
@@ -415,6 +493,10 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   std::atomic<u64> crc_refetch_count{0};
   std::atomic<u64> crc_rescue_count{0};
   std::atomic<u64> bytes_decoded_count{0};
+  // Per-leaf fast-path/materialized tallies, merged from the decode
+  // workers' per-block LeafEvalStats (ScanStats::predicate_leaves).
+  std::vector<std::atomic<u64>> leaf_fast_count(resolved.leaf_count);
+  std::vector<std::atomic<u64>> leaf_materialized_count(resolved.leaf_count);
 
   // Decodes one complete bundle into a BlockResult. Runs on a worker.
   auto process_bundle = [&](u32 b, Bundle& bundle,
@@ -478,23 +560,51 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
                            needed_count);
     }
 
-    if (!resolved.predicates.empty()) {
+    if (has_filter) {
       BTR_TRACE_SPAN("scan.predicate");
       Timer predicate_timer;
-      bool first = true;
-      for (const auto& [predicate, pos] : resolved.predicates) {
-        RoaringBitmap matches =
-            SelectMatches(bundle.parts[pos].data(), *predicate, config_);
-        result->selection =
-            first ? std::move(matches)
-                  : RoaringBitmap::And(result->selection, matches);
-        first = false;
-        if (result->selection.Empty()) break;
+      if (pushdown) {
+        // Evaluate on the compressed form; only surviving blocks reach
+        // DecompressBlock below (decode-only-survivors).
+        std::vector<LeafEvalStats> leaf_stats(resolved.leaf_count);
+        auto block_of = [&](const std::string& name) -> const u8* {
+          auto it = resolved.filter_pos.find(name);
+          return it == resolved.filter_pos.end()
+                     ? nullptr
+                     : bundle.parts[it->second].data();
+        };
+        EvalResult evaluated = EvaluateExpr(resolved.filter, expected_rows,
+                                            block_of, config_, &leaf_stats);
+        result->selection = std::move(evaluated.pass);
+        for (u32 leaf = 0; leaf < resolved.leaf_count; leaf++) {
+          leaf_fast_count[leaf].fetch_add(leaf_stats[leaf].fast_path,
+                                          std::memory_order_relaxed);
+          leaf_materialized_count[leaf].fetch_add(
+              leaf_stats[leaf].materialized, std::memory_order_relaxed);
+        }
+      } else {
+        // Decode-then-filter baseline: materialize every filter column,
+        // then run the reference row-at-a-time evaluation.
+        std::unordered_map<std::string, DecodedBlock> decoded_filter;
+        for (const auto& [name, pos] : resolved.filter_pos) {
+          DecompressBlock(bundle.parts[pos].data(), &decoded_filter[name],
+                          config_);
+        }
+        EvalResult evaluated = EvaluateExprDecoded(
+            resolved.filter, expected_rows,
+            [&](const std::string& name) -> const DecodedBlock* {
+              auto it = decoded_filter.find(name);
+              return it == decoded_filter.end() ? nullptr : &it->second;
+            });
+        result->selection = std::move(evaluated.pass);
+        for (u32 leaf = 0; leaf < resolved.leaf_count; leaf++) {
+          leaf_materialized_count[leaf].fetch_add(1, std::memory_order_relaxed);
+        }
       }
       if (profile != nullptr) {
         profile->AddActivity(obs::ScanActivity::kPredicate,
                              static_cast<u64>(predicate_timer.ElapsedNanos()),
-                             resolved.predicates.size());
+                             resolved.leaf_count);
       }
       if (result->selection.Empty()) {
         result->outcome = BlockOutcome::kSkipped;
@@ -631,9 +741,8 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
       ready.erase(b);
     }
     if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kEmit);
-    u64 block_matches = resolved.predicates.empty()
-                            ? resolved.block_rows[b]
-                            : result.selection.Cardinality();
+    u64 block_matches = has_filter ? result.selection.Cardinality()
+                                   : resolved.block_rows[b];
     if (result.outcome == BlockOutcome::kSkipped) {
       stats.blocks_skipped++;
       metrics.blocks_skipped.Add();
@@ -700,6 +809,15 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
     stats.breaker_trips = breaker->trips();
     stats.breaker_fast_failures = breaker->fast_failures();
   }
+  stats.predicate_leaves.resize(resolved.leaf_count);
+  for (u32 leaf = 0; leaf < resolved.leaf_count; leaf++) {
+    PredicateLeafStats& leaf_stats = stats.predicate_leaves[leaf];
+    leaf_stats.description = resolved.leaf_names[leaf];
+    leaf_stats.blocks_pruned = leaf_zone_prunes[leaf];
+    leaf_stats.fast_path = leaf_fast_count[leaf].load(std::memory_order_relaxed);
+    leaf_stats.materialized =
+        leaf_materialized_count[leaf].load(std::memory_order_relaxed);
+  }
   stats.crc_refetches = crc_refetch_count.load(std::memory_order_relaxed);
   stats.crc_rescues = crc_rescue_count.load(std::memory_order_relaxed);
   stats.bytes_decoded = bytes_decoded_count.load(std::memory_order_relaxed);
@@ -735,7 +853,7 @@ Status Scanner::Scan(const ScanSpec& spec, ScanOutput* out) {
   out->block_outcomes.assign(resolved.row_blocks, BlockOutcome::kDecoded);
   out->block_selections.assign(resolved.row_blocks, RoaringBitmap());
 
-  bool has_predicates = !spec.predicates.empty();
+  bool has_predicates = !spec.predicates.empty() || !spec.filter.Empty();
   Status status = Scan(
       spec,
       [out, has_predicates](ColumnChunk&& chunk) {

@@ -64,9 +64,14 @@ inline u64 BlockRowBegin(u32 block) {
 struct ScanSpec {
   // Projection, in output order. Empty = every column of the table.
   std::vector<std::string> columns;
-  // ANDed equality predicates (btr/predicate.h). A predicate may reference
-  // a column outside the projection; that column is then fetched for
-  // filtering but not decoded into the output.
+  // Filter expression (btr/predicate.h): arbitrary AND/OR/NOT over typed
+  // leaf comparisons. A leaf may reference a column outside the
+  // projection; that column is then fetched for filtering but not decoded
+  // into the output. Integer literals against double columns are coerced.
+  // Empty = no filtering.
+  PredicateExpr filter;
+  // Deprecated: single predicates, ANDed with `filter`. Kept so existing
+  // call sites (and btrtool's --eq-int style flags) keep compiling.
   std::vector<Predicate> predicates;
   ScanConfig config;
 };
@@ -98,6 +103,15 @@ struct ColumnChunk {
   RoaringBitmap selection;
 };
 
+// Per-leaf planning/evaluation telemetry, one entry per depth-first leaf
+// of the resolved filter expression (ScanStats::predicate_leaves).
+struct PredicateLeafStats {
+  std::string description;  // leaf.ToString() after type coercion
+  u64 blocks_pruned = 0;    // row blocks this leaf alone proved empty
+  u64 fast_path = 0;        // block evaluations on the compressed form
+  u64 materialized = 0;     // block evaluations that decoded values
+};
+
 struct ScanStats {
   u32 row_blocks = 0;          // row blocks in the table
   u32 blocks_pruned = 0;       // zone-map pruned row blocks
@@ -118,6 +132,10 @@ struct ScanStats {
   u64 crc_rescues = 0;         // re-fetches that produced verified bytes
   double seconds = 0;          // wall clock of Scan()
   u64 bytes_decoded = 0;       // logical uncompressed bytes produced
+  // One entry per depth-first leaf of the resolved filter: where did each
+  // comparison spend its time (zone pruning, compressed-form fast path, or
+  // decode-and-compare)? Empty when the spec had no filter.
+  std::vector<PredicateLeafStats> predicate_leaves;
   // Degraded mode: indices of the kUnreadable row blocks, with the Status
   // that made each unreadable (same order).
   std::vector<u32> unreadable_blocks;

@@ -40,7 +40,13 @@ ColumnZoneMap ComputeColumnZoneMap(const Column& column) {
     u32 count = std::min(kBlockCapacity, row_count - begin);
     BlockZone zone;
     zone.row_count = count;
-    bool first = true;
+    // `seen` is set only when a value actually enters min/max. It must NOT
+    // be cleared by NaN rows: the old code flipped its `first` flag even
+    // when a leading NaN skipped the update, leaving min/max stuck at
+    // their 0 defaults — for a block of {NaN, -5.0} that reported
+    // [−5, 0] as [0, 0] and let range predicates prune blocks that DID
+    // contain matches (unsound). See ZoneMapTest.NaNThenNegativeValues.
+    bool seen = false;
     std::string_view string_min, string_max;
     for (u32 i = 0; i < count; i++) {
       u32 row = begin + i;
@@ -51,30 +57,39 @@ ColumnZoneMap ComputeColumnZoneMap(const Column& column) {
       switch (column.type()) {
         case ColumnType::kInteger: {
           i32 v = column.ints()[row];
-          if (first || v < zone.int_min) zone.int_min = v;
-          if (first || v > zone.int_max) zone.int_max = v;
+          if (!seen || v < zone.int_min) zone.int_min = v;
+          if (!seen || v > zone.int_max) zone.int_max = v;
+          seen = true;
           break;
         }
         case ColumnType::kDouble: {
           double v = column.doubles()[row];
-          // NaNs have no order; a block containing NaN keeps min/max of
-          // the remaining values and pruning stays conservative because
-          // equality probes for NaN never match anyway (NaN != NaN).
+          // NaNs have no order and never satisfy ordered comparisons, so
+          // they stay out of min/max; equality probes for NaN bits are
+          // kept conservative in ZoneMayContainDouble.
           if (v != v) break;
-          if (first || v < zone.double_min) zone.double_min = v;
-          if (first || v > zone.double_max) zone.double_max = v;
+          if (!seen || v < zone.double_min) zone.double_min = v;
+          if (!seen || v > zone.double_max) zone.double_max = v;
+          seen = true;
           break;
         }
         case ColumnType::kString: {
           std::string_view v = column.GetString(row);
-          if (first || v < string_min) string_min = v;
-          if (first || v > string_max) string_max = v;
+          if (!seen || v < string_min) string_min = v;
+          if (!seen || v > string_max) string_max = v;
+          seen = true;
           break;
         }
       }
-      first = false;
     }
     zone.all_null = zone.null_count == count;
+    if (column.type() == ColumnType::kDouble && !seen) {
+      // Every non-null value was NaN (or the block is all-null): store an
+      // inverted [+inf, -inf] envelope so every range test rejects the
+      // block while NaN bit-equality probes stay conservatively kept.
+      zone.double_min = kDoubleInf;
+      zone.double_max = -kDoubleInf;
+    }
     if (!zone.all_null && column.type() == ColumnType::kString) {
       FillPrefix(string_min, zone.string_min, &zone.string_min_len);
       FillPrefix(string_max, zone.string_max, &zone.string_max_len);
@@ -114,6 +129,46 @@ bool ZoneMayContainString(const BlockZone& zone, std::string_view value) {
 bool ZoneMayOverlapIntRange(const BlockZone& zone, i32 lo, i32 hi) {
   if (zone.all_null) return false;
   return hi >= zone.int_min && lo <= zone.int_max;
+}
+
+bool ZoneMayOverlapDoubleRange(const BlockZone& zone, double lo, double hi,
+                               bool lo_strict, bool hi_strict) {
+  if (zone.all_null) return false;
+  if (lo != lo || hi != hi) return false;  // NaN bound: unsatisfiable
+  // Empty ranges (inverted, or degenerate with a strict bound) match
+  // nothing anywhere.
+  if (lo > hi || (lo == hi && (lo_strict || hi_strict))) return false;
+  // An all-NaN block carries the inverted envelope [+inf, -inf]: no
+  // ordered comparison can match, whatever the bounds — including the
+  // unbounded (-inf, +inf) probe the edge tests below would keep.
+  if (zone.double_min > zone.double_max) return false;
+  if (hi < zone.double_min || (hi_strict && hi == zone.double_min)) {
+    return false;
+  }
+  if (lo > zone.double_max || (lo_strict && lo == zone.double_max)) {
+    return false;
+  }
+  return true;
+}
+
+bool ZoneMayOverlapStringRange(const BlockZone& zone, std::string_view lo,
+                               bool lo_open, std::string_view hi,
+                               bool hi_open) {
+  if (zone.all_null) return false;
+  // Strictness is deliberately ignored: the stored 8-byte prefixes cannot
+  // distinguish "equal" from "undecidable", so exclusive bounds prune
+  // exactly as their inclusive counterparts (conservative).
+  if (!hi_open) {
+    int vs_min = ComparePrefix(hi, zone.string_min, zone.string_min_len,
+                               zone.string_min_len == 8);
+    if (vs_min < 0) return false;  // upper bound below the block minimum
+  }
+  if (!lo_open) {
+    int vs_max = ComparePrefix(lo, zone.string_max, zone.string_max_len,
+                               zone.string_max_len == 8);
+    if (vs_max > 0) return false;  // lower bound above the block maximum
+  }
+  return true;
 }
 
 namespace {

@@ -12,6 +12,7 @@
 #ifndef BTR_BTR_ZONEMAP_H_
 #define BTR_BTR_ZONEMAP_H_
 
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "util/status.h"
 
 namespace btr {
+
+inline constexpr double kDoubleInf = std::numeric_limits<double>::infinity();
 
 struct BlockZone {
   u32 row_count = 0;
@@ -57,6 +60,20 @@ bool ZoneMayContainDouble(const BlockZone& zone, double value);
 bool ZoneMayContainString(const BlockZone& zone, std::string_view value);
 // Range overlap [lo, hi] for integers (range scans / BETWEEN).
 bool ZoneMayOverlapIntRange(const BlockZone& zone, i32 lo, i32 hi);
+// Double range with per-bound strictness (lo_strict: x > lo, else
+// x >= lo). NaN-safe on both sides: a NaN bound never matches ordered
+// comparisons (the predicate is unsatisfiable, so the zone prunes), and
+// blocks whose ordered values were all NaN carry an inverted [+inf, -inf]
+// envelope that every range test rejects. Use +-kDoubleInf for an open
+// bound.
+bool ZoneMayOverlapDoubleRange(const BlockZone& zone, double lo, double hi,
+                               bool lo_strict, bool hi_strict);
+// String range against the zone's 8-byte min/max prefixes. lo_open /
+// hi_open mark absent bounds. Conservative: prefix comparisons that
+// cannot decide keep the block.
+bool ZoneMayOverlapStringRange(const BlockZone& zone, std::string_view lo,
+                               bool lo_open, std::string_view hi,
+                               bool hi_open);
 
 // --- sidecar persistence ----------------------------------------------------
 // <dir>/<table>.zones

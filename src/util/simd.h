@@ -5,7 +5,10 @@
 #ifndef BTR_UTIL_SIMD_H_
 #define BTR_UTIL_SIMD_H_
 
-#if defined(__AVX2__)
+// BTR_DISABLE_AVX2 (CMake option of the same name) forces the scalar
+// twins even on AVX2-capable hardware — the CI parity job builds with it
+// to prove the fallback produces bit-identical results.
+#if defined(__AVX2__) && !defined(BTR_DISABLE_AVX2)
 #define BTR_HAS_AVX2 1
 #include <immintrin.h>
 #else

@@ -6,7 +6,8 @@
 #include <string>
 #include <vector>
 
-#include "btr/compressed_scan.h"
+#include "btr/kernels/scan_kernels.h"
+#include "btr/predicate.h"
 #include "btr/relation.h"
 #include "btr/scheme_picker.h"
 #include "datagen/archetypes.h"
@@ -16,6 +17,31 @@ namespace btr {
 namespace {
 
 CompressionConfig DefaultConfig() { return CompressionConfig{}; }
+
+// Equality counting through the public PredicateExpr API, cross-checked
+// against the retained internal kernels (btr/kernels/scan_kernels.h) so
+// both surfaces stay bit-identical.
+u32 CountEqInt(const u8* block, i32 value, const CompressionConfig& config) {
+  u32 via_expr = CountMatches(block, Predicate::EqualsInt("c", value), config);
+  EXPECT_EQ(via_expr, kernels::CountEqualsInt(block, value, config));
+  return via_expr;
+}
+
+u32 CountEqDouble(const u8* block, double value,
+                  const CompressionConfig& config) {
+  u32 via_expr =
+      CountMatches(block, Predicate::EqualsDouble("c", value), config);
+  EXPECT_EQ(via_expr, kernels::CountEqualsDouble(block, value, config));
+  return via_expr;
+}
+
+u32 CountEqString(const u8* block, std::string_view value,
+                  const CompressionConfig& config) {
+  u32 via_expr = CountMatches(
+      block, Predicate::EqualsString("c", std::string(value)), config);
+  EXPECT_EQ(via_expr, kernels::CountEqualsString(block, value, config));
+  return via_expr;
+}
 
 // Reference count via full materialization.
 u32 ReferenceCountInt(const ByteBuffer& block, i32 value,
@@ -41,7 +67,7 @@ TEST(CompressedScanTest, IntAllSchemes) {
     std::vector<i32> probes = {data[0], data[100], data[63999], 0, -1,
                                2147483647};
     for (i32 probe : probes) {
-      EXPECT_EQ(CountEqualsInt(block.data(), probe, config),
+      EXPECT_EQ(CountEqInt(block.data(), probe, config),
                 ReferenceCountInt(block, probe, config))
           << datagen::IntArchetypeName(archetype) << " probe " << probe;
     }
@@ -69,7 +95,7 @@ TEST(CompressedScanTest, ForcedSchemesMatchReference) {
     BlockCompressionInfo info;
     CompressIntBlock(data.data(), nullptr, 50000, &block, forced, &info);
     for (i32 probe : {0, 7, 14, 63, 350, -5}) {
-      EXPECT_EQ(CountEqualsInt(block.data(), probe, forced),
+      EXPECT_EQ(CountEqInt(block.data(), probe, forced),
                 ReferenceCountInt(block, probe, forced))
           << "scheme " << static_cast<int>(info.root_scheme) << " probe "
           << probe;
@@ -88,8 +114,8 @@ TEST(CompressedScanTest, NullsNeverMatch) {
   ByteBuffer block;
   CompressIntBlock(data.data(), nulls.data(), 10000, &block, config);
   // Probing 0 must not count the NULL rows.
-  EXPECT_EQ(CountEqualsInt(block.data(), 0, config), 0u);
-  EXPECT_EQ(CountEqualsInt(block.data(), 5, config),
+  EXPECT_EQ(CountEqInt(block.data(), 0, config), 0u);
+  EXPECT_EQ(CountEqInt(block.data(), 5, config),
             10000u - (10000u + 2) / 3);
 }
 
@@ -114,7 +140,7 @@ TEST(CompressedScanTest, DoubleSchemes) {
         std::memcpy(&b, &decoded.doubles[i], 8);
         reference += b == probe_bits;
       }
-      EXPECT_EQ(CountEqualsDouble(block.data(), probe, config), reference)
+      EXPECT_EQ(CountEqDouble(block.data(), probe, config), reference)
           << datagen::DoubleArchetypeName(archetype) << " probe " << probe;
     }
   }
@@ -139,7 +165,7 @@ TEST(CompressedScanTest, StringSchemes) {
     for (u32 i = 0; i < decoded.count; i++) {
       reference += decoded.strings.Get(i) == probe;
     }
-    EXPECT_EQ(CountEqualsString(block.data(), probe, config), reference)
+    EXPECT_EQ(CountEqString(block.data(), probe, config), reference)
         << probe;
   }
 }
@@ -149,9 +175,10 @@ TEST(CompressedScanTest, OneValueFastPath) {
   std::vector<i32> data(64000, 42);
   ByteBuffer block;
   CompressIntBlock(data.data(), nullptr, 64000, &block, config);
-  EXPECT_TRUE(HasFastEqualsPath(block.data()));
-  EXPECT_EQ(CountEqualsInt(block.data(), 42, config), 64000u);
-  EXPECT_EQ(CountEqualsInt(block.data(), 43, config), 0u);
+  EXPECT_TRUE(kernels::HasFastEqualsPath(block.data()));
+  EXPECT_TRUE(HasFastPath(block.data(), Predicate::EqualsInt("c", 42)));
+  EXPECT_EQ(CountEqInt(block.data(), 42, config), 64000u);
+  EXPECT_EQ(CountEqInt(block.data(), 43, config), 0u);
 }
 
 TEST(CompressedScanTest, FastPathDetection) {
@@ -161,10 +188,13 @@ TEST(CompressedScanTest, FastPathDetection) {
   for (i32 i = 0; i < 64000; i++) seq[i] = i;
   ByteBuffer bp_block;
   CompressIntBlock(seq.data(), nullptr, 64000, &bp_block, config);
-  EXPECT_FALSE(HasFastEqualsPath(bp_block.data()));
+  EXPECT_FALSE(kernels::HasFastEqualsPath(bp_block.data()));
+  // The expression engine *does* have a Bp128 range fast path for
+  // equality (miniblock envelopes), unlike the legacy equality kernels.
+  EXPECT_TRUE(HasFastPath(bp_block.data(), Predicate::EqualsInt("c", 5)));
   // ...but the count is still exact via the fallback.
-  EXPECT_EQ(CountEqualsInt(bp_block.data(), 12345, config), 1u);
-  EXPECT_EQ(CountEqualsInt(bp_block.data(), -1, config), 0u);
+  EXPECT_EQ(CountEqInt(bp_block.data(), 12345, config), 1u);
+  EXPECT_EQ(CountEqInt(bp_block.data(), -1, config), 0u);
 }
 
 class CompressedScanPropertyTest : public ::testing::TestWithParam<u64> {};
@@ -193,7 +223,7 @@ TEST_P(CompressedScanPropertyTest, RandomBlocksAgreeWithReference) {
                    &block, config);
   for (int p = 0; p < 10; p++) {
     i32 probe = static_cast<i32>(rng.NextBounded(cardinality + 20)) - 60;
-    EXPECT_EQ(CountEqualsInt(block.data(), probe, config),
+    EXPECT_EQ(CountEqInt(block.data(), probe, config),
               ReferenceCountInt(block, probe, config))
         << "probe " << probe;
   }

@@ -141,5 +141,37 @@ TEST(RoaringTest, PropertyRandomVsReference) {
   }
 }
 
+TEST(RoaringTest, OutOfOrderAddsIntoRunContainerStaySorted) {
+  // Regression: Add() into a RunOptimize()d container used to append a
+  // fresh run at the end regardless of position, corrupting the sorted
+  // order that Contains() binary-searches and ForEach() iterates. The
+  // predicate engine hits this when patching exception positions into a
+  // run-compressed selection (Frequency blocks).
+  RoaringBitmap bitmap;
+  for (u32 v = 0; v < 10000; v++) {
+    if (v % 97 != 0) bitmap.Add(v);  // gaps at multiples of 97
+  }
+  bitmap.RunOptimize();
+
+  std::set<u32> reference;
+  for (u32 v = 0; v < 10000; v++) {
+    if (v % 97 != 0) reference.insert(v);
+  }
+  // Fill some gaps back in descending order — the non-append path.
+  Random rng(13);
+  for (int i = 0; i < 60; i++) {
+    u32 v = static_cast<u32>(rng.NextBounded(10000 / 97)) * 97;
+    bitmap.Add(v);
+    reference.insert(v);
+    bitmap.Add(v);  // idempotent re-add
+  }
+  EXPECT_EQ(bitmap.Cardinality(), reference.size());
+  EXPECT_EQ(bitmap.ToVector(), std::vector<u32>(reference.begin(),
+                                                reference.end()));
+  for (u32 v = 0; v < 10000; v++) {
+    EXPECT_EQ(bitmap.Contains(v), reference.count(v) > 0) << "value " << v;
+  }
+}
+
 }  // namespace
 }  // namespace btr

@@ -12,7 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "btr/btrblocks.h"
-#include "btr/compressed_scan.h"
+#include "btr/predicate.h"
 
 namespace btr {
 namespace {
@@ -155,8 +155,9 @@ TEST(ScannerTest, PredicateScanPrunesAndMatchesSequentialFilter) {
   EXPECT_EQ(output.block_outcomes[2], BlockOutcome::kPruned);
 
   // Selection must equal the compressed-scan kernel run sequentially.
-  RoaringBitmap expected = SelectEqualsInt(
-      f.compressed.columns[0].blocks[1].data(), probe, f.config);
+  RoaringBitmap expected =
+      SelectMatches(f.compressed.columns[0].blocks[1].data(),
+                    Predicate::EqualsInt("c", probe), f.config);
   EXPECT_EQ(expected.ToVector(), output.block_selections[1].ToVector());
   EXPECT_EQ(output.stats.rows_matched, expected.Cardinality());
   ASSERT_GT(output.stats.rows_matched, 0u);
@@ -190,8 +191,9 @@ TEST(ScannerTest, PredicateOnNonProjectedColumnFiltersProjection) {
 
   u64 expected_matches = 0;
   for (size_t b = 0; b < f.compressed.columns[2].blocks.size(); b++) {
-    RoaringBitmap sel = SelectEqualsString(
-        f.compressed.columns[2].blocks[b].data(), "bonn", f.config);
+    RoaringBitmap sel =
+        SelectMatches(f.compressed.columns[2].blocks[b].data(),
+                      Predicate::EqualsString("c", "bonn"), f.config);
     if (output.block_outcomes[b] == BlockOutcome::kDecoded) {
       EXPECT_EQ(sel.ToVector(), output.block_selections[b].ToVector());
     } else {
@@ -258,8 +260,13 @@ TEST(ScannerTest, SpecErrorsAreStatuses) {
   ScanOutput output;
   EXPECT_EQ(scanner.Scan(unknown, &output).code(), Status::Code::kNotFound);
 
+  // Integer literals against double columns are coerced, not rejected.
+  ScanSpec coerced = PipelinedSpec();
+  coerced.predicates.push_back(Predicate::EqualsInt("price", 3));
+  EXPECT_TRUE(scanner.Scan(coerced, &output).ok());
+
   ScanSpec mismatch = PipelinedSpec();
-  mismatch.predicates.push_back(Predicate::EqualsInt("price", 3));
+  mismatch.predicates.push_back(Predicate::EqualsString("id", "nope"));
   EXPECT_EQ(scanner.Scan(mismatch, &output).code(),
             Status::Code::kInvalidArgument);
 

@@ -1,11 +1,11 @@
-// Tests for Roaring set algebra and the SelectEquals* selection vectors,
-// including multi-predicate combination across columns of one table.
+// Tests for Roaring set algebra and PredicateExpr selection vectors,
+// including multi-column expression combination over one table.
 #include <gtest/gtest.h>
 
 #include <set>
 #include <string>
 
-#include "btr/compressed_scan.h"
+#include "btr/predicate.h"
 #include "btr/relation.h"
 #include "datagen/archetypes.h"
 #include "util/random.h"
@@ -72,12 +72,14 @@ TEST(SelectEqualsTest, IntSchemesMatchReference) {
     ByteBuffer block;
     CompressIntBlock(data.data(), nullptr, 50000, &block, config);
     for (i32 probe : {data[0], data[25000], 0, -99}) {
-      RoaringBitmap got = SelectEqualsInt(block.data(), probe, config);
+      RoaringBitmap got =
+          SelectMatches(block.data(), Predicate::EqualsInt("c", probe), config);
       RoaringBitmap want = ReferenceSelectInt(block, probe, config);
       EXPECT_EQ(got.ToVector(), want.ToVector())
           << datagen::IntArchetypeName(archetype) << " probe " << probe;
       EXPECT_EQ(got.Cardinality(),
-                CountEqualsInt(block.data(), probe, config));
+                CountMatches(block.data(), Predicate::EqualsInt("c", probe),
+                             config));
     }
   }
 }
@@ -98,7 +100,8 @@ TEST(SelectEqualsTest, FrequencyComplementPath) {
   CompressIntBlock(data.data(), nullptr, 64000, &block, config, &info);
   ASSERT_EQ(static_cast<IntSchemeCode>(info.root_scheme),
             IntSchemeCode::kFrequency);
-  RoaringBitmap got = SelectEqualsInt(block.data(), 7, config);
+  RoaringBitmap got =
+      SelectMatches(block.data(), Predicate::EqualsInt("c", 7), config);
   RoaringBitmap want = ReferenceSelectInt(block, 7, config);
   EXPECT_EQ(got.ToVector(), want.ToVector());
 }
@@ -120,10 +123,15 @@ TEST(SelectEqualsTest, MultiPredicateAcrossColumns) {
   }
   CompressionConfig config;
   CompressedRelation compressed = CompressRelation(table, config);
-  RoaringBitmap selection = RoaringBitmap::And(
-      SelectEqualsString(compressed.columns[0].blocks[0].data(), "PHOENIX",
-                         config),
-      SelectEqualsDouble(compressed.columns[1].blocks[0].data(), 0.0, config));
+  PredicateExpr expr =
+      PredicateExpr::And(Predicate::EqualsString("city", "PHOENIX"),
+                         Predicate::EqualsDouble("amount", 0.0));
+  auto block_of = [&](const std::string& name) -> const u8* {
+    return name == "city" ? compressed.columns[0].blocks[0].data()
+                          : compressed.columns[1].blocks[0].data();
+  };
+  EvalResult evaluated = EvaluateExpr(expr, kRows, block_of, config, nullptr);
+  RoaringBitmap selection = std::move(evaluated.pass);
 
   u32 reference = 0;
   RoaringBitmap reference_bitmap;
@@ -148,8 +156,12 @@ TEST(SelectEqualsTest, NullsExcluded) {
   CompressionConfig config;
   ByteBuffer block;
   CompressIntBlock(data.data(), nulls.data(), 5000, &block, config);
-  EXPECT_EQ(SelectEqualsInt(block.data(), 0, config).Cardinality(), 0u);
-  RoaringBitmap threes = SelectEqualsInt(block.data(), 3, config);
+  EXPECT_EQ(
+      SelectMatches(block.data(), Predicate::EqualsInt("c", 0), config)
+          .Cardinality(),
+      0u);
+  RoaringBitmap threes =
+      SelectMatches(block.data(), Predicate::EqualsInt("c", 3), config);
   EXPECT_EQ(threes.Cardinality(), 4000u);
   threes.ForEach([&](u32 position) { EXPECT_NE(position % 5, 0u); });
 }

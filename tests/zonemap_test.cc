@@ -5,7 +5,7 @@
 #include <string>
 
 #include "btr/btrblocks.h"
-#include "btr/compressed_scan.h"
+#include "btr/predicate.h"
 #include "btr/zonemap.h"
 #include "util/random.h"
 
@@ -66,7 +66,8 @@ TEST(ZoneMapTest, SoundnessPropertyAgainstCompressedScan) {
       i32 probe = base + static_cast<i32>(rng.NextBounded(140)) - 20;
       for (size_t b = 0; b < compressed.blocks.size(); b++) {
         u32 matches =
-            CountEqualsInt(compressed.blocks[b].data(), probe, config);
+            CountMatches(compressed.blocks[b].data(),
+                         Predicate::EqualsInt("c", probe), config);
         if (matches > 0) {
           EXPECT_TRUE(ZoneMayContainInt(map.zones[b], probe))
               << "pruned a matching block, probe " << probe;
@@ -126,6 +127,127 @@ TEST(ZoneMapTest, DoubleZonesAndNulls) {
   EXPECT_TRUE(ZoneMayContainDouble(map.zones[0], 5.0));
   EXPECT_FALSE(ZoneMayContainDouble(map.zones[0], 10.0));
   EXPECT_FALSE(ZoneMayContainDouble(map.zones[0], -1.0));
+}
+
+TEST(ZoneMapTest, NaNThenNegativeValues) {
+  // Regression: a leading NaN used to consume the "first value" flag
+  // without updating min/max, leaving the zone stuck at [0, 0] — a block
+  // of {NaN, -5.0} then reported min 0 / max 0 and range scans for
+  // negative values pruned a block that contains matches.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Relation relation("t");
+  Column& column = relation.AddColumn("d", ColumnType::kDouble);
+  column.AppendDouble(nan);
+  column.AppendDouble(-5.0);
+  ColumnZoneMap map = ComputeColumnZoneMap(column);
+  const BlockZone& zone = map.zones[0];
+  EXPECT_EQ(zone.double_min, -5.0);
+  EXPECT_EQ(zone.double_max, -5.0);
+  EXPECT_TRUE(ZoneMayContainDouble(zone, -5.0));
+  EXPECT_TRUE(ZoneMayOverlapDoubleRange(zone, -10.0, 0.0, false, false));
+  EXPECT_FALSE(ZoneMayOverlapDoubleRange(zone, 0.0, 10.0, false, false));
+
+  // All-NaN blocks carry the inverted [+inf, -inf] envelope: no ordered
+  // comparison can match, so every range probe prunes — even the
+  // unbounded one.
+  Relation relation2("t");
+  Column& all_nan = relation2.AddColumn("d", ColumnType::kDouble);
+  all_nan.AppendDouble(nan);
+  all_nan.AppendDouble(nan);
+  ColumnZoneMap nan_map = ComputeColumnZoneMap(all_nan);
+  EXPECT_FALSE(ZoneMayOverlapDoubleRange(nan_map.zones[0], -kDoubleInf,
+                                         kDoubleInf, false, false));
+  EXPECT_FALSE(ZoneMayContainDouble(nan_map.zones[0], 0.0));
+
+  // A NaN bound makes the predicate unsatisfiable: always prune.
+  EXPECT_FALSE(ZoneMayOverlapDoubleRange(zone, nan, 10.0, false, false));
+  EXPECT_FALSE(ZoneMayOverlapDoubleRange(zone, -10.0, nan, false, false));
+}
+
+TEST(ZoneMapTest, DoubleRangeBoundStrictness) {
+  // Zone [1.0, 2.0]. Inclusive vs strict bounds at the zone edges decide
+  // keep-vs-prune exactly at the boundary.
+  Relation relation("t");
+  Column& column = relation.AddColumn("d", ColumnType::kDouble);
+  column.AppendDouble(1.0);
+  column.AppendDouble(2.0);
+  ColumnZoneMap map = ComputeColumnZoneMap(column);
+  const BlockZone& zone = map.zones[0];
+
+  // Probe range touching the zone max only at 2.0: x >= 2.0 keeps,
+  // x > 2.0 prunes (no stored value can exceed the zone max).
+  EXPECT_TRUE(ZoneMayOverlapDoubleRange(zone, 2.0, kDoubleInf, false, false));
+  EXPECT_FALSE(ZoneMayOverlapDoubleRange(zone, 2.0, kDoubleInf, true, false));
+  // Same at the min: x <= 1.0 keeps, x < 1.0 prunes.
+  EXPECT_TRUE(ZoneMayOverlapDoubleRange(zone, -kDoubleInf, 1.0, false, false));
+  EXPECT_FALSE(ZoneMayOverlapDoubleRange(zone, -kDoubleInf, 1.0, false, true));
+  // Interior ranges keep regardless of strictness.
+  EXPECT_TRUE(ZoneMayOverlapDoubleRange(zone, 1.5, 1.6, true, true));
+  // Degenerate strict range (lo, lo) is empty: prune.
+  EXPECT_FALSE(ZoneMayOverlapDoubleRange(zone, 1.5, 1.5, true, true));
+}
+
+TEST(ZoneMapTest, StringRangePrefixBounds) {
+  Relation relation("t");
+  Column& column = relation.AddColumn("s", ColumnType::kString);
+  column.AppendString("berlin");
+  column.AppendString("munich");
+  ColumnZoneMap map = ComputeColumnZoneMap(column);
+  const BlockZone& zone = map.zones[0];
+
+  // Closed ranges overlapping [berlin, munich].
+  EXPECT_TRUE(ZoneMayOverlapStringRange(zone, "bonn", false, "denver", false));
+  EXPECT_TRUE(ZoneMayOverlapStringRange(zone, "munich", false, "zurich",
+                                        false));
+  EXPECT_FALSE(ZoneMayOverlapStringRange(zone, "n", false, "z", false));
+  EXPECT_FALSE(ZoneMayOverlapStringRange(zone, "a", false, "b", false));
+  // Open bounds on either side.
+  EXPECT_TRUE(ZoneMayOverlapStringRange(zone, "", true, "c", false));
+  EXPECT_TRUE(ZoneMayOverlapStringRange(zone, "m", false, "", true));
+  EXPECT_FALSE(ZoneMayOverlapStringRange(zone, "mz", false, "", true));
+  // 8-byte-prefix truncation stays conservative: a probe range whose
+  // decision depends on bytes past the prefix must keep the block.
+  Relation relation2("t");
+  Column& long_strings = relation2.AddColumn("s", ColumnType::kString);
+  long_strings.AppendString("aaaaaaaabbbb");
+  long_strings.AppendString("aaaaaaaccccc");
+  ColumnZoneMap long_map = ComputeColumnZoneMap(long_strings);
+  EXPECT_TRUE(ZoneMayOverlapStringRange(long_map.zones[0], "aaaaaaaabc",
+                                        false, "aaaaaaaabd", false));
+}
+
+TEST(ZoneMapTest, ExpressionPruningOverZones) {
+  // ZoneMayMatch over a whole expression: AND prunes when any conjunct
+  // proves empty, OR only when all disjuncts do, NOT never prunes.
+  Relation relation("t");
+  Column& column = relation.AddColumn("x", ColumnType::kInteger);
+  for (i32 v = 100; v < 200; v++) column.AppendInt(v);
+  BlockZone zone = ComputeColumnZoneMap(column).zones[0];
+
+  EXPECT_TRUE(ZoneMayMatch(zone, Predicate::BetweenInt("x", 150, 160)));
+  EXPECT_FALSE(ZoneMayMatch(zone, Predicate::BetweenInt("x", 300, 400)));
+  EXPECT_FALSE(ZoneMayMatch(
+      zone, PredicateExpr::And(Predicate::BetweenInt("x", 150, 160),
+                               Predicate::EqualsInt("x", 500))));
+  EXPECT_TRUE(ZoneMayMatch(
+      zone, PredicateExpr::Or(Predicate::EqualsInt("x", 500),
+                              Predicate::EqualsInt("x", 150))));
+  EXPECT_FALSE(ZoneMayMatch(
+      zone, PredicateExpr::Or(Predicate::EqualsInt("x", 500),
+                              Predicate::EqualsInt("x", 600))));
+  // NOT (x = 500) is satisfiable in this zone, and zone maps cannot prove
+  // the inverse either way: never prune through NOT.
+  EXPECT_TRUE(ZoneMayMatch(
+      zone, PredicateExpr::Not(Predicate::EqualsInt("x", 150))));
+  // Strict comparisons at the zone edge.
+  EXPECT_TRUE(ZoneMayMatch(
+      zone, Predicate::CompareInt("x", CompareOp::kGe, 199)));
+  EXPECT_FALSE(ZoneMayMatch(
+      zone, Predicate::CompareInt("x", CompareOp::kGt, 199)));
+  EXPECT_TRUE(ZoneMayMatch(
+      zone, Predicate::CompareInt("x", CompareOp::kLe, 100)));
+  EXPECT_FALSE(ZoneMayMatch(
+      zone, Predicate::CompareInt("x", CompareOp::kLt, 100)));
 }
 
 TEST(ZoneMapTest, SidecarRoundTrip) {
