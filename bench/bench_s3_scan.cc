@@ -6,10 +6,13 @@
 // are modeled, decompression time is measured on this machine
 // single-threaded and divided across the modeled 36 cores (decompression
 // parallelizes over columns and blocks).
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 #include "common.h"
 #include "s3sim/object_store.h"
+#include "service/scan_service.h"
 #include "util/random.h"
 
 namespace btr::bench {
@@ -204,6 +207,144 @@ void Run() {
     Report("scan.warm_cache_requests",
            static_cast<double>(warm_stats.requests), "GETs",
            MetricKind::kCount);
+  }
+
+  // -- Multi-tenant ScanService: one shared cache, fair scheduling --------
+  // 104 concurrent scans from 4 tenants through one btr::service::
+  // ScanService (docs/SCAN_SERVICE.md): the shared checksum-verified cache
+  // means the whole storm is served from memory once any tenant has paid
+  // the GETs, and the deficit-round-robin queues keep a hog tenant from
+  // starving a light one. The isolated baseline runs the same 104 scans as
+  // standalone Scanners — private caches, so all 104 pay their own GETs.
+  {
+    CompressionConfig config;
+    Relation table =
+        datagen::MakePublicBiTable("svc_bench", 4 * kBlockCapacity, 33);
+    CompressedRelation compressed = CompressRelation(table, config);
+    s3sim::S3Config wall = s3;
+    wall.simulate_wall_clock = true;
+    wall.wall_clock_request_latency_s = 0.002;  // 2 ms to first byte per GET
+    wall.wall_clock_gbps = 4.0;
+    s3sim::ObjectStore store(wall);
+    Status status =
+        UploadCompressedRelation(compressed, nullptr, "svc/", &store);
+    BTR_CHECK_MSG(status.ok(), "service bench upload failed");
+
+    const char* kTenants[4] = {"alpha", "beta", "gamma", "delta"};
+    const u32 kScans = 104;
+    ScanSpec spec;
+    spec.config.scan_threads = 2;
+    spec.config.fetch_threads = 2;
+    spec.config.prefetch_depth = 8;
+
+    service::ScanServiceConfig service_config;
+    service_config.fetch_threads = 8;
+    service_config.max_concurrent_scans = 32;
+    service_config.max_queued_scans = kScans;
+    service_config.admission_timeout_ns = 60ull * 1000 * 1000 * 1000;
+    service::ScanService service(service_config);
+
+    auto serviced_scan = [&](const std::string& tenant,
+                             std::atomic<u64>* rows) {
+      Scanner scanner(service, tenant, &store, "svc_bench", "svc/");
+      BTR_CHECK_MSG(scanner.Open(spec.config).ok(), "service bench open failed");
+      u64 mine = 0;
+      Status scan_status = scanner.Scan(
+          spec,
+          [&](ColumnChunk&& emitted) {
+            if (emitted.column == 0) mine += emitted.row_count;
+          },
+          nullptr);
+      BTR_CHECK_MSG(scan_status.ok(), "serviced scan failed");
+      rows->fetch_add(mine);
+    };
+
+    // One scan under a dedicated tenant pays the cold GETs; every block is
+    // then in the shared cache, so the 104-scan storm across the four real
+    // tenants must not touch the store at all.
+    std::atomic<u64> warm_rows{0};
+    serviced_scan("warmup", &warm_rows);
+
+    std::atomic<u64> storm_rows{0};
+    Timer storm_timer;
+    std::vector<std::thread> storm;
+    storm.reserve(kScans);
+    for (u32 i = 0; i < kScans; i++) {
+      storm.emplace_back(
+          [&, i] { serviced_scan(kTenants[i % 4], &storm_rows); });
+    }
+    for (std::thread& t : storm) t.join();
+    double storm_seconds = storm_timer.ElapsedSeconds();
+    BTR_CHECK_MSG(storm_rows.load() == kScans * warm_rows.load(),
+                  "serviced storm decoded a different row count");
+    u64 storm_gets = 0;
+    for (const char* tenant : kTenants) {
+      storm_gets += service.GetTenantStats(tenant).gets;
+    }
+
+    // Isolated baseline: the same 104 scans, each a standalone Scanner
+    // with a private cache — no sharing, every scan pays its own GETs.
+    std::atomic<u64> isolated_rows{0};
+    Timer isolated_timer;
+    std::vector<std::thread> isolated;
+    isolated.reserve(kScans);
+    for (u32 i = 0; i < kScans; i++) {
+      isolated.emplace_back([&] {
+        Scanner scanner(&store, "svc_bench", "svc/");
+        BTR_CHECK_MSG(scanner.Open(spec.config).ok(),
+                      "isolated bench open failed");
+        ScanSpec private_spec = spec;
+        private_spec.config.enable_block_cache = true;
+        u64 mine = 0;
+        Status scan_status = scanner.Scan(
+            private_spec,
+            [&](ColumnChunk&& emitted) {
+              if (emitted.column == 0) mine += emitted.row_count;
+            },
+            nullptr);
+        BTR_CHECK_MSG(scan_status.ok(), "isolated scan failed");
+        isolated_rows.fetch_add(mine);
+      });
+    }
+    for (std::thread& t : isolated) t.join();
+    double isolated_seconds = isolated_timer.ElapsedSeconds();
+    BTR_CHECK_MSG(isolated_rows.load() == storm_rows.load(),
+                  "isolated storm decoded a different row count");
+
+    // Fairness under a hog: tenant "hog" floods the (still warm) service
+    // while tenant "light" runs a handful of scans; DRR lanes must keep
+    // the light tenant's queue waits bounded.
+    std::atomic<u64> fair_rows{0};
+    std::vector<std::thread> fair;
+    for (u32 i = 0; i < 24; i++) {
+      fair.emplace_back([&] { serviced_scan("hog", &fair_rows); });
+    }
+    for (u32 i = 0; i < 4; i++) {
+      fair.emplace_back([&] { serviced_scan("light", &fair_rows); });
+    }
+    for (std::thread& t : fair) t.join();
+    u64 light_p95_ns = service.GetTenantStats("light").queue_wait_p95_ns;
+
+    std::printf("\n-- Multi-tenant ScanService: %u scans, 4 tenants, one "
+                "shared cache --\n", kScans);
+    std::printf("%-42s  %8.3f s  (%llu tenant GETs)\n",
+                "serviced storm (shared warm cache)", storm_seconds,
+                static_cast<unsigned long long>(storm_gets));
+    std::printf("%-42s  %8.3f s\n", "isolated baseline (private caches)",
+                isolated_seconds);
+    std::printf("%-42s  %7.1fx\n", "aggregate speedup",
+                isolated_seconds / storm_seconds);
+    std::printf("%-42s  %8.3f ms\n", "light tenant p95 queue wait under hog",
+                light_p95_ns / 1e6);
+    Report("scan.service.storm_seconds", storm_seconds, "s", MetricKind::kTime);
+    Report("scan.service.storm_gets", static_cast<double>(storm_gets), "GETs",
+           MetricKind::kCount);
+    Report("scan.service.isolated_seconds", isolated_seconds, "s",
+           MetricKind::kTime);
+    Report("scan.service.aggregate_speedup", isolated_seconds / storm_seconds,
+           "x", MetricKind::kThroughput);
+    Report("scan.service.light_p95_queue_wait_seconds", light_p95_ns / 1e9,
+           "s", MetricKind::kTime);
   }
 
   // Scale the measured corpus to the paper's dataset size (119.5 GB in

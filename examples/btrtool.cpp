@@ -34,10 +34,19 @@
 //                           decode cost, slow-op exemplars); prints the
 //                           text report and, with =<path>, writes the
 //                           stable-schema JSON form (docs/OBSERVABILITY.md)
+//   --tenant=<id[,id...]>   `scan`: run through a shared btr::ScanService,
+//                           round-robining scans across these tenant ids
+//                           (shared cache, fair scheduling, admission
+//                           control; docs/SCAN_SERVICE.md)
+//   --concurrent=<n>        `scan`: with --tenant, run n concurrent scans
+//                           (default: one per tenant)
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fstream>
@@ -51,6 +60,8 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "s3sim/object_store.h"
+#include "service/scan_service.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -224,11 +235,16 @@ int CmdInspect(const std::string& csv_path) {
 // per column + metadata + zone maps) and runs a pipelined Scanner scan
 // with optional `col=value` equality predicates, reporting what the zone
 // maps pruned, what predicate pushdown skipped, and the pipeline timing.
+// With --tenant, scans run through one shared ScanService instead of a
+// standalone Scanner: `concurrent` scans (default: one per tenant) are
+// round-robined across the tenant ids and the per-tenant service stats
+// are reported at the end (docs/SCAN_SERVICE.md).
 int CmdScan(const std::string& csv_path,
             const std::vector<std::string>& filters,
             const std::string& where_clause, const ScanConfig& scan_config,
             u64 fault_seed, double fault_rate,
-            const std::string& profile_json_path) {
+            const std::string& profile_json_path,
+            const std::vector<std::string>& tenants, u32 concurrent) {
   std::string name = csv_path;
   size_t slash = name.find_last_of('/');
   if (slash != std::string::npos) name = name.substr(slash + 1);
@@ -295,6 +311,70 @@ int CmdScan(const std::string& csv_path,
         spec.predicates.push_back(Predicate::EqualsString(column_name, value));
         break;
     }
+  }
+
+  if (!tenants.empty()) {
+    u32 jobs = concurrent == 0 ? static_cast<u32>(tenants.size()) : concurrent;
+    service::ScanService service;
+    std::atomic<u64> total_rows{0};
+    std::atomic<u64> throttled_jobs{0};
+    std::atomic<int> rc{0};
+    std::mutex print_mutex;
+    Timer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (u32 j = 0; j < jobs; j++) {
+      const std::string tenant = tenants[j % tenants.size()];
+      threads.emplace_back([&, tenant, j] {
+        Scanner scanner(service, tenant, &store, name);
+        Status job_status = scanner.Open(spec.config);
+        ScanStats job_stats;
+        u64 job_rows = 0;
+        if (job_status.ok()) {
+          job_status = scanner.Scan(
+              spec,
+              [&](ColumnChunk&& chunk) {
+                if (chunk.column == 0) job_rows += chunk.row_count;
+              },
+              &job_stats);
+        }
+        if (job_status.IsThrottled()) {
+          // Admission control said no — expected under deliberate
+          // overload, reported but not fatal.
+          throttled_jobs.fetch_add(1);
+          return;
+        }
+        if (!job_status.ok()) {
+          std::lock_guard<std::mutex> lock(print_mutex);
+          std::fprintf(stderr, "scan %u (tenant %s) failed: %s\n", j,
+                       tenant.c_str(), job_status.ToString().c_str());
+          rc.store(1);
+          return;
+        }
+        total_rows.fetch_add(job_rows);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    double seconds = wall.ElapsedSeconds();
+    std::printf("scan service: %u scans across %zu tenant%s in %.3f s "
+                "(%llu rows emitted, %llu throttled)\n",
+                jobs, tenants.size(), tenants.size() == 1 ? "" : "s", seconds,
+                static_cast<unsigned long long>(total_rows.load()),
+                static_cast<unsigned long long>(throttled_jobs.load()));
+    std::printf("%-16s %8s %8s %8s %10s %12s %8s %12s\n", "tenant", "scans",
+                "queued", "rejects", "gets", "hits", "hedges", "p95 wait");
+    for (const auto& [id, tenant_stats] : service.AllTenantStats()) {
+      std::printf("%-16s %8llu %8llu %8llu %10llu %12llu %8llu %9.3f ms\n",
+                  id.c_str(),
+                  static_cast<unsigned long long>(tenant_stats.scans_completed),
+                  static_cast<unsigned long long>(tenant_stats.scans_queued),
+                  static_cast<unsigned long long>(tenant_stats.scans_rejected),
+                  static_cast<unsigned long long>(tenant_stats.gets),
+                  static_cast<unsigned long long>(tenant_stats.cache_hits),
+                  static_cast<unsigned long long>(tenant_stats.hedges),
+                  tenant_stats.queue_wait_p95_ns / 1e6);
+    }
+    return rc.load();
   }
 
   Scanner scanner(&store, name);
@@ -423,6 +503,8 @@ int main(int argc, char** argv) {
   btr::ScanConfig scan_config;
   btr::u64 fault_seed = 0;
   double fault_rate = 0.05;
+  std::vector<std::string> tenants;
+  btr::u32 concurrent = 0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; i++) {
     std::string arg = argv[i];
@@ -464,6 +546,18 @@ int main(int argc, char** argv) {
       scan_config.enable_circuit_breaker = true;
     } else if (arg == "--crc-refetch") {
       scan_config.refetch_on_crc_failure = true;
+    } else if (arg.rfind("--tenant=", 0) == 0) {
+      std::string list = arg.substr(std::strlen("--tenant="));
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start) tenants.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+      }
+    } else if (arg.rfind("--concurrent=", 0) == 0) {
+      int n = std::atoi(arg.c_str() + std::strlen("--concurrent="));
+      concurrent = n < 0 ? 0 : static_cast<btr::u32>(n);
     } else if (arg == "--profile") {
       scan_config.collect_profile = true;
     } else if (arg.rfind("--profile=", 0) == 0) {
@@ -514,7 +608,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> filters(args.begin() + 2, args.end());
     return finish(CmdScan(args[1], filters, where_clause, scan_config,
                           fault_seed, fault_rate,
-                          profile_json_path));
+                          profile_json_path, tenants, concurrent));
   }
   if (command == "demo") {
     return finish(CmdDemo());
@@ -535,6 +629,9 @@ int main(int argc, char** argv) {
                "         (resilient read path: checksum-verified cache,\n"
                "          hedged GETs, circuit breaker, CRC re-fetch)\n"
                "       --profile[=<path.json>]  (scan: per-scan profile —\n"
-               "          stage breakdown, GET latency histogram, slow ops)\n");
+               "          stage breakdown, GET latency histogram, slow ops)\n"
+               "       --tenant=<id[,id...]>  --concurrent=<n>  (scan: run\n"
+               "          through a shared ScanService, one scan per job\n"
+               "          round-robined over the tenants; docs/SCAN_SERVICE.md)\n");
   return 2;
 }

@@ -179,6 +179,9 @@ struct ScanConfig {
   // by the exact ranged GET (key, offset, length). A warm repeat scan
   // through the same Scanner issues zero GETs for cached blocks. Entries
   // are admitted only when their bytes hash to the column header's CRC32C.
+  // Serviced scanners (service/scan_service.h) ignore these knobs and the
+  // breaker ones below: the service's shared cache and per-backend
+  // breakers are always used instead (docs/SCAN_SERVICE.md).
   bool enable_block_cache = false;
   u64 block_cache_bytes = 64ull << 20;  // total cache capacity
   u32 block_cache_shards = 8;           // independent LRU partitions

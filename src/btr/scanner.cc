@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -15,6 +17,7 @@
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/scan_service.h"
 #include "util/crc32c.h"
 #include "util/timer.h"
 
@@ -120,8 +123,27 @@ Scanner::Scanner(s3sim::ObjectStore* store, std::string table_name,
       prefix_(std::move(prefix)),
       config_(config) {}
 
+Scanner::Scanner(service::ScanService& service, const std::string& tenant_id,
+                 s3sim::ObjectStore* store, std::string table_name,
+                 std::string prefix, const CompressionConfig& config)
+    : store_(store),
+      table_name_(std::move(table_name)),
+      prefix_(std::move(prefix)),
+      config_(config) {
+  service_ = &service;
+  tenant_slot_ = service.EnsureTenant(tenant_id);
+}
+
 // Out-of-line so scanner.h can hold the cache behind a forward declaration.
 Scanner::~Scanner() = default;
+
+exec::ThreadPool& Scanner::EnsureDecodePool(u32 threads) {
+  if (decode_pool_ == nullptr || decode_pool_threads_ != threads) {
+    decode_pool_ = std::make_unique<exec::ThreadPool>(threads);
+    decode_pool_threads_ = threads;
+  }
+  return *decode_pool_;
+}
 
 Status Scanner::Open(const ScanConfig& config) {
   if (store_ == nullptr) return Status::InvalidArgument("null object store");
@@ -338,9 +360,11 @@ struct BlockResult {
 // Fetched column blocks of one row block, awaiting completion. A part
 // whose fetch failed permanently still counts toward `filled` (its status
 // lands in `error`) so the bundle always completes and the emitter never
-// waits on a block that cannot arrive.
+// waits on a block that cannot arrive. Parts are the block cache's
+// refcounted payloads: a cache hit shares the cached buffer instead of
+// copying it, and a fetched buffer is wrapped without a copy.
 struct Bundle {
-  std::vector<ByteBuffer> parts;  // by needed-column position
+  std::vector<exec::BlockCache::Payload> parts;  // by needed-column position
   u32 filled = 0;
   Status error;  // first fetch failure of this row block
 };
@@ -353,6 +377,26 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   Timer timer;
   ResolvedSpec resolved;
   BTR_RETURN_IF_ERROR(ResolveSpec(spec, &resolved));
+
+  // Serviced scans pass admission control before any other work: a
+  // saturated service or an over-quota tenant surfaces here as typed
+  // Status::Throttled (transient — callers may wrap Scan in
+  // exec::RunWithRetries and back off).
+  service::ScanService::Ticket ticket;
+  u64 admission_wait_ns = 0;
+  if (service_ != nullptr) {
+    BTR_RETURN_IF_ERROR(
+        service_->Admit(tenant_slot_, &ticket, &admission_wait_ns));
+  }
+  // Every return below must give the admission slot back.
+  struct TicketGuard {
+    service::ScanService* service;
+    service::ScanService::Ticket* ticket;
+    ~TicketGuard() {
+      if (service != nullptr) service->Release(ticket);
+    }
+  } ticket_guard{service_, &ticket};
+  (void)ticket_guard;
 
   // Per-scan profile. Null when disabled: every instrumentation site
   // below tests this pointer and records nothing — no locks, no
@@ -441,35 +485,59 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   bool failed = false;
 
   const bool degraded = spec.config.skip_unreadable_blocks;
+  const bool serviced = service_ != nullptr;
 
-  // Resilience attachments. The cache is Scanner-owned (created on the
-  // first cache-enabled scan) so warm repeat scans hit it; the breaker is
-  // per-scan — backend health verdicts should not leak across scans with
-  // possibly different tolerance for failure.
-  if (spec.config.enable_block_cache && block_cache_ == nullptr) {
-    exec::BlockCacheConfig cache_config;
-    cache_config.capacity_bytes = spec.config.block_cache_bytes;
-    cache_config.shards = spec.config.block_cache_shards;
-    block_cache_ = std::make_unique<exec::BlockCache>(cache_config);
+  // Resilience attachments. Standalone: the cache is Scanner-owned
+  // (created on the first cache-enabled scan) so warm repeat scans hit
+  // it, and the breaker is per-scan — backend health verdicts should not
+  // leak across scans with possibly different tolerance for failure.
+  // Serviced: both are the service's shared instances — one CRC-verified
+  // cache for every tenant and one breaker per backend, so a dead store
+  // fails fast for everyone (the per-scan ScanConfig cache/breaker knobs
+  // are owned by the service in this mode).
+  exec::BlockCache* active_cache = nullptr;
+  if (serviced) {
+    active_cache = service_->cache();
+  } else if (spec.config.enable_block_cache) {
+    if (block_cache_ == nullptr) {
+      exec::BlockCacheConfig cache_config;
+      cache_config.capacity_bytes = spec.config.block_cache_bytes;
+      cache_config.shards = spec.config.block_cache_shards;
+      block_cache_ = std::make_unique<exec::BlockCache>(cache_config);
+    }
+    active_cache = block_cache_.get();
   }
-  std::unique_ptr<exec::CircuitBreaker> breaker;
-  if (spec.config.enable_circuit_breaker) {
-    breaker = std::make_unique<exec::CircuitBreaker>(
+  std::unique_ptr<exec::CircuitBreaker> own_breaker;
+  exec::CircuitBreaker* breaker = nullptr;
+  if (serviced) {
+    breaker = service_->BreakerFor(store_);
+  } else if (spec.config.enable_circuit_breaker) {
+    own_breaker = std::make_unique<exec::CircuitBreaker>(
         MakeBreakerPolicy(spec.config));
+    breaker = own_breaker.get();
   }
-  exec::FetchOptions fetch_options;
-  fetch_options.cache =
-      spec.config.enable_block_cache ? block_cache_.get() : nullptr;
-  fetch_options.hedge = MakeHedgePolicy(spec.config);
-  fetch_options.breaker = breaker.get();
-  fetch_options.profile = profile;
+  // A shared breaker's lifetime counters move under concurrent scans, so
+  // per-scan stats report deltas (exact standalone, approximate serviced).
+  const u64 base_breaker_trips = breaker != nullptr ? breaker->trips() : 0;
+  const u64 base_breaker_fast =
+      breaker != nullptr ? breaker->fast_failures() : 0;
 
-  exec::BoundedQueue<exec::FetchedBlock> queue(
-      std::max<u32>(1, spec.config.prefetch_depth));
-  exec::Prefetcher prefetcher(store_, std::move(requests), &queue,
-                              spec.config.fetch_threads,
-                              MakeRetryPolicy(spec.config), fetch_options);
+  // Cache inserts go through the tenant's cache-byte quota when serviced.
+  auto cache_insert = [&](const std::string& key, u64 offset, u64 length,
+                          const u8* data, size_t size, u32 expected_crc) {
+    if (active_cache == nullptr) return;
+    if (serviced) {
+      service_->TryCacheInsert(tenant_slot_, key, offset, length, data, size,
+                               expected_crc);
+    } else {
+      active_cache->Insert(key, offset, length, data, size, expected_crc);
+    }
+  };
 
+  // Mode-specific unwind hook invoked by fail(): standalone stops the
+  // prefetcher and aborts the bounded queue; serviced wakes backoff
+  // sleepers so in-flight items bail fast.
+  std::function<void()> on_fail_unwind;
   auto fail = [&](Status status) {
     bool first = false;
     {
@@ -483,8 +551,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
     // Mark the failure point in the trace so an aborted scan's spans are
     // diagnosable — the RAII spans themselves flush normally on unwind.
     if (first) BTR_TRACE_INSTANT("scan.error");
-    prefetcher.RequestStop();
-    queue.Abort();
+    if (on_fail_unwind) on_fail_unwind();
     ready_cv.notify_all();
   };
 
@@ -493,6 +560,12 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   std::atomic<u64> crc_refetch_count{0};
   std::atomic<u64> crc_rescue_count{0};
   std::atomic<u64> bytes_decoded_count{0};
+  // Serviced scans share the store with other tenants, so per-scan
+  // request/byte totals cannot come from store deltas — this scan's items
+  // count their own traffic instead (ignored in standalone mode, which
+  // keeps the exact store-delta accounting).
+  std::atomic<u64> job_requests{0};
+  std::atomic<u64> job_bytes_fetched{0};
   // Per-leaf fast-path/materialized tallies, merged from the decode
   // workers' per-block LeafEvalStats (ScanStats::predicate_leaves).
   std::vector<std::atomic<u64>> leaf_fast_count(resolved.leaf_count);
@@ -504,15 +577,19 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
     u32 expected_rows = resolved.block_rows[b];
     Timer validate_timer;
     for (u32 pos = 0; pos < needed_count; pos++) {
-      const ByteBuffer& part = bundle.parts[pos];
+      if (bundle.parts[pos] == nullptr) {
+        return Status::Internal("block " + std::to_string(b) +
+                                " arrived without part " + std::to_string(pos));
+      }
+      const ByteBuffer* part = bundle.parts[pos].get();
       u32 column = resolved.needed[pos];
       // Integrity first: the payload must be exactly the bytes the column
       // header promised. Catches truncated ranges (size) and flipped bits
       // (CRC32C) before any parsing logic sees the data.
       u64 expected_size =
           block_offsets_[column][b + 1] - block_offsets_[column][b];
-      if (part.size() != expected_size ||
-          Crc32c(part.data(), part.size()) != block_crcs_[column][b]) {
+      if (part->size() != expected_size ||
+          Crc32c(part->data(), part->size()) != block_crcs_[column][b]) {
         metrics.crc_failures.Add();
         // The mismatch may be transient wire corruption rather than
         // at-rest damage: re-fetch the range once, straight from the store
@@ -526,18 +603,19 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
           std::vector<u8> fresh;
           Status refetch = store_->GetChunk(key, block_offsets_[column][b],
                                             expected_size, &fresh);
+          job_requests.fetch_add(1, std::memory_order_relaxed);
           if (refetch.ok() && fresh.size() == expected_size &&
               Crc32c(fresh.data(), fresh.size()) == block_crcs_[column][b]) {
-            ByteBuffer& repaired = bundle.parts[pos];
-            repaired.Clear();
-            repaired.Append(fresh.data(), fresh.size());
-            if (spec.config.enable_block_cache && block_cache_ != nullptr) {
-              // The verified bytes are exactly what the cache wants; the
-              // corrupt ones were already refused at admission.
-              block_cache_->Insert(key, block_offsets_[column][b],
-                                   expected_size, fresh.data(), fresh.size(),
-                                   block_crcs_[column][b]);
-            }
+            job_bytes_fetched.fetch_add(fresh.size(),
+                                        std::memory_order_relaxed);
+            auto repaired = std::make_shared<ByteBuffer>();
+            repaired->Append(fresh.data(), fresh.size());
+            bundle.parts[pos] = std::move(repaired);
+            part = bundle.parts[pos].get();
+            // The verified bytes are exactly what the cache wants; the
+            // corrupt ones were already refused at admission.
+            cache_insert(key, block_offsets_[column][b], expected_size,
+                         fresh.data(), fresh.size(), block_crcs_[column][b]);
             metrics.crc_rescues.Add();
             crc_rescue_count.fetch_add(1, std::memory_order_relaxed);
             rescued = true;
@@ -552,7 +630,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
       }
       ColumnType type = meta_.columns[column].type;
       BTR_RETURN_IF_ERROR(
-          ValidateBlock(part.data(), part.size(), type, expected_rows));
+          ValidateBlock(part->data(), part->size(), type, expected_rows));
     }
     if (profile != nullptr) {
       profile->AddActivity(obs::ScanActivity::kValidate,
@@ -571,7 +649,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
           auto it = resolved.filter_pos.find(name);
           return it == resolved.filter_pos.end()
                      ? nullptr
-                     : bundle.parts[it->second].data();
+                     : bundle.parts[it->second]->data();
         };
         EvalResult evaluated = EvaluateExpr(resolved.filter, expected_rows,
                                             block_of, config_, &leaf_stats);
@@ -587,7 +665,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
         // then run the reference row-at-a-time evaluation.
         std::unordered_map<std::string, DecodedBlock> decoded_filter;
         for (const auto& [name, pos] : resolved.filter_pos) {
-          DecompressBlock(bundle.parts[pos].data(), &decoded_filter[name],
+          DecompressBlock(bundle.parts[pos]->data(), &decoded_filter[name],
                           config_);
         }
         EvalResult evaluated = EvaluateExprDecoded(
@@ -615,7 +693,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
     BTR_TRACE_SPAN("scan.decode");
     result->decoded.resize(resolved.projection.size());
     for (size_t p = 0; p < resolved.projection.size(); p++) {
-      const ByteBuffer& part = bundle.parts[resolved.projection_pos[p]];
+      const ByteBuffer& part = *bundle.parts[resolved.projection_pos[p]];
       u32 column = resolved.projection[p];
       if (profile != nullptr) {
         Timer decode_timer;
@@ -665,150 +743,414 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   if (scan_threads == 0) {
     scan_threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  exec::ThreadPool pool(scan_threads);
-  for (u32 t = 0; t < scan_threads; t++) {
-    pool.Submit([&] {
-      try {
-        exec::FetchedBlock fetched;
-        for (;;) {
-          bool popped;
-          if (profile != nullptr) {
-            // Time spent blocked on the queue = decode capacity wasted
-            // waiting for the prefetcher (ScanProfile "prefetch_wait").
-            Timer pop_timer;
-            popped = queue.Pop(&fetched);
-            profile->AddActivity(obs::ScanActivity::kPrefetchWait,
-                                 static_cast<u64>(pop_timer.ElapsedNanos()));
-          } else {
-            popped = queue.Pop(&fetched);
-          }
-          if (!popped) break;
-          u32 b = static_cast<u32>(fetched.tag / needed_count);
-          u32 pos = static_cast<u32>(fetched.tag % needed_count);
-          Bundle complete;
-          bool is_complete = false;
-          {
-            std::lock_guard<std::mutex> lock(mutex);
-            Bundle& bundle = assembling[b];
-            if (bundle.parts.empty()) bundle.parts.resize(needed_count);
-            if (!fetched.status.ok() && bundle.error.ok()) {
-              bundle.error = fetched.status;
-            }
-            bundle.parts[pos] = std::move(fetched.data);
-            if (++bundle.filled == needed_count) {
-              complete = std::move(bundle);
-              assembling.erase(b);
-              is_complete = true;
-            }
-          }
-          if (is_complete) process_and_publish(b, std::move(complete));
-        }
-      } catch (...) {
-        // Unblock the emitter before handing the exception to the pool
-        // (ThreadPool::Wait() rethrows it; Scan() maps it to a Status).
-        fail(Status::Internal("scan worker threw"));
-        throw;
-      }
-    });
-  }
-  prefetcher.Start();
 
-  // --- stage 3: in-order emission on this thread ----------------------------
+  // --- stage 3: in-order emission on the calling thread ---------------------
   Status emit_status;
-  for (u32 b = 0; b < resolved.row_blocks; b++) {
-    if (pruned[b]) {
+  auto emit_loop = [&] {
+    for (u32 b = 0; b < resolved.row_blocks; b++) {
+      if (pruned[b]) {
+        if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kEmit);
+        stats.blocks_pruned++;
+        metrics.blocks_pruned.Add();
+        for (size_t p = 0; p < resolved.projection.size(); p++) {
+          ColumnChunk chunk;
+          chunk.column = static_cast<u32>(p);
+          chunk.block = b;
+          chunk.row_begin = BlockRowBegin(b);
+          chunk.row_count = resolved.block_rows[b];
+          chunk.outcome = BlockOutcome::kPruned;
+          emit(std::move(chunk));
+        }
+        continue;
+      }
+      BlockResult result;
+      {
+        if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kEmitWait);
+        std::unique_lock<std::mutex> lock(mutex);
+        ready_cv.wait(lock, [&] { return failed || ready.count(b) != 0; });
+        if (failed) break;
+        result = std::move(ready[b]);
+        ready.erase(b);
+      }
       if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kEmit);
-      stats.blocks_pruned++;
-      metrics.blocks_pruned.Add();
+      u64 block_matches = has_filter ? result.selection.Cardinality()
+                                     : resolved.block_rows[b];
+      if (result.outcome == BlockOutcome::kSkipped) {
+        stats.blocks_skipped++;
+        metrics.blocks_skipped.Add();
+      } else if (result.outcome == BlockOutcome::kUnreadable) {
+        stats.blocks_unreadable++;
+        metrics.blocks_unreadable.Add();
+        stats.unreadable_blocks.push_back(b);
+        stats.unreadable_reasons.push_back(result.error);
+      } else {
+        stats.blocks_decoded++;
+        metrics.blocks_decoded.Add();
+        stats.rows_matched += block_matches;
+        metrics.rows_matched.Add(block_matches);
+      }
       for (size_t p = 0; p < resolved.projection.size(); p++) {
         ColumnChunk chunk;
         chunk.column = static_cast<u32>(p);
         chunk.block = b;
         chunk.row_begin = BlockRowBegin(b);
         chunk.row_count = resolved.block_rows[b];
-        chunk.outcome = BlockOutcome::kPruned;
+        chunk.outcome = result.outcome;
+        if (result.outcome == BlockOutcome::kDecoded) {
+          chunk.values = std::move(result.decoded[p]);
+          chunk.selection = result.selection;
+        }
         emit(std::move(chunk));
       }
-      continue;
     }
-    BlockResult result;
+  };
+
+  if (!serviced) {
+    // ---- standalone: private prefetcher feeding a persistent decode pool --
+    exec::FetchOptions fetch_options;
+    fetch_options.cache = active_cache;
+    fetch_options.hedge = MakeHedgePolicy(spec.config);
+    fetch_options.breaker = breaker;
+    fetch_options.profile = profile;
+
+    exec::BoundedQueue<exec::FetchedBlock> queue(
+        std::max<u32>(1, spec.config.prefetch_depth));
+    exec::Prefetcher prefetcher(store_, std::move(requests), &queue,
+                                spec.config.fetch_threads,
+                                MakeRetryPolicy(spec.config), fetch_options);
+    on_fail_unwind = [&] {
+      prefetcher.RequestStop();
+      queue.Abort();
+    };
+
+    exec::ThreadPool& pool = EnsureDecodePool(scan_threads);
+    for (u32 t = 0; t < scan_threads; t++) {
+      pool.Submit([&] {
+        try {
+          exec::FetchedBlock fetched;
+          for (;;) {
+            bool popped;
+            if (profile != nullptr) {
+              // Time spent blocked on the queue = decode capacity wasted
+              // waiting for the prefetcher (ScanProfile "prefetch_wait").
+              Timer pop_timer;
+              popped = queue.Pop(&fetched);
+              profile->AddActivity(obs::ScanActivity::kPrefetchWait,
+                                   static_cast<u64>(pop_timer.ElapsedNanos()));
+            } else {
+              popped = queue.Pop(&fetched);
+            }
+            if (!popped) break;
+            u32 b = static_cast<u32>(fetched.tag / needed_count);
+            u32 pos = static_cast<u32>(fetched.tag % needed_count);
+            Bundle complete;
+            bool is_complete = false;
+            {
+              std::lock_guard<std::mutex> lock(mutex);
+              Bundle& bundle = assembling[b];
+              if (bundle.parts.empty()) bundle.parts.resize(needed_count);
+              if (!fetched.status.ok() && bundle.error.ok()) {
+                bundle.error = fetched.status;
+              }
+              bundle.parts[pos] =
+                  std::make_shared<ByteBuffer>(std::move(fetched.data));
+              if (++bundle.filled == needed_count) {
+                complete = std::move(bundle);
+                assembling.erase(b);
+                is_complete = true;
+              }
+            }
+            if (is_complete) process_and_publish(b, std::move(complete));
+          }
+        } catch (...) {
+          // Unblock the emitter before handing the exception to the pool
+          // (ThreadPool::Wait() rethrows it; Scan() maps it to a Status).
+          fail(Status::Internal("scan worker threw"));
+          throw;
+        }
+      });
+    }
+    prefetcher.Start();
+    emit_loop();
+
+    // --- unwind -------------------------------------------------------------
+    // On failure Abort() unblocks producers and consumers; on success the
+    // prefetcher has closed the queue and workers drain to end-of-stream.
+    if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kTeardown);
     {
-      if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kEmitWait);
-      std::unique_lock<std::mutex> lock(mutex);
-      ready_cv.wait(lock, [&] { return failed || ready.count(b) != 0; });
-      if (failed) break;
-      result = std::move(ready[b]);
-      ready.erase(b);
+      std::lock_guard<std::mutex> lock(mutex);
+      if (failed) emit_status = first_error;
     }
-    if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kEmit);
-    u64 block_matches = has_filter ? result.selection.Cardinality()
-                                   : resolved.block_rows[b];
-    if (result.outcome == BlockOutcome::kSkipped) {
-      stats.blocks_skipped++;
-      metrics.blocks_skipped.Add();
-    } else if (result.outcome == BlockOutcome::kUnreadable) {
-      stats.blocks_unreadable++;
-      metrics.blocks_unreadable.Add();
-      stats.unreadable_blocks.push_back(b);
-      stats.unreadable_reasons.push_back(result.error);
-    } else {
-      stats.blocks_decoded++;
-      metrics.blocks_decoded.Add();
-      stats.rows_matched += block_matches;
-      metrics.rows_matched.Add(block_matches);
+    if (!emit_status.ok()) {
+      prefetcher.RequestStop();
+      queue.Abort();
     }
-    for (size_t p = 0; p < resolved.projection.size(); p++) {
-      ColumnChunk chunk;
-      chunk.column = static_cast<u32>(p);
-      chunk.block = b;
-      chunk.row_begin = BlockRowBegin(b);
-      chunk.row_count = resolved.block_rows[b];
-      chunk.outcome = result.outcome;
-      if (result.outcome == BlockOutcome::kDecoded) {
-        chunk.values = std::move(result.decoded[p]);
-        chunk.selection = result.selection;
+    try {
+      // Worker exceptions (including ones thrown past process_and_publish)
+      // surface here once — map them into the Status-carrying API instead of
+      // letting them escape Scan().
+      pool.Wait();
+    } catch (const std::exception& e) {
+      if (emit_status.ok()) {
+        emit_status =
+            Status::Internal(std::string("scan worker threw: ") + e.what());
       }
-      emit(std::move(chunk));
+    } catch (...) {
+      if (emit_status.ok()) {
+        emit_status = Status::Internal("scan worker threw a non-std exception");
+      }
     }
+    prefetcher.Join();
+    // The queue and prefetcher leave scope here; drop the unwind hook that
+    // captured them (nothing can fail() past this point anyway).
+    on_fail_unwind = nullptr;
+
+    stats.retries = prefetcher.retries();
+    stats.cache_hits = prefetcher.cache_hits();
+    stats.cache_misses = prefetcher.cache_misses();
+    stats.hedges = prefetcher.hedges();
+    stats.hedge_wins = prefetcher.hedge_wins();
+    stats.bytes_fetched = store_->total_bytes_fetched() - base_bytes;
+    stats.requests = store_->total_requests() - base_requests;
+  } else {
+    // ---- serviced: fetch/decode items on the service's shared executors ---
+    // Backpressure here is window tokens, not a bounded queue: this scan
+    // may have at most `window_tokens` parts in flight (submitted but not
+    // yet decoded); a bundle's decode returns its parts' tokens and pumps
+    // the next submissions. Tokens are only consumed before submitting,
+    // never while holding an executor thread, so service threads never
+    // block on another scan's progress (no cross-tenant head-of-line
+    // blocking). The window is clamped up to needed_count so a bundle can
+    // always assemble completely and release.
+    exec::RetryState job_retry(MakeRetryPolicy(spec.config));
+    exec::HedgeState job_hedge(MakeHedgePolicy(spec.config));
+    exec::StragglerSink job_stragglers;
+    std::condition_variable job_cv;  // backoff sleeps + quiesce (uses `mutex`)
+    u64 window_tokens = std::max<u64>(
+        std::max<u32>(1, spec.config.prefetch_depth), needed_count);
+    size_t next_request = 0;  // next index into `requests`; guarded by mutex
+    u64 outstanding = 0;      // submitted items not yet finished; guarded
+    std::atomic<u64> job_cache_hits{0};
+    std::atomic<u64> job_cache_misses{0};
+
+    on_fail_unwind = [&] { job_cv.notify_all(); };
+
+    // Interruptible retry backoff: sleeping on job_cv keeps the executor
+    // thread wakeable the moment the scan fails.
+    auto job_sleep = [&](u64 backoff_ns) {
+      std::unique_lock<std::mutex> lock(mutex);
+      job_cv.wait_for(lock, std::chrono::nanoseconds(backoff_ns),
+                      [&] { return failed; });
+      return !failed;
+    };
+    auto item_done = [&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--outstanding == 0) job_cv.notify_all();
+    };
+
+    std::function<void()> pump;
+    std::function<void(u32, std::shared_ptr<Bundle>)> run_decode_item;
+    std::function<void(size_t)> run_fetch_item;
+
+    run_decode_item = [&](u32 b, std::shared_ptr<Bundle> bundle) {
+      bool bail;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        bail = failed;
+      }
+      if (!bail) {
+        try {
+          process_and_publish(b, std::move(*bundle));
+        } catch (...) {
+          // A service executor thread must survive a throwing decode; map
+          // the exception into the scan's Status instead of rethrowing.
+          fail(Status::Internal("scan worker threw"));
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          window_tokens += needed_count;
+        }
+        pump();
+      }
+      item_done();
+    };
+
+    run_fetch_item = [&](size_t i) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (failed) {
+          if (--outstanding == 0) job_cv.notify_all();
+          return;
+        }
+      }
+      const exec::FetchRequest& request = requests[i];
+      exec::BlockCache::Payload payload;
+      Status status;
+      const bool cacheable = active_cache != nullptr && request.verify_crc;
+      if (cacheable) {
+        payload = active_cache->LookupShared(request.key, request.offset,
+                                             request.length);
+      }
+      if (payload != nullptr) {
+        // Shared-cache hit: the bundle references the cached buffer
+        // directly — zero copies, zero GETs.
+        job_cache_hits.fetch_add(1, std::memory_order_relaxed);
+        service_->RecordFetchOutcome(tenant_slot_, /*cache_hit=*/true,
+                                     /*bytes=*/0, /*gets=*/0,
+                                     /*hedged=*/false);
+        if (profile != nullptr) {
+          obs::FetchRecord record;
+          record.key = &request.key;
+          record.offset = request.offset;
+          record.length = request.length;
+          record.cacheable = true;
+          record.cache_hit = true;
+          profile->RecordFetch(record);
+        }
+      } else {
+        if (cacheable) {
+          job_cache_misses.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::vector<u8> chunk;
+        bool hedged = false;
+        bool hedge_won = false;
+        exec::RetryOutcome outcome;
+        Timer get_timer;
+        {
+          BTR_TRACE_SPAN("scan.fetch");
+          // Same retry/hedge discipline as the standalone prefetcher, with
+          // one extra gate: a hedge must also fit the tenant's budget.
+          status = exec::RunWithRetries(
+              &job_retry,
+              [&] {
+                return exec::HedgedGet(
+                    store_, request.key, request.offset, request.length,
+                    &job_hedge, &job_stragglers, &chunk, &hedged, &hedge_won,
+                    [&] {
+                      return service_->TryAcquireTenantHedge(tenant_slot_);
+                    });
+              },
+              job_sleep, breaker, &outcome);
+        }
+        u64 attempts = outcome.attempts == 0 ? 1 : outcome.attempts;
+        u64 gets = attempts + (hedged ? 1 : 0);
+        job_requests.fetch_add(gets, std::memory_order_relaxed);
+        if (profile != nullptr) {
+          obs::FetchRecord record;
+          record.key = &request.key;
+          record.offset = request.offset;
+          record.length = request.length;
+          record.duration_ns = static_cast<u64>(get_timer.ElapsedNanos());
+          record.attempts = attempts;
+          record.retries = outcome.retries;
+          record.cacheable = cacheable;
+          record.hedged = hedged;
+          record.hedge_won = hedge_won;
+          record.breaker_rejected = outcome.breaker_rejected;
+          record.ok = status.ok();
+          profile->RecordFetch(record);
+        }
+        if (status.ok()) {
+          job_bytes_fetched.fetch_add(chunk.size(), std::memory_order_relaxed);
+          service_->RecordFetchOutcome(tenant_slot_, /*cache_hit=*/false,
+                                       chunk.size(), gets, hedged);
+          auto buffer = std::make_shared<ByteBuffer>();
+          buffer->Append(chunk.data(), chunk.size());
+          payload = std::move(buffer);
+          if (cacheable) {
+            // Verified admission under the tenant's cache-byte quota.
+            cache_insert(request.key, request.offset, request.length,
+                         chunk.data(), chunk.size(), request.expected_crc);
+          }
+        }
+      }
+      // Assemble the bundle (mirrors the standalone decode worker), then
+      // hand a completed one to the decode lane.
+      u32 b = static_cast<u32>(request.tag / needed_count);
+      u32 pos = static_cast<u32>(request.tag % needed_count);
+      std::shared_ptr<Bundle> complete;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (failed) {
+          if (--outstanding == 0) job_cv.notify_all();
+          return;
+        }
+        Bundle& bundle = assembling[b];
+        if (bundle.parts.empty()) bundle.parts.resize(needed_count);
+        if (!status.ok() && bundle.error.ok()) bundle.error = status;
+        bundle.parts[pos] = std::move(payload);
+        if (++bundle.filled == needed_count) {
+          complete = std::make_shared<Bundle>(std::move(bundle));
+          assembling.erase(b);
+          outstanding++;  // the decode item submitted just below
+        }
+      }
+      if (complete != nullptr) {
+        u64 cost = 0;
+        for (const exec::BlockCache::Payload& part : complete->parts) {
+          if (part != nullptr) cost += part->size();
+        }
+        service_->SubmitDecode(tenant_slot_, cost, [&, b, complete] {
+          run_decode_item(b, complete);
+        });
+      }
+      item_done();
+    };
+
+    pump = [&] {
+      std::vector<size_t> to_submit;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        while (!failed && window_tokens > 0 &&
+               next_request < requests.size()) {
+          window_tokens--;
+          outstanding++;
+          to_submit.push_back(next_request++);
+        }
+      }
+      for (size_t i : to_submit) {
+        service_->SubmitFetch(tenant_slot_, requests[i].length,
+                              [&, i] { run_fetch_item(i); });
+      }
+    };
+
+    pump();
+    emit_loop();
+
+    // --- unwind -------------------------------------------------------------
+    if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kTeardown);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (failed) emit_status = first_error;
+    }
+    job_cv.notify_all();
+    {
+      // Quiesce before returning: every submitted closure captures this
+      // stack frame, so Scan() must not return (or give back its admission
+      // slot) while one is still queued or running.
+      std::unique_lock<std::mutex> lock(mutex);
+      job_cv.wait(lock, [&] { return outstanding == 0; });
+    }
+    job_stragglers.Reap();
+    on_fail_unwind = nullptr;
+
+    stats.retries = job_retry.retries_granted();
+    stats.cache_hits = job_cache_hits.load(std::memory_order_relaxed);
+    stats.cache_misses = job_cache_misses.load(std::memory_order_relaxed);
+    stats.hedges = job_hedge.hedges_issued();
+    stats.hedge_wins = job_hedge.hedge_wins();
+    stats.bytes_fetched = job_bytes_fetched.load(std::memory_order_relaxed);
+    stats.requests = job_requests.load(std::memory_order_relaxed);
   }
 
-  // --- unwind ---------------------------------------------------------------
-  // On failure Abort() unblocks producers and consumers; on success the
-  // prefetcher has closed the queue and workers drain to end-of-stream.
-  if (profile != nullptr) stage_timer.Enter(obs::ScanStage::kTeardown);
-  {
-    std::lock_guard<std::mutex> lock(mutex);
-    if (failed) emit_status = first_error;
-  }
-  if (!emit_status.ok()) {
-    prefetcher.RequestStop();
-    queue.Abort();
-  }
-  try {
-    // Worker exceptions (including ones thrown past process_and_publish)
-    // surface here once — map them into the Status-carrying API instead of
-    // letting them escape Scan().
-    pool.Wait();
-  } catch (const std::exception& e) {
-    if (emit_status.ok()) {
-      emit_status = Status::Internal(std::string("scan worker threw: ") + e.what());
-    }
-  } catch (...) {
-    if (emit_status.ok()) {
-      emit_status = Status::Internal("scan worker threw a non-std exception");
-    }
-  }
-  prefetcher.Join();
-
-  stats.retries = prefetcher.retries();
-  stats.cache_hits = prefetcher.cache_hits();
-  stats.cache_misses = prefetcher.cache_misses();
-  stats.hedges = prefetcher.hedges();
-  stats.hedge_wins = prefetcher.hedge_wins();
   if (breaker != nullptr) {
-    stats.breaker_trips = breaker->trips();
-    stats.breaker_fast_failures = breaker->fast_failures();
+    // Deltas, because a service-shared breaker's counters also move under
+    // other tenants' scans (exact standalone, approximate serviced).
+    stats.breaker_trips = breaker->trips() - base_breaker_trips;
+    stats.breaker_fast_failures =
+        breaker->fast_failures() - base_breaker_fast;
   }
+  stats.admission_wait_ns = admission_wait_ns;
   stats.predicate_leaves.resize(resolved.leaf_count);
   for (u32 leaf = 0; leaf < resolved.leaf_count; leaf++) {
     PredicateLeafStats& leaf_stats = stats.predicate_leaves[leaf];
@@ -821,8 +1163,6 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
   stats.crc_refetches = crc_refetch_count.load(std::memory_order_relaxed);
   stats.crc_rescues = crc_rescue_count.load(std::memory_order_relaxed);
   stats.bytes_decoded = bytes_decoded_count.load(std::memory_order_relaxed);
-  stats.bytes_fetched = store_->total_bytes_fetched() - base_bytes;
-  stats.requests = store_->total_requests() - base_requests;
   stats.seconds = timer.ElapsedSeconds();
   metrics.bytes_fetched.Add(stats.bytes_fetched);
   metrics.bytes_decoded.Add(stats.bytes_decoded);

@@ -49,7 +49,12 @@
 
 namespace btr::exec {
 class BlockCache;  // exec/block_cache.h
+class ThreadPool;  // exec/thread_pool.h
 }  // namespace btr::exec
+
+namespace btr::service {
+class ScanService;  // service/scan_service.h
+}  // namespace btr::service
 
 namespace btr {
 
@@ -130,6 +135,7 @@ struct ScanStats {
   u64 breaker_fast_failures = 0;  // GETs rejected while the breaker was open
   u64 crc_refetches = 0;       // CRC-failed blocks re-fetched once
   u64 crc_rescues = 0;         // re-fetches that produced verified bytes
+  u64 admission_wait_ns = 0;   // serviced scans: time queued for admission
   double seconds = 0;          // wall clock of Scan()
   u64 bytes_decoded = 0;       // logical uncompressed bytes produced
   // One entry per depth-first leaf of the resolved filter: where did each
@@ -173,8 +179,21 @@ Status UploadCompressedRelation(const CompressedRelation& relation,
 
 class Scanner {
  public:
+  // Standalone scanner: private pipeline, private cache/breaker.
   // `prefix` is the object key prefix the table was uploaded under.
   Scanner(s3sim::ObjectStore* store, std::string table_name,
+          std::string prefix = "",
+          const CompressionConfig& config = CompressionConfig());
+  // Serviced scanner: fetch/decode work runs on `service`'s shared
+  // executors under `tenant_id`'s fair-queue lane and quotas, the block
+  // cache and per-backend circuit breaker are the service's shared ones,
+  // and Scan() passes admission control first — a saturated service or an
+  // over-quota tenant surfaces as typed Status::Throttled (transient, so
+  // callers can wrap Scan in exec::RunWithRetries). The per-scan
+  // ScanConfig cache/breaker knobs are ignored in this mode; retry and
+  // hedging policy stay per-scan. `service` must outlive the Scanner.
+  Scanner(service::ScanService& service, const std::string& tenant_id,
+          s3sim::ObjectStore* store, std::string table_name,
           std::string prefix = "",
           const CompressionConfig& config = CompressionConfig());
   ~Scanner();
@@ -202,6 +221,9 @@ class Scanner {
   struct ResolvedSpec;
 
   Status ResolveSpec(const ScanSpec& spec, ResolvedSpec* resolved) const;
+  // Standalone decode pool, created on first use and reused across Scan()
+  // calls (recreated only when the requested thread count changes).
+  exec::ThreadPool& EnsureDecodePool(u32 threads);
 
   s3sim::ObjectStore* store_;
   std::string table_name_;
@@ -225,6 +247,13 @@ class Scanner {
   // the same Scanner hit it; entries are keyed by exact GET identity and
   // admitted only after CRC verification (exec/block_cache.h).
   std::unique_ptr<exec::BlockCache> block_cache_;
+  // Standalone decode workers, persistent across Scan() calls so repeated
+  // scans stop paying thread create/join churn per call.
+  std::unique_ptr<exec::ThreadPool> decode_pool_;
+  u32 decode_pool_threads_ = 0;
+  // Serviced mode (null/unused for standalone scanners).
+  service::ScanService* service_ = nullptr;
+  u32 tenant_slot_ = 0;
 };
 
 }  // namespace btr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "util/crc32c.h"
@@ -61,26 +62,39 @@ BlockCache::Shard& BlockCache::ShardFor(const std::string& composite_key) {
 
 bool BlockCache::Lookup(const std::string& key, u64 offset, u64 length,
                         ByteBuffer* out) {
-  CacheMetrics& metrics = CacheMetrics::Get();
-  std::string composite = CompositeKey(key, offset, length);
-  Shard& shard = ShardFor(composite);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.index.find(composite);
-  if (it == shard.index.end()) {
-    metrics.misses.Add();
-    return false;
-  }
-  // Move to MRU position; iterators stay valid across splice.
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  const std::vector<u8>& bytes = it->second->bytes;
+  Payload payload = LookupShared(key, offset, length);
+  if (payload == nullptr) return false;
   out->Clear();
-  out->Append(bytes.data(), bytes.size());
-  metrics.hits.Add();
+  out->Append(payload->data(), payload->size());
   return true;
 }
 
+BlockCache::Payload BlockCache::LookupShared(const std::string& key,
+                                             u64 offset, u64 length) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  std::string composite = CompositeKey(key, offset, length);
+  Shard& shard = ShardFor(composite);
+  Payload payload;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(composite);
+    if (it != shard.index.end()) {
+      // Move to MRU position; iterators stay valid across splice.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      payload = it->second->payload;
+    }
+  }
+  if (payload == nullptr) {
+    metrics.misses.Add();
+  } else {
+    metrics.hits.Add();
+  }
+  return payload;
+}
+
 bool BlockCache::Insert(const std::string& key, u64 offset, u64 length,
-                        const u8* data, size_t size, u32 expected_crc) {
+                        const u8* data, size_t size, u32 expected_crc,
+                        u32 owner) {
   CacheMetrics& metrics = CacheMetrics::Get();
   if (size == 0 || size > shard_capacity_) return false;
   // Admission gate: only bytes that match the column header's checksum
@@ -89,22 +103,32 @@ bool BlockCache::Insert(const std::string& key, u64 offset, u64 length,
     metrics.crc_rejects.Add();
     return false;
   }
+  auto owned = std::make_shared<ByteBuffer>();
+  owned->Append(data, size);
   std::string composite = CompositeKey(key, offset, length);
   Shard& shard = ShardFor(composite);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.index.find(composite);
-  if (it != shard.index.end()) {
-    shard.bytes -= it->second->bytes.size();
-    metrics.bytes.Add(-static_cast<i64>(it->second->bytes.size()));
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
+  std::vector<Dropped> dropped;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(composite);
+    if (it != shard.index.end()) {
+      u64 old_size = it->second->payload->size();
+      shard.bytes -= old_size;
+      metrics.bytes.Add(-static_cast<i64>(old_size));
+      if (it->second->owner != 0) {
+        dropped.push_back(Dropped{it->second->owner, old_size});
+      }
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    shard.lru.push_front(Entry{composite, std::move(owned), owner});
+    shard.index[composite] = shard.lru.begin();
+    shard.bytes += size;
+    metrics.bytes.Add(static_cast<i64>(size));
+    metrics.inserts.Add();
+    EvictLocked(&shard, &dropped);
   }
-  shard.lru.push_front(Entry{composite, std::vector<u8>(data, data + size)});
-  shard.index[composite] = shard.lru.begin();
-  shard.bytes += size;
-  metrics.bytes.Add(static_cast<i64>(size));
-  metrics.inserts.Add();
-  EvictLocked(&shard);
+  NotifyDropped(dropped);
   return true;
 }
 
@@ -112,25 +136,44 @@ void BlockCache::Erase(const std::string& key, u64 offset, u64 length) {
   CacheMetrics& metrics = CacheMetrics::Get();
   std::string composite = CompositeKey(key, offset, length);
   Shard& shard = ShardFor(composite);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.index.find(composite);
-  if (it == shard.index.end()) return;
-  shard.bytes -= it->second->bytes.size();
-  metrics.bytes.Add(-static_cast<i64>(it->second->bytes.size()));
-  shard.lru.erase(it->second);
-  shard.index.erase(it);
+  std::vector<Dropped> dropped;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(composite);
+    if (it == shard.index.end()) return;
+    u64 old_size = it->second->payload->size();
+    shard.bytes -= old_size;
+    metrics.bytes.Add(-static_cast<i64>(old_size));
+    if (it->second->owner != 0) {
+      dropped.push_back(Dropped{it->second->owner, old_size});
+    }
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  NotifyDropped(dropped);
 }
 
-void BlockCache::EvictLocked(Shard* shard) {
+void BlockCache::EvictLocked(Shard* shard, std::vector<Dropped>* dropped) {
   CacheMetrics& metrics = CacheMetrics::Get();
   while (shard->bytes > shard_capacity_ && !shard->lru.empty()) {
     Entry& victim = shard->lru.back();
-    shard->bytes -= victim.bytes.size();
-    metrics.bytes.Add(-static_cast<i64>(victim.bytes.size()));
-    metrics.bytes_evicted.Add(victim.bytes.size());
+    u64 victim_size = victim.payload->size();
+    shard->bytes -= victim_size;
+    metrics.bytes.Add(-static_cast<i64>(victim_size));
+    metrics.bytes_evicted.Add(victim_size);
+    if (victim.owner != 0) {
+      dropped->push_back(Dropped{victim.owner, victim_size});
+    }
     shard->index.erase(victim.composite_key);
     shard->lru.pop_back();
     metrics.evictions.Add();
+  }
+}
+
+void BlockCache::NotifyDropped(const std::vector<Dropped>& dropped) {
+  if (!eviction_callback_ || dropped.empty()) return;
+  for (const Dropped& d : dropped) {
+    eviction_callback_(d.owner, d.bytes);
   }
 }
 

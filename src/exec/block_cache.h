@@ -10,7 +10,10 @@
 // CRC32C the column header promised (the same checksum the scanner
 // verifies before decoding). A GET that arrived corrupt is therefore
 // *rejected at insert* — the cache can serve stale-but-verified bytes,
-// never corrupt ones. Lookups return a copy; entries are immutable.
+// never corrupt ones. Entries are immutable refcounted payloads:
+// `LookupShared` hands out a `std::shared_ptr<const ByteBuffer>` without
+// copying, and the copying `Lookup` performs its copy *after* releasing
+// the shard mutex, so the lock covers only LRU bookkeeping.
 //
 // Concurrency: the cache is sharded by key hash. Each shard owns a mutex,
 // an LRU list and a byte budget (capacity_bytes / shards), so concurrent
@@ -20,10 +23,18 @@
 //   cache.block.crc_rejects                    corrupt payloads refused
 //   cache.block.bytes                          gauge, bytes currently held
 //   cache.block.bytes_evicted                  payload bytes LRU-evicted
+//
+// Ownership attribution: `Insert` takes an optional 32-bit `owner` tag
+// (0 = unowned). When an owned entry leaves the cache — LRU eviction,
+// replacement, or Erase — the eviction callback fires with the owner and
+// the payload size, outside the shard mutex. btr::service::ScanService
+// uses this to keep per-tenant cached-byte counts honest.
 #ifndef BTR_EXEC_BLOCK_CACHE_H_
 #define BTR_EXEC_BLOCK_CACHE_H_
 
+#include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -41,22 +52,42 @@ struct BlockCacheConfig {
 
 class BlockCache {
  public:
+  using Payload = std::shared_ptr<const ByteBuffer>;
+  // Fired when an owned (owner != 0) entry leaves the cache, with the
+  // owner tag and the payload size. Invoked outside the shard mutex, so
+  // the callback may call back into the cache; it must still be cheap
+  // and thread-safe (concurrent shards fire concurrently).
+  using EvictionCallback = std::function<void(u32 owner, u64 bytes)>;
+
   explicit BlockCache(const BlockCacheConfig& config = BlockCacheConfig());
 
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
 
+  // Installs the owned-entry eviction callback. Not synchronized against
+  // concurrent cache operations: call once, before the cache is shared.
+  void SetEvictionCallback(EvictionCallback callback) {
+    eviction_callback_ = std::move(callback);
+  }
+
   // Copies the cached payload for this exact (key, offset, length) GET
-  // into `out` and returns true; false on miss (out untouched).
+  // into `out` and returns true; false on miss (out untouched). The copy
+  // happens after the shard mutex is released.
   bool Lookup(const std::string& key, u64 offset, u64 length,
               ByteBuffer* out);
+
+  // Zero-copy variant: returns the refcounted immutable payload, or
+  // nullptr on miss. The payload stays valid for as long as the caller
+  // holds the pointer, even across eviction.
+  Payload LookupShared(const std::string& key, u64 offset, u64 length);
 
   // Admits the payload after verifying Crc32c(data, size) == expected_crc.
   // Returns false without caching when the CRC does not match (the bytes
   // are wire-corrupt), when the payload alone exceeds a shard's budget, or
-  // on size 0. An existing entry under the same key is replaced.
+  // on size 0. An existing entry under the same key is replaced. `owner`
+  // tags the entry for eviction accounting (0 = unowned).
   bool Insert(const std::string& key, u64 offset, u64 length, const u8* data,
-              size_t size, u32 expected_crc);
+              size_t size, u32 expected_crc, u32 owner = 0);
 
   // Drops the entry if present (e.g. after an at-rest corruption verdict).
   void Erase(const std::string& key, u64 offset, u64 length);
@@ -78,7 +109,8 @@ class BlockCache {
  private:
   struct Entry {
     std::string composite_key;
-    std::vector<u8> bytes;
+    Payload payload;
+    u32 owner = 0;
   };
   struct Shard {
     mutable std::mutex mutex;
@@ -86,14 +118,23 @@ class BlockCache {
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
     u64 bytes = 0;
   };
+  // An owned entry dropped while the shard mutex was held; the callback
+  // fires after the lock is released.
+  struct Dropped {
+    u32 owner;
+    u64 bytes;
+  };
 
   Shard& ShardFor(const std::string& composite_key);
-  // Evicts LRU entries of `shard` (mutex held) until it fits its budget.
-  void EvictLocked(Shard* shard);
+  // Evicts LRU entries of `shard` (mutex held) until it fits its budget,
+  // recording owned victims into `dropped`.
+  void EvictLocked(Shard* shard, std::vector<Dropped>* dropped);
+  void NotifyDropped(const std::vector<Dropped>& dropped);
 
   const BlockCacheConfig config_;
   u64 shard_capacity_;
   std::vector<Shard> shards_;
+  EvictionCallback eviction_callback_;
 };
 
 }  // namespace btr::exec

@@ -143,29 +143,23 @@ void Prefetcher::Join() {
   threads_.clear();
   // Hedge losers: their GET result is already discarded, but the threads
   // must still be reaped before the Prefetcher (and the store) go away.
-  std::vector<std::thread> stragglers;
-  {
-    std::lock_guard<std::mutex> lock(stragglers_mutex_);
-    stragglers.swap(stragglers_);
-  }
-  for (std::thread& t : stragglers) {
-    if (t.joinable()) t.join();
-  }
+  stragglers_.Reap();
 }
 
-Status Prefetcher::IssueGet(const FetchRequest& request, std::vector<u8>* out,
-                            bool* hedged, bool* hedge_won) {
+Status HedgedGet(s3sim::ObjectStore* store, const std::string& key,
+                 u64 offset, u64 length, HedgeState* hedge,
+                 StragglerSink* stragglers, std::vector<u8>* out, bool* hedged,
+                 bool* hedge_won, const std::function<bool()>& hedge_gate) {
   out->clear();
-  const u64 threshold_ns = hedge_state_.ThresholdNs();
+  const u64 threshold_ns = hedge->ThresholdNs();
   if (threshold_ns == 0) {
     // Hedging not armed (disabled, warming up, or budget spent): plain GET
     // on this thread. Successful latencies still feed the quantile so the
     // threshold can arm.
     Timer timer;
-    Status status =
-        store_->GetChunk(request.key, request.offset, request.length, out);
-    if (options_.hedge.enabled && status.ok()) {
-      hedge_state_.RecordLatency(static_cast<u64>(timer.ElapsedNanos()));
+    Status status = store->GetChunk(key, offset, length, out);
+    if (hedge->policy().enabled && status.ok()) {
+      hedge->RecordLatency(static_cast<u64>(timer.ElapsedNanos()));
     }
     return status;
   }
@@ -183,12 +177,13 @@ Status Prefetcher::IssueGet(const FetchRequest& request, std::vector<u8>* out,
     u64 latency_ns = 0;
   };
   auto call = std::make_shared<HedgedCall>();
-  s3sim::ObjectStore* store = store_;
-  const FetchRequest req = request;  // owned copy: thread may outlive *this scope
-  std::thread primary([store, req, call] {
+  // Owned copies: the primary thread may outlive this call's scope when
+  // it loses the race and gets parked as a straggler.
+  const std::string owned_key = key;
+  std::thread primary([store, owned_key, offset, length, call] {
     std::vector<u8> data;
     Timer timer;
-    Status status = store->GetChunk(req.key, req.offset, req.length, &data);
+    Status status = store->GetChunk(owned_key, offset, length, &data);
     u64 latency_ns = static_cast<u64>(timer.ElapsedNanos());
     {
       std::lock_guard<std::mutex> lock(call->mutex);
@@ -207,13 +202,13 @@ Status Prefetcher::IssueGet(const FetchRequest& request, std::vector<u8>* out,
         lock, std::chrono::nanoseconds(threshold_ns),
         [&] { return call->done; });
   }
-  if (!primary_done && hedge_state_.TryAcquireHedge()) {
+  if (!primary_done && (hedge_gate == nullptr || hedge_gate()) &&
+      hedge->TryAcquireHedge()) {
     HedgeMetrics::Get().hedges.Add();
     *hedged = true;
     std::vector<u8> hedge_data;
     Timer hedge_timer;
-    Status hedge_status = store_->GetChunk(request.key, request.offset,
-                                           request.length, &hedge_data);
+    Status hedge_status = store->GetChunk(key, offset, length, &hedge_data);
     u64 hedge_latency_ns = static_cast<u64>(hedge_timer.ElapsedNanos());
     bool primary_finished;
     {
@@ -222,13 +217,10 @@ Status Prefetcher::IssueGet(const FetchRequest& request, std::vector<u8>* out,
     }
     if (hedge_status.ok() && !primary_finished) {
       // The duplicate beat the straggling primary: park the primary's
-      // thread for Join() and return the hedge's bytes.
-      {
-        std::lock_guard<std::mutex> lock(stragglers_mutex_);
-        stragglers_.push_back(std::move(primary));
-      }
-      hedge_state_.RecordHedgeOutcome(true);
-      hedge_state_.RecordLatency(hedge_latency_ns);
+      // thread for the caller to reap and return the hedge's bytes.
+      stragglers->Park(std::move(primary));
+      hedge->RecordHedgeOutcome(true);
+      hedge->RecordLatency(hedge_latency_ns);
       HedgeMetrics::Get().hedge_wins.Add();
       *hedge_won = true;
       *out = std::move(hedge_data);
@@ -237,22 +229,22 @@ Status Prefetcher::IssueGet(const FetchRequest& request, std::vector<u8>* out,
     primary.join();
     if (!call->status.ok() && hedge_status.ok()) {
       // Primary finished first but failed; the duplicate rescued it.
-      hedge_state_.RecordHedgeOutcome(true);
-      hedge_state_.RecordLatency(hedge_latency_ns);
+      hedge->RecordHedgeOutcome(true);
+      hedge->RecordLatency(hedge_latency_ns);
       HedgeMetrics::Get().hedge_wins.Add();
       *hedge_won = true;
       *out = std::move(hedge_data);
       return hedge_status;
     }
-    hedge_state_.RecordHedgeOutcome(false);
-    if (call->status.ok()) hedge_state_.RecordLatency(call->latency_ns);
+    hedge->RecordHedgeOutcome(false);
+    if (call->status.ok()) hedge->RecordLatency(call->latency_ns);
     *out = std::move(call->data);
     return call->status;
   }
 
   // Primary answered in time, or the hedge budget is spent: wait it out.
   primary.join();
-  if (call->status.ok()) hedge_state_.RecordLatency(call->latency_ns);
+  if (call->status.ok()) hedge->RecordLatency(call->latency_ns);
   *out = std::move(call->data);
   return call->status;
 }
@@ -301,7 +293,11 @@ void Prefetcher::FetchLoop() {
       // The breaker, when installed, can fail the request fast instead.
       status = RunWithRetries(
           &retry_state_,
-          [&] { return IssueGet(request, &chunk, &hedged, &hedge_won); },
+          [&] {
+            return HedgedGet(store_, request.key, request.offset,
+                             request.length, &hedge_state_, &stragglers_,
+                             &chunk, &hedged, &hedge_won);
+          },
           [this](u64 backoff_ns) { return BackoffSleep(backoff_ns); },
           options_.breaker, profile != nullptr ? &outcome : nullptr);
     }

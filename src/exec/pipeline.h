@@ -177,6 +177,57 @@ struct FetchedBlock {
   ByteBuffer data;
 };
 
+// Holds hedge-loser threads whose GET result was discarded until someone
+// reaps them. A hedged GET that wins the race abandons the straggling
+// primary's thread; it must still be joined before the object store goes
+// away. Thread-safe; the destructor reaps anything left.
+class StragglerSink {
+ public:
+  StragglerSink() = default;
+  ~StragglerSink() { Reap(); }
+
+  StragglerSink(const StragglerSink&) = delete;
+  StragglerSink& operator=(const StragglerSink&) = delete;
+
+  void Park(std::thread t) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads_.push_back(std::move(t));
+  }
+
+  // Joins every parked thread. Safe to call repeatedly and concurrently
+  // with Park (threads parked during a Reap are caught by the next one).
+  void Reap() {
+    std::vector<std::thread> taken;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      taken.swap(threads_);
+    }
+    for (std::thread& t : taken) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::thread> threads_;
+};
+
+// One GET, hedged when `hedge`'s latency tracker says the primary is
+// overdue: the primary runs on its own thread, and if it outlives the
+// quantile threshold one duplicate is issued on the calling thread; the
+// first response wins. A losing primary's thread is parked in
+// `stragglers` (the caller reaps it after the scan quiesces). `hedged` /
+// `hedge_won` are OR-accumulated so retry wrappers can reuse the flags
+// across attempts. `hedge_gate`, when set, is consulted before the
+// duplicate is issued (after the overdue check, before the hedge budget
+// is consumed) — ScanService uses it for per-tenant hedge quotas; a
+// denial silently degrades to waiting out the primary.
+Status HedgedGet(s3sim::ObjectStore* store, const std::string& key,
+                 u64 offset, u64 length, HedgeState* hedge,
+                 StragglerSink* stragglers, std::vector<u8>* out, bool* hedged,
+                 bool* hedge_won,
+                 const std::function<bool()>& hedge_gate = nullptr);
+
 // Resilience attachments for a Prefetcher; everything optional and
 // caller-owned (must outlive the Prefetcher).
 struct FetchOptions {
@@ -230,12 +281,6 @@ class Prefetcher {
 
  private:
   void FetchLoop();
-  // One GET attempt, hedged when the latency tracker says the primary is
-  // overdue. The winning response lands in *out; a losing duplicate is
-  // discarded and its thread reaped in Join(). `hedged`/`hedge_won` are
-  // OR-accumulated for the profiler (never reset across retry attempts).
-  Status IssueGet(const FetchRequest& request, std::vector<u8>* out,
-                  bool* hedged, bool* hedge_won);
   // Interruptible backoff: returns false when RequestStop arrived.
   bool BackoffSleep(u64 backoff_ns);
 
@@ -255,8 +300,7 @@ class Prefetcher {
   std::vector<std::thread> threads_;
   std::atomic<u64> cache_hits_{0};
   std::atomic<u64> cache_misses_{0};
-  std::mutex stragglers_mutex_;
-  std::vector<std::thread> stragglers_;  // hedge losers, reaped in Join()
+  StragglerSink stragglers_;  // hedge losers, reaped in Join()
 };
 
 }  // namespace btr::exec
