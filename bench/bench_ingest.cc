@@ -1,0 +1,110 @@
+// Streaming ingest benchmark: chunked appends through write::StreamingWriter
+// into the simulated object store — the crash-safe write path of
+// docs/WRITE_PATH.md, measured end to end (compress, stage multipart
+// parts, verify, manifest swap).
+//
+// Headline metrics (BENCH_ingest.json, gated against bench/baselines/):
+//   ingest.rows_per_second   append+commit throughput, rows/s
+//   ingest.put_requests      PUT-class requests per commit (deterministic)
+//   ingest.compressed_bytes  bytes staged per commit (deterministic)
+//   ingest.commit_seconds    Commit() alone: trailing flush -> manifest swap
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "datagen/public_bi.h"
+#include "s3sim/object_store.h"
+#include "util/timer.h"
+#include "write/streaming_writer.h"
+
+namespace btr::bench {
+namespace {
+
+Relation SliceRows(const Relation& table, u32 begin, u32 count) {
+  Relation chunk(table.name());
+  for (const Column& src : table.columns()) {
+    Column& dst = chunk.AddColumn(src.name(), src.type());
+    for (u32 r = begin; r < begin + count; r++) {
+      if (src.IsNull(r)) {
+        dst.AppendNull();
+        continue;
+      }
+      switch (src.type()) {
+        case ColumnType::kInteger: dst.AppendInt(src.ints()[r]); break;
+        case ColumnType::kDouble: dst.AppendDouble(src.doubles()[r]); break;
+        case ColumnType::kString: dst.AppendString(src.GetString(r)); break;
+      }
+    }
+  }
+  return chunk;
+}
+
+void Run() {
+  const u32 rows = 8 * kBlockCapacity * BenchScale();
+  const u32 chunk_rows = 10000;
+  Relation table = datagen::MakePublicBiTable("ingest_bench", rows, 17);
+
+  // Pre-slice outside the timed region: the benchmark measures the write
+  // path (compression, staging, verification, commit), not row copying.
+  std::vector<Relation> chunks;
+  for (u32 begin = 0; begin < rows; begin += chunk_rows) {
+    chunks.push_back(SliceRows(table, begin, std::min(chunk_rows, rows - begin)));
+  }
+
+  PrintHeader("Streaming ingest (write::StreamingWriter -> s3sim)");
+
+  const int kRepeats = 3;
+  double best_total = 1e30, best_commit = 1e30;
+  u64 put_requests = 0, bytes_put = 0;
+  for (int repeat = 0; repeat < kRepeats; repeat++) {
+    s3sim::ObjectStore store;
+    write::StreamingWriter writer(&store, "ingest_bench", "bench/");
+    Timer total;
+    Status status = writer.Begin(
+        [&] {
+          std::vector<write::StreamingWriter::ColumnSpec> schema;
+          for (const Column& c : table.columns())
+            schema.push_back({c.name(), c.type()});
+          return schema;
+        }());
+    for (const Relation& chunk : chunks) {
+      if (!status.ok()) break;
+      status = writer.Append(chunk);
+    }
+    BTR_CHECK_MSG(status.ok(), "ingest append failed");
+    Timer commit;
+    status = writer.Commit();
+    BTR_CHECK_MSG(status.ok(), "ingest commit failed");
+    best_commit = std::min(best_commit, commit.ElapsedSeconds());
+    best_total = std::min(best_total, total.ElapsedSeconds());
+    put_requests = store.total_put_requests();
+    bytes_put = store.total_bytes_put();
+  }
+
+  double rows_per_second = rows / best_total;
+  std::printf("%u rows in %.3f s  (%.2f Mrows/s), commit %.3f s\n", rows,
+              best_total, rows_per_second / 1e6, best_commit);
+  std::printf("%llu PUT requests, %.2f MiB staged\n",
+              static_cast<unsigned long long>(put_requests),
+              bytes_put / 1048576.0);
+
+  Reporter::Get().Report("ingest.rows_per_second", rows_per_second, "rows/s",
+                         MetricKind::kThroughput, kRepeats);
+  Reporter::Get().Report("ingest.put_requests",
+                         static_cast<double>(put_requests), "requests",
+                         MetricKind::kCount, kRepeats);
+  Reporter::Get().Report("ingest.compressed_bytes",
+                         static_cast<double>(bytes_put), "bytes",
+                         MetricKind::kBytes, kRepeats);
+  Reporter::Get().Report("ingest.commit_seconds", best_commit, "s",
+                         MetricKind::kTime, kRepeats);
+}
+
+}  // namespace
+}  // namespace btr::bench
+
+int main() {
+  btr::bench::InitBench("ingest");
+  btr::bench::Run();
+  return 0;
+}

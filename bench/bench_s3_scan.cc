@@ -14,6 +14,7 @@
 #include "s3sim/object_store.h"
 #include "service/scan_service.h"
 #include "util/random.h"
+#include "write/manifest.h"
 
 namespace btr::bench {
 namespace {
@@ -55,7 +56,10 @@ void Run() {
         for (const ByteBuffer& block : column.blocks) {
           file.Append(block.data(), block.size());
         }
-        store.Put(table.name() + "/" + column.name, file.data(), file.size());
+        Status put_status =
+            store.Put(table.name() + "/" + column.name, file.data(),
+                      file.size());
+        BTR_CHECK_MSG(put_status.ok(), "object store exercise PUT failed");
         object_count++;
       }
     }
@@ -105,7 +109,13 @@ void Run() {
     u64 sequential_rows = 0;
     for (size_t c = 0; c < compressed.columns.size(); c++) {
       const CompressedColumn& column = compressed.columns[c];
-      std::string key = ColumnFileKey("bench/", "pipeline_bench", c);
+      // The upload committed through the versioned write path; resolve the
+      // physical ".v<N>" name the way Scanner::Open does.
+      std::string resolved;
+      status = write::ResolveCommittedName(&store, "bench/", "pipeline_bench",
+                                           &resolved);
+      BTR_CHECK_MSG(status.ok(), "pipeline bench manifest resolve failed");
+      std::string key = ColumnFileKey("bench/", resolved, c);
       u64 offset = ColumnFileHeaderBytes(column.blocks.size());
       for (const ByteBuffer& b : column.blocks) {
         status = store.GetChunk(key, offset, b.size(), &chunk);

@@ -5,6 +5,8 @@
 //   btrtool stats     <dir> <table-name>                   per-column report
 //   btrtool inspect   <table.csv>                          cascade decision report
 //   btrtool scan      <table.csv> [col=value ...]          pipelined scan demo
+//   btrtool ingest    <table.csv> [table-name]             crash-safe streaming
+//                                                          write demo (below)
 //   btrtool demo                                           self-contained demo
 //
 // Global flags (any command):
@@ -40,6 +42,17 @@
 //                           control; docs/SCAN_SERVICE.md)
 //   --concurrent=<n>        `scan`: with --tenant, run n concurrent scans
 //                           (default: one per tenant)
+//   --chunk-rows=<n>        `ingest`: rows per Append() chunk (default 10000)
+//   --crash-at=<k>          `ingest`: kill the writer at its k-th crash
+//                           point, then run fsck (read-only, then --repair)
+//                           and verify the table reads back as either the
+//                           old or the new version (docs/WRITE_PATH.md)
+//   --crash-matrix          `ingest`: enumerate every crash point, killing
+//                           the writer at each one in turn and proving
+//                           fsck --repair converges to either-old-or-new
+//                           every time. --fault-seed adds a PUT-side chaos
+//                           schedule on top (writes retry transients).
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +75,9 @@
 #include "s3sim/object_store.h"
 #include "service/scan_service.h"
 #include "util/timer.h"
+#include "write/manifest.h"
+#include "write/recovery.h"
+#include "write/streaming_writer.h"
 
 namespace {
 
@@ -477,6 +493,208 @@ int CmdScan(const std::string& csv_path,
   return 0;
 }
 
+// --- ingest: the crash-safe streaming write path ---------------------------
+
+Relation SliceRows(const Relation& table, u32 begin, u32 count) {
+  Relation chunk(table.name());
+  for (const Column& src : table.columns()) {
+    Column& dst = chunk.AddColumn(src.name(), src.type());
+    for (u32 r = begin; r < begin + count; r++) {
+      if (src.IsNull(r)) {
+        dst.AppendNull();
+        continue;
+      }
+      switch (src.type()) {
+        case ColumnType::kInteger: dst.AppendInt(src.ints()[r]); break;
+        case ColumnType::kDouble: dst.AppendDouble(src.doubles()[r]); break;
+        case ColumnType::kString: dst.AppendString(src.GetString(r)); break;
+      }
+    }
+  }
+  return chunk;
+}
+
+struct IngestOutcome {
+  Status status;
+  btr::u32 points = 0;  // crash points the writer passed through
+  btr::u64 version = 0;
+};
+
+// One streaming ingest of `table`. crash_at > 0 kills the writer at that
+// crash point (simulated process death: no cleanup happens).
+IngestOutcome RunIngest(s3sim::ObjectStore* store, const Relation& table,
+                        u32 chunk_rows, int crash_at) {
+  IngestOutcome outcome;
+  write::WriterConfig config;
+  config.failpoint = [&](const char*) {
+    outcome.points++;
+    return crash_at > 0 && outcome.points == static_cast<u32>(crash_at);
+  };
+  write::StreamingWriter writer(store, table.name(), "lake/",
+                                std::move(config));
+  std::vector<write::StreamingWriter::ColumnSpec> schema;
+  for (const Column& column : table.columns()) {
+    schema.push_back({column.name(), column.type()});
+  }
+  Status status = writer.Begin(schema);
+  for (u32 begin = 0; status.ok() && begin < table.row_count();
+       begin += chunk_rows) {
+    u32 n = std::min(chunk_rows, table.row_count() - begin);
+    status = writer.Append(SliceRows(table, begin, n));
+  }
+  if (status.ok()) status = writer.Commit();
+  outcome.status = status;
+  outcome.version = writer.version();
+  return outcome;
+}
+
+void PrintFsckReport(const write::FsckReport& report, bool repaired) {
+  std::printf("fsck%s: committed v%llu -> v%llu, %u intent%s; "
+              "%u rolled forward, %u rolled back, %u uploads completed, "
+              "%u aborted, %u objects deleted, %u orphans GC'd, "
+              "%u verify failure%s%s\n",
+              repaired ? " --repair" : "",
+              static_cast<unsigned long long>(report.committed_version_before),
+              static_cast<unsigned long long>(report.committed_version_after),
+              report.intents_seen, report.intents_seen == 1 ? "" : "s",
+              report.rolled_forward, report.rolled_back,
+              report.uploads_completed, report.uploads_aborted,
+              report.objects_deleted, report.orphans_deleted,
+              report.verify_failures, report.verify_failures == 1 ? "" : "s",
+              report.clean ? " (store clean)" : "");
+  for (const std::string& note : report.notes) {
+    std::printf("  %s\n", note.c_str());
+  }
+}
+
+// Opens + fully scans the table; returns the row count it reads back.
+Status VerifyReadable(s3sim::ObjectStore* store, const std::string& name,
+                      u64* rows_out) {
+  Scanner scanner(store, name, "lake/");
+  Status status = scanner.Open();
+  if (!status.ok()) return status;
+  u64 rows = 0;
+  ScanSpec spec;
+  status = scanner.Scan(spec, [&](ColumnChunk&& chunk) {
+    if (chunk.column == 0) rows += chunk.row_count;
+  });
+  if (status.ok()) *rows_out = rows;
+  return status;
+}
+
+int CmdIngest(const std::string& csv_path, std::string name, u32 chunk_rows,
+              int crash_at, bool crash_matrix, u64 fault_seed,
+              double fault_rate) {
+  if (name.empty()) {
+    name = csv_path;
+    size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos) name = name.substr(0, dot);
+  }
+  Relation relation(name);
+  Status status = datagen::ReadCsvFile(csv_path, name, &relation);
+  if (!status.ok()) return Fail(status);
+  if (chunk_rows == 0) chunk_rows = 10000;
+
+  if (crash_matrix) {
+    // Commit a first version of the front half, then re-ingest the whole
+    // table killing the writer at every crash point in turn: after
+    // `fsck --repair` the table must read back as exactly the old half or
+    // the new whole — never a mix, never unreadable.
+    const u32 half = relation.row_count() / 2;
+    s3sim::ObjectStore counting_store;
+    IngestOutcome probe = RunIngest(&counting_store, relation, chunk_rows, 0);
+    if (!probe.status.ok()) return Fail(probe.status);
+    std::printf("crash matrix: %u crash points, old version %u rows, "
+                "new version %u rows\n",
+                probe.points, half, relation.row_count());
+    u32 failures = 0;
+    for (u32 k = 1; k <= probe.points; k++) {
+      s3sim::ObjectStore store;
+      Relation old_half = SliceRows(relation, 0, half);
+      IngestOutcome first = RunIngest(&store, old_half, chunk_rows, 0);
+      if (!first.status.ok()) return Fail(first.status);
+      if (fault_seed != 0) {
+        store.InstallFaultPlan(s3sim::MakePutChaosPlan(fault_seed + k,
+                                                       fault_rate));
+      }
+      IngestOutcome crashed = RunIngest(&store, relation, chunk_rows,
+                                        static_cast<int>(k));
+      store.ClearFaultPlan();
+      write::FsckOptions repair;
+      repair.repair = true;
+      write::FsckReport report;
+      status = write::Fsck(&store, "lake/", name, repair, &report);
+      if (!status.ok()) return Fail(status);
+      // fsck must be idempotent: an immediate re-run finds a clean store.
+      write::FsckReport again;
+      status = write::Fsck(&store, "lake/", name, repair, &again);
+      if (!status.ok()) return Fail(status);
+      u64 rows = 0;
+      Status read = VerifyReadable(&store, name, &rows);
+      bool ok = read.ok() && again.clean &&
+                (rows == half || rows == relation.row_count());
+      if (!ok) failures++;
+      std::printf("  crash point %3u: writer %s, fsck %s v%llu, "
+                  "read back %llu rows -> %s\n",
+                  k, crashed.status.ok() ? "survived" : "killed",
+                  report.rolled_forward != 0 ? "rolled forward"
+                                             : "kept committed",
+                  static_cast<unsigned long long>(
+                      report.committed_version_after),
+                  static_cast<unsigned long long>(rows),
+                  ok ? "OK" : read.ToString().c_str());
+    }
+    std::printf("crash matrix: %u/%u points converged\n",
+                probe.points - failures, probe.points);
+    return failures == 0 ? 0 : 1;
+  }
+
+  s3sim::ObjectStore store;
+  if (fault_seed != 0) {
+    store.InstallFaultPlan(s3sim::MakePutChaosPlan(fault_seed, fault_rate));
+    std::printf("PUT fault injection: seed %llu, rate %.3f (throttles, "
+                "unavailabilities, latency spikes, partial parts)\n",
+                static_cast<unsigned long long>(fault_seed), fault_rate);
+  }
+  Timer wall;
+  IngestOutcome outcome = RunIngest(&store, relation, chunk_rows, crash_at);
+  double seconds = wall.ElapsedSeconds();
+  store.ClearFaultPlan();
+  if (outcome.status.ok()) {
+    std::printf("committed v%llu: %u rows in %u-row chunks, %.3f s, "
+                "%llu PUT requests, %llu bytes staged\n",
+                static_cast<unsigned long long>(outcome.version),
+                relation.row_count(), chunk_rows, seconds,
+                static_cast<unsigned long long>(store.total_put_requests()),
+                static_cast<unsigned long long>(store.total_bytes_put()));
+  } else {
+    std::printf("writer died: %s\n", outcome.status.ToString().c_str());
+    write::FsckOptions analyze;
+    write::FsckReport report;
+    status = write::Fsck(&store, "lake/", name, analyze, &report);
+    if (!status.ok()) return Fail(status);
+    PrintFsckReport(report, false);
+    write::FsckOptions repair;
+    repair.repair = true;
+    status = write::Fsck(&store, "lake/", name, repair, &report);
+    if (!status.ok()) return Fail(status);
+    PrintFsckReport(report, true);
+  }
+  u64 rows = 0;
+  status = VerifyReadable(&store, name, &rows);
+  if (status.IsNotFound()) {
+    std::printf("table not committed (rolled back); store holds no version "
+                "— either-old-or-new holds\n");
+    return 0;
+  }
+  if (!status.ok()) return Fail(status);
+  std::printf("verification scan: %llu rows read back\n",
+              static_cast<unsigned long long>(rows));
+  return rows == relation.row_count() || !outcome.status.ok() ? 0 : 1;
+}
+
 int CmdDemo() {
   std::printf("generating a Public-BI-like demo table...\n");
   Relation table = datagen::MakePublicBiTable("demo", 64000, 1);
@@ -505,6 +723,9 @@ int main(int argc, char** argv) {
   double fault_rate = 0.05;
   std::vector<std::string> tenants;
   btr::u32 concurrent = 0;
+  btr::u32 chunk_rows = 10000;
+  int crash_at = 0;
+  bool crash_matrix = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; i++) {
     std::string arg = argv[i];
@@ -558,6 +779,13 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--concurrent=", 0) == 0) {
       int n = std::atoi(arg.c_str() + std::strlen("--concurrent="));
       concurrent = n < 0 ? 0 : static_cast<btr::u32>(n);
+    } else if (arg.rfind("--chunk-rows=", 0) == 0) {
+      int n = std::atoi(arg.c_str() + std::strlen("--chunk-rows="));
+      chunk_rows = n < 1 ? 1 : static_cast<btr::u32>(n);
+    } else if (arg.rfind("--crash-at=", 0) == 0) {
+      crash_at = std::atoi(arg.c_str() + std::strlen("--crash-at="));
+    } else if (arg == "--crash-matrix") {
+      crash_matrix = true;
     } else if (arg == "--profile") {
       scan_config.collect_profile = true;
     } else if (arg.rfind("--profile=", 0) == 0) {
@@ -610,6 +838,11 @@ int main(int argc, char** argv) {
                           fault_seed, fault_rate,
                           profile_json_path, tenants, concurrent));
   }
+  if (command == "ingest" && (args.size() == 2 || args.size() == 3)) {
+    return finish(CmdIngest(args[1], args.size() == 3 ? args[2] : "",
+                            chunk_rows, crash_at, crash_matrix, fault_seed,
+                            fault_rate));
+  }
   if (command == "demo") {
     return finish(CmdDemo());
   }
@@ -620,6 +853,7 @@ int main(int argc, char** argv) {
                "  btrtool stats      <dir> <table-name>\n"
                "  btrtool inspect    <table.csv>\n"
                "  btrtool scan       <table.csv> [col=value ...]\n"
+               "  btrtool ingest     <table.csv> [table-name]\n"
                "  btrtool demo\n"
                "flags: --metrics-json=<path>  --trace-json=<path>\n"
                "       --scan-threads=<n>  --prefetch-depth=<n>  (scan)\n"
@@ -632,6 +866,10 @@ int main(int argc, char** argv) {
                "          stage breakdown, GET latency histogram, slow ops)\n"
                "       --tenant=<id[,id...]>  --concurrent=<n>  (scan: run\n"
                "          through a shared ScanService, one scan per job\n"
-               "          round-robined over the tenants; docs/SCAN_SERVICE.md)\n");
+               "          round-robined over the tenants; docs/SCAN_SERVICE.md)\n"
+               "       --chunk-rows=<n>  --crash-at=<k>  --crash-matrix\n"
+               "          (ingest: crash-safe streaming write demo — kill the\n"
+               "          writer, fsck --repair, verify either-old-or-new;\n"
+               "          docs/WRITE_PATH.md)\n");
   return 2;
 }

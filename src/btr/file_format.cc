@@ -143,17 +143,27 @@ Status ParseTableMeta(const u8* data, size_t size, TableMeta* out) {
   return Status::Ok();
 }
 
-void SerializeColumnFile(const CompressedColumn& column, ByteBuffer* out) {
+void SerializeColumnFileHeader(const std::vector<u32>& block_sizes,
+                               const std::vector<u32>& block_crcs,
+                               ByteBuffer* out) {
   size_t start = out->size();
   out->Append(kColumnMagic, 4);
-  out->AppendValue<u32>(static_cast<u32>(column.blocks.size()));
-  for (const ByteBuffer& block : column.blocks) {
-    out->AppendValue<u32>(static_cast<u32>(block.size()));
-  }
-  for (const ByteBuffer& block : column.blocks) {
-    out->AppendValue<u32>(Crc32c(block.data(), block.size()));
-  }
+  out->AppendValue<u32>(static_cast<u32>(block_sizes.size()));
+  out->Append(block_sizes.data(), block_sizes.size() * sizeof(u32));
+  out->Append(block_crcs.data(), block_crcs.size() * sizeof(u32));
   out->AppendValue<u32>(Crc32c(out->data() + start, out->size() - start));
+}
+
+void SerializeColumnFile(const CompressedColumn& column, ByteBuffer* out) {
+  std::vector<u32> sizes;
+  std::vector<u32> crcs;
+  sizes.reserve(column.blocks.size());
+  crcs.reserve(column.blocks.size());
+  for (const ByteBuffer& block : column.blocks) {
+    sizes.push_back(static_cast<u32>(block.size()));
+    crcs.push_back(Crc32c(block.data(), block.size()));
+  }
+  SerializeColumnFileHeader(sizes, crcs, out);
   for (const ByteBuffer& block : column.blocks) {
     out->Append(block.data(), block.size());
   }

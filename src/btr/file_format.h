@@ -25,6 +25,7 @@
 #define BTR_BTR_FILE_FORMAT_H_
 
 #include <string>
+#include <vector>
 
 #include "btr/relation.h"
 #include "util/status.h"
@@ -69,6 +70,14 @@ void SerializeTableMeta(const CompressedRelation& relation, ByteBuffer* out);
 Status ParseTableMeta(const u8* data, size_t size, TableMeta* out);
 
 void SerializeColumnFile(const CompressedColumn& column, ByteBuffer* out);
+// Just the "BTRC" header for the given per-block payload sizes and CRCs —
+// what a *streaming* writer emits once all blocks are known, while the
+// payloads themselves already live in the object store as multipart parts
+// (src/write/streaming_writer.h). SerializeColumnFile == this header +
+// concatenated payloads, byte for byte.
+void SerializeColumnFileHeader(const std::vector<u32>& block_sizes,
+                               const std::vector<u32>& block_crcs,
+                               ByteBuffer* out);
 // Parses a column file's "BTRC" header prefix — per-block byte sizes and
 // payload CRC32Cs — and verifies the header's own CRC. `size` is the
 // bytes available; the header prefix suffices. `block_crcs` may be null

@@ -20,6 +20,8 @@
 #include "service/scan_service.h"
 #include "util/crc32c.h"
 #include "util/timer.h"
+#include "write/manifest.h"
+#include "write/streaming_writer.h"
 
 namespace btr {
 
@@ -95,25 +97,12 @@ Status UploadCompressedRelation(const CompressedRelation& relation,
                                 const TableZoneMap* zones,
                                 const std::string& prefix,
                                 s3sim::ObjectStore* store) {
-  if (store == nullptr) return Status::InvalidArgument("null object store");
-  ByteBuffer buffer;
-  SerializeTableMeta(relation, &buffer);
-  store->Put(TableMetaKey(prefix, relation.name), buffer.data(), buffer.size());
-  for (size_t c = 0; c < relation.columns.size(); c++) {
-    buffer.Clear();
-    SerializeColumnFile(relation.columns[c], &buffer);
-    store->Put(ColumnFileKey(prefix, relation.name, c), buffer.data(),
-               buffer.size());
-  }
-  if (zones != nullptr) {
-    if (zones->columns.size() != relation.columns.size()) {
-      return Status::InvalidArgument("zone map does not match relation");
-    }
-    buffer.Clear();
-    SerializeTableZoneMap(*zones, &buffer);
-    store->Put(ZoneMapKey(prefix, relation.name), buffer.data(), buffer.size());
-  }
-  return Status::Ok();
+  // Thin wrapper over the crash-safe commit protocol: the objects stage
+  // under the next version's keys and one manifest Put publishes them.
+  // (The old implementation Put the metadata object *first* — a reader
+  // racing the upload could open a table whose column objects did not
+  // exist yet. The versioned commit makes that window impossible.)
+  return write::CommitCompressedRelation(relation, zones, prefix, store);
 }
 
 Scanner::Scanner(s3sim::ObjectStore* store, std::string table_name,
@@ -157,7 +146,28 @@ Status Scanner::Open(const ScanConfig& config) {
         &retry, [&] { return store_->GetChunk(key, 0, length, out); });
   };
 
-  const std::string meta_key = TableMetaKey(prefix_, table_name_);
+  // Resolve which physical table version to read. A table written through
+  // the crash-safe write path has a versioned manifest; its committed
+  // version pins every key this Open (and later Scans) will touch, so a
+  // writer committing concurrently flips future Opens to the new version
+  // while this scanner keeps reading the old one — either-old-or-new,
+  // never a mix. Tables uploaded before the manifest existed fall back to
+  // the bare table name.
+  if (store_->Contains(write::ManifestKey(prefix_, table_name_))) {
+    write::Manifest manifest;
+    BTR_RETURN_IF_ERROR(exec::RunWithRetries(&retry, [&] {
+      return write::ReadManifest(store_, prefix_, table_name_, &manifest);
+    }));
+    if (manifest.committed_version == 0) {
+      return Status::NotFound("table has a manifest but no committed version: " +
+                              table_name_);
+    }
+    resolved_name_ = write::VersionedName(table_name_, manifest.committed_version);
+  } else {
+    resolved_name_ = table_name_;
+  }
+
+  const std::string meta_key = TableMetaKey(prefix_, resolved_name_);
   if (!store_->Contains(meta_key)) {
     return Status::NotFound("table metadata object missing: " + meta_key);
   }
@@ -167,7 +177,7 @@ Status Scanner::Open(const ScanConfig& config) {
   BTR_RETURN_IF_ERROR(fetch(meta_key, object_size, &blob));
   BTR_RETURN_IF_ERROR(ParseTableMeta(blob.data(), blob.size(), &meta_));
 
-  const std::string zone_key = ZoneMapKey(prefix_, table_name_);
+  const std::string zone_key = ZoneMapKey(prefix_, resolved_name_);
   has_zones_ = store_->Contains(zone_key);
   if (has_zones_) {
     BTR_RETURN_IF_ERROR(store_->ObjectSize(zone_key, &object_size));
@@ -185,7 +195,7 @@ Status Scanner::Open(const ScanConfig& config) {
   block_offsets_.assign(meta_.columns.size(), {});
   block_crcs_.assign(meta_.columns.size(), {});
   for (size_t c = 0; c < meta_.columns.size(); c++) {
-    const std::string key = ColumnFileKey(prefix_, table_name_, c);
+    const std::string key = ColumnFileKey(prefix_, resolved_name_, c);
     if (!store_->Contains(key)) {
       return Status::NotFound("column object missing: " + key);
     }
@@ -464,7 +474,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
     for (u32 pos = 0; pos < needed_count; pos++) {
       u32 column = resolved.needed[pos];
       exec::FetchRequest request;
-      request.key = ColumnFileKey(prefix_, table_name_, column);
+      request.key = ColumnFileKey(prefix_, resolved_name_, column);
       request.offset = block_offsets_[column][b];
       request.length = block_offsets_[column][b + 1] - block_offsets_[column][b];
       request.tag = static_cast<u64>(b) * needed_count + pos;
@@ -599,7 +609,7 @@ Status Scanner::Scan(const ScanSpec& spec, const ChunkCallback& emit,
         if (spec.config.refetch_on_crc_failure) {
           metrics.crc_refetches.Add();
           crc_refetch_count.fetch_add(1, std::memory_order_relaxed);
-          const std::string key = ColumnFileKey(prefix_, table_name_, column);
+          const std::string key = ColumnFileKey(prefix_, resolved_name_, column);
           std::vector<u8> fresh;
           Status refetch = store_->GetChunk(key, block_offsets_[column][b],
                                             expected_size, &fresh);

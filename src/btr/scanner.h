@@ -170,8 +170,14 @@ struct ScanOutput {
 
 // Uploads a compressed relation into the object store using the
 // file_format framing, one object per column plus metadata and the
-// optional zone-map sidecar:
-//   <prefix><table>.btrmeta   <prefix><table>.<idx>.btr   <prefix><table>.zones
+// optional zone-map sidecar. Since the crash-safe write path landed this
+// is a thin wrapper over write::CommitCompressedRelation: the objects
+// stage under the next version's keys
+//   <prefix><table>.v<N>.btrmeta  <prefix><table>.v<N>.<idx>.btr
+//   <prefix><table>.v<N>.zones
+// and become visible atomically when <prefix><table>.manifest swaps —
+// readers see the previous version or the new one, never a mix
+// (docs/WRITE_PATH.md).
 Status UploadCompressedRelation(const CompressedRelation& relation,
                                 const TableZoneMap* zones,
                                 const std::string& prefix,
@@ -206,6 +212,12 @@ class Scanner {
 
   const TableMeta& meta() const { return meta_; }
   bool has_zone_map() const { return has_zones_; }
+  // Physical table name this scanner resolved at Open: "<table>.v<N>" when
+  // the table has a versioned manifest (crash-safe write path), the bare
+  // table name for legacy uploads. Pinned for the scanner's lifetime — a
+  // concurrently committing writer never changes what an open scanner
+  // reads.
+  const std::string& resolved_name() const { return resolved_name_; }
 
   // Streams chunks to `emit` on the calling thread, in ascending
   // (block, column) order. On error, emission stops early and the first
@@ -229,6 +241,8 @@ class Scanner {
   std::string table_name_;
   std::string prefix_;
   CompressionConfig config_;
+  // Version-resolved physical name (see resolved_name()); set by Open.
+  std::string resolved_name_;
 
   bool opened_ = false;
   TableMeta meta_;

@@ -179,6 +179,32 @@ std::string ZonePath(const std::string& dir, const std::string& table) {
 }
 }  // namespace
 
+namespace {
+// BlockZone is serialized as its in-memory image, but the struct has
+// padding bytes that carry whatever the stack held when the zone was
+// built. Staging through a memset copy (then member-wise assignment,
+// which never touches padding) makes the sidecar a pure function of the
+// zone *values* — required for the write path's bit-identity guarantee
+// (equal data must produce equal objects regardless of how it was
+// streamed; see tests/writer_test.cc).
+void AppendZone(const BlockZone& zone, ByteBuffer* out) {
+  BlockZone copy;
+  std::memset(&copy, 0, sizeof(copy));
+  copy.row_count = zone.row_count;
+  copy.null_count = zone.null_count;
+  copy.int_min = zone.int_min;
+  copy.int_max = zone.int_max;
+  copy.double_min = zone.double_min;
+  copy.double_max = zone.double_max;
+  std::memcpy(copy.string_min, zone.string_min, sizeof(copy.string_min));
+  std::memcpy(copy.string_max, zone.string_max, sizeof(copy.string_max));
+  copy.string_min_len = zone.string_min_len;
+  copy.string_max_len = zone.string_max_len;
+  copy.all_null = zone.all_null;
+  out->Append(&copy, sizeof(copy));
+}
+}  // namespace
+
 void SerializeTableZoneMap(const TableZoneMap& zonemap, ByteBuffer* out) {
   size_t start = out->size();
   out->Append(kZoneMagic, 4);
@@ -186,7 +212,7 @@ void SerializeTableZoneMap(const TableZoneMap& zonemap, ByteBuffer* out) {
   for (const ColumnZoneMap& column : zonemap.columns) {
     out->AppendValue<u8>(static_cast<u8>(column.type));
     out->AppendValue<u32>(static_cast<u32>(column.zones.size()));
-    out->Append(column.zones.data(), column.zones.size() * sizeof(BlockZone));
+    for (const BlockZone& zone : column.zones) AppendZone(zone, out);
   }
   out->AppendValue<u32>(Crc32c(out->data() + start, out->size() - start));
 }

@@ -9,6 +9,9 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kLatency: return "latency";
     case FaultKind::kTruncate: return "truncate";
     case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kPartialPart: return "partial_part";
+    case FaultKind::kCrashBeforeWrite: return "crash_before_write";
+    case FaultKind::kCrashAfterWrite: return "crash_after_write";
   }
   return "?";
 }
@@ -21,6 +24,12 @@ FaultRule Targeted(FaultKind kind, std::string key_substring, u64 ordinal) {
   rule.key_substring = std::move(key_substring);
   rule.ordinal = ordinal;
   rule.max_fires = 1;
+  return rule;
+}
+
+FaultRule TargetedPut(FaultKind kind, std::string key_substring, u64 ordinal) {
+  FaultRule rule = Targeted(kind, std::move(key_substring), ordinal);
+  rule.op = FaultOp::kPut;
   return rule;
 }
 
@@ -51,6 +60,48 @@ FaultRule FaultRule::Corrupt(std::string key_substring, u64 ordinal,
   FaultRule rule = Targeted(FaultKind::kCorrupt, std::move(key_substring), ordinal);
   rule.corrupt_offset = byte_offset;
   return rule;
+}
+
+FaultRule FaultRule::PutThrottle(std::string key_substring, u64 ordinal) {
+  return TargetedPut(FaultKind::kThrottle, std::move(key_substring), ordinal);
+}
+
+FaultRule FaultRule::PutUnavailable(std::string key_substring, u64 ordinal) {
+  return TargetedPut(FaultKind::kUnavailable, std::move(key_substring), ordinal);
+}
+
+FaultRule FaultRule::PutPartialPart(std::string key_substring, u64 ordinal,
+                                    u64 keep_bytes) {
+  FaultRule rule =
+      TargetedPut(FaultKind::kPartialPart, std::move(key_substring), ordinal);
+  rule.truncate_to = keep_bytes;
+  return rule;
+}
+
+FaultRule FaultRule::PutTornWrite(std::string key_substring, u64 ordinal,
+                                  u64 keep_bytes) {
+  FaultRule rule =
+      TargetedPut(FaultKind::kTruncate, std::move(key_substring), ordinal);
+  rule.truncate_to = keep_bytes;
+  return rule;
+}
+
+FaultRule FaultRule::PutCorrupt(std::string key_substring, u64 ordinal,
+                                u64 byte_offset) {
+  FaultRule rule =
+      TargetedPut(FaultKind::kCorrupt, std::move(key_substring), ordinal);
+  rule.corrupt_offset = byte_offset;
+  return rule;
+}
+
+FaultRule FaultRule::PutCrashBefore(std::string key_substring, u64 ordinal) {
+  return TargetedPut(FaultKind::kCrashBeforeWrite, std::move(key_substring),
+                     ordinal);
+}
+
+FaultRule FaultRule::PutCrashAfter(std::string key_substring, u64 ordinal) {
+  return TargetedPut(FaultKind::kCrashAfterWrite, std::move(key_substring),
+                     ordinal);
 }
 
 FaultPlan MakeChaosPlan(u64 seed, double fault_rate, bool include_corruption) {
@@ -96,6 +147,42 @@ FaultPlan MakeChaosPlan(u64 seed, double fault_rate, bool include_corruption) {
 
 FaultPlan MakeTransientPlan(u64 seed, double fault_rate) {
   return MakeChaosPlan(seed, fault_rate, /*include_corruption=*/false);
+}
+
+FaultPlan MakePutChaosPlan(u64 seed, double fault_rate) {
+  // Same first-eligible-rule-wins discipline as MakeChaosPlan; all four
+  // kinds are *reported* failures (partial parts return Unavailable after
+  // tearing the part), so a writer that retries idempotently must converge.
+  FaultPlan plan;
+  plan.seed = seed;
+
+  FaultRule throttle;
+  throttle.kind = FaultKind::kThrottle;
+  throttle.op = FaultOp::kPut;
+  throttle.probability = fault_rate * 0.35;
+  plan.rules.push_back(throttle);
+
+  FaultRule unavailable;
+  unavailable.kind = FaultKind::kUnavailable;
+  unavailable.op = FaultOp::kPut;
+  unavailable.probability = fault_rate * 0.35;
+  plan.rules.push_back(unavailable);
+
+  FaultRule latency;
+  latency.kind = FaultKind::kLatency;
+  latency.op = FaultOp::kPut;
+  latency.probability = fault_rate * 0.15;
+  latency.latency_ns = 200 * 1000;  // 0.2 ms: noticeable, never dominant
+  plan.rules.push_back(latency);
+
+  FaultRule partial;
+  partial.kind = FaultKind::kPartialPart;
+  partial.op = FaultOp::kPut;
+  partial.probability = fault_rate * 0.15;
+  partial.truncate_to = 7;  // keeps a few bytes so the tear is a real tear
+  plan.rules.push_back(partial);
+
+  return plan;
 }
 
 }  // namespace btr::s3sim

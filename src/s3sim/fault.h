@@ -6,13 +6,19 @@
 // by the plan's seed and the store's request sequence, never by wall-clock
 // or global randomness, so a failing chaos schedule replays bit-for-bit.
 //
-// A plan is a list of rules. Each GET is matched against every rule in
-// order; every armed rule whose conditions hold (key substring, offset
-// window) counts the match, and the first rule that is also eligible to
-// fire (ordinal reached, probability gate passed) determines the outcome —
-// at most one fault per GET. Targeted rules ("the 3rd GET of column 2")
-// use `ordinal`; statistical chaos plans use `probability`
-// (see MakeChaosPlan).
+// A plan is a list of rules. Each request is matched against every rule in
+// order; every armed rule whose conditions hold (operation class, key
+// substring, offset window) counts the match, and the first rule that is
+// also eligible to fire (ordinal reached, probability gate passed)
+// determines the outcome — at most one fault per request. Targeted rules
+// ("the 3rd GET of column 2") use `ordinal`; statistical chaos plans use
+// `probability` (see MakeChaosPlan).
+//
+// Rules apply to one operation class (FaultOp): kGet covers GetChunk /
+// GetObject, kPut covers Put / UploadPart / CompleteMultipartUpload — the
+// write path a crash-safe ingester must survive (docs/WRITE_PATH.md). The
+// default is kGet so plans written before the write path existed keep
+// their exact meaning.
 #ifndef BTR_S3SIM_FAULT_H_
 #define BTR_S3SIM_FAULT_H_
 
@@ -24,17 +30,35 @@
 namespace btr::s3sim {
 
 enum class FaultKind : u8 {
-  kThrottle = 0,     // GET fails with Status::Throttled
-  kUnavailable = 1,  // GET fails with Status::Unavailable
-  kLatency = 2,      // GET succeeds after an added latency spike
-  kTruncate = 3,     // GET returns fewer bytes than the range asked for
-  kCorrupt = 4,      // GET succeeds but one byte of the payload is flipped
+  kThrottle = 0,     // request fails with Status::Throttled
+  kUnavailable = 1,  // request fails with Status::Unavailable
+  kLatency = 2,      // request succeeds after an added latency spike
+  kTruncate = 3,     // GET: fewer bytes than the range asked for.
+                     // PUT: only a prefix of the bytes is stored and the
+                     // request *reports success* — a silent torn write the
+                     // commit protocol must detect by verification.
+  kCorrupt = 4,      // GET: one byte of the response is flipped.
+                     // PUT: one stored byte is flipped, success reported.
+  kPartialPart = 5,  // PUT only: a prefix of the bytes lands, then the
+                     // request fails with Status::Unavailable — a torn
+                     // write the uploader is *told* about, so an
+                     // idempotent retry must replace it.
+  kCrashBeforeWrite = 6,  // PUT only: Status::IoError before any byte is
+                          // applied — models the process dying mid-call.
+  kCrashAfterWrite = 7,   // PUT only: the write applies fully, then
+                          // Status::IoError — the ack was lost.
 };
 
 const char* FaultKindName(FaultKind kind);
 
+// Which request class a rule matches.
+enum class FaultOp : u8 { kGet = 0, kPut = 1 };
+
 struct FaultRule {
   FaultKind kind = FaultKind::kUnavailable;
+  // Operation class this rule applies to. Defaults to kGet: plans written
+  // before PUT faults existed keep their exact behavior.
+  FaultOp op = FaultOp::kGet;
 
   // --- match conditions (all must hold) -----------------------------------
   // Keys containing this substring match; empty matches every key.
@@ -65,6 +89,19 @@ struct FaultRule {
   static FaultRule Truncate(std::string key_substring, u64 ordinal, u64 to);
   static FaultRule Corrupt(std::string key_substring, u64 ordinal,
                            u64 byte_offset = ~0ull);
+
+  // PUT-side conveniences (op = kPut). Ordinals count matching PUT-class
+  // requests: Put, UploadPart and CompleteMultipartUpload.
+  static FaultRule PutThrottle(std::string key_substring, u64 ordinal);
+  static FaultRule PutUnavailable(std::string key_substring, u64 ordinal);
+  static FaultRule PutPartialPart(std::string key_substring, u64 ordinal,
+                                  u64 keep_bytes);
+  static FaultRule PutTornWrite(std::string key_substring, u64 ordinal,
+                                u64 keep_bytes);  // silent truncation
+  static FaultRule PutCorrupt(std::string key_substring, u64 ordinal,
+                              u64 byte_offset = ~0ull);
+  static FaultRule PutCrashBefore(std::string key_substring, u64 ordinal);
+  static FaultRule PutCrashAfter(std::string key_substring, u64 ordinal);
 };
 
 struct FaultPlan {
@@ -87,6 +124,14 @@ FaultPlan MakeChaosPlan(u64 seed, double fault_rate,
 // Transient-only variant: throttles, unavailabilities and latency spikes,
 // never corruption — a retrying reader must survive this end to end.
 FaultPlan MakeTransientPlan(u64 seed, double fault_rate);
+
+// Statistical chaos for the write path: every PUT-class request (Put,
+// UploadPart, CompleteMultipartUpload) independently fails/degrades with
+// `fault_rate` probability, split across throttles, unavailabilities,
+// latency spikes and partial parts — all of them *reported* failures, so
+// a retrying writer must converge to a bit-identical committed table.
+// Used by tests/writer_test.cc and bench/bench_ingest.cc.
+FaultPlan MakePutChaosPlan(u64 seed, double fault_rate);
 
 }  // namespace btr::s3sim
 

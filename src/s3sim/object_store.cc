@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/crc32c.h"
 #include "util/timer.h"
 
 namespace btr::s3sim {
@@ -43,12 +44,277 @@ struct GetMetrics {
   }
 };
 
+// PUT-side observability, mirroring GetMetrics.
+struct PutMetrics {
+  obs::Counter& requests;
+  obs::Counter& bytes_total;
+  obs::Counter& faults_injected;
+  obs::Counter& faults_transient;
+  obs::Counter& faults_data;  // torn and corrupted writes
+
+  static PutMetrics& Get() {
+    static PutMetrics* m = [] {
+      obs::Registry& r = obs::Registry::Get();
+      return new PutMetrics{r.GetCounter("s3.put.requests"),
+                            r.GetCounter("s3.put.bytes_total"),
+                            r.GetCounter("s3.put.faults_injected"),
+                            r.GetCounter("s3.put.faults_transient"),
+                            r.GetCounter("s3.put.faults_data")};
+    }();
+    return *m;
+  }
+};
+
 }  // namespace
 
-void ObjectStore::Put(const std::string& key, const u8* data, size_t size) {
-  Blob blob = std::make_shared<const std::vector<u8>>(data, data + size);
+Status ObjectStore::ApplyPutFault(const FaultDecision& fault,
+                                  const std::string& key, const u8* data,
+                                  size_t size, std::vector<u8>* stored,
+                                  bool* apply_write) {
+  PutMetrics& metrics = PutMetrics::Get();
+  *apply_write = true;
+  stored->assign(data, data + size);
+  if (!fault.fired) return Status::Ok();
+  metrics.faults_injected.Add();
+  switch (fault.kind) {
+    case FaultKind::kThrottle:
+      metrics.faults_transient.Add();
+      *apply_write = false;
+      return Status::Throttled("injected throttle on PUT " + key);
+    case FaultKind::kUnavailable:
+      metrics.faults_transient.Add();
+      *apply_write = false;
+      return Status::Unavailable("injected unavailability on PUT " + key);
+    case FaultKind::kLatency:
+      metrics.faults_transient.Add();
+      std::this_thread::sleep_for(std::chrono::nanoseconds(fault.latency_ns));
+      return Status::Ok();
+    case FaultKind::kTruncate:
+      // Silent torn write: a prefix lands, success is reported.
+      metrics.faults_data.Add();
+      stored->resize(std::min<u64>(size, fault.truncate_to));
+      return Status::Ok();
+    case FaultKind::kCorrupt:
+      metrics.faults_data.Add();
+      if (!stored->empty()) {
+        (*stored)[fault.corrupt_offset % stored->size()] ^= 0x01;
+      }
+      return Status::Ok();
+    case FaultKind::kPartialPart:
+      // Reported torn write: a prefix lands, the request fails transiently.
+      metrics.faults_data.Add();
+      stored->resize(std::min<u64>(size, fault.truncate_to));
+      return Status::Unavailable("injected partial write on PUT " + key);
+    case FaultKind::kCrashBeforeWrite:
+      metrics.faults_transient.Add();
+      *apply_write = false;
+      return Status::IoError("injected crash before PUT " + key);
+    case FaultKind::kCrashAfterWrite:
+      metrics.faults_transient.Add();
+      return Status::IoError("injected crash after PUT " + key);
+  }
+  return Status::Ok();
+}
+
+Status ObjectStore::Put(const std::string& key, const u8* data, size_t size) {
+  {
+    std::lock_guard<std::mutex> lock(accounting_mutex_);
+    total_put_requests_++;
+  }
+  PutMetrics::Get().requests.Add();
+  FaultDecision fault = EvaluateFaults(key, 0, FaultOp::kPut);
+  std::vector<u8> stored;
+  bool apply_write = true;
+  Status status = ApplyPutFault(fault, key, data, size, &stored, &apply_write);
+  if (apply_write) {
+    {
+      std::lock_guard<std::mutex> lock(accounting_mutex_);
+      total_bytes_put_ += stored.size();
+    }
+    PutMetrics::Get().bytes_total.Add(stored.size());
+    Blob blob = std::make_shared<const std::vector<u8>>(std::move(stored));
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    objects_[key] = std::move(blob);
+  }
+  return status;
+}
+
+Status ObjectStore::Delete(const std::string& key) {
   std::lock_guard<std::mutex> lock(objects_mutex_);
-  objects_[key] = std::move(blob);
+  objects_.erase(key);
+  return Status::Ok();
+}
+
+std::vector<std::string> ObjectStore::ListKeys(const std::string& prefix) const {
+  std::vector<std::string> keys;
+  {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    for (const auto& [key, blob] : objects_) {
+      if (key.compare(0, prefix.size(), prefix) == 0) keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+Status ObjectStore::CreateMultipartUpload(const std::string& key,
+                                          std::string* upload_id) {
+  std::lock_guard<std::mutex> lock(objects_mutex_);
+  *upload_id = "mpu-" + std::to_string(next_upload_id_++);
+  uploads_[*upload_id].key = key;
+  return Status::Ok();
+}
+
+Status ObjectStore::UploadPart(const std::string& upload_id, u32 part_number,
+                               const u8* data, size_t size) {
+  if (part_number == 0) {
+    return Status::InvalidArgument("part numbers are 1-based");
+  }
+  std::string key;
+  {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    auto it = uploads_.find(upload_id);
+    if (it == uploads_.end()) {
+      return Status::NotFound("unknown multipart upload: " + upload_id);
+    }
+    key = it->second.key;
+  }
+  {
+    std::lock_guard<std::mutex> lock(accounting_mutex_);
+    total_put_requests_++;
+  }
+  PutMetrics::Get().requests.Add();
+  FaultDecision fault = EvaluateFaults(key, part_number, FaultOp::kPut);
+  std::vector<u8> stored;
+  bool apply_write = true;
+  Status status = ApplyPutFault(fault, key, data, size, &stored, &apply_write);
+  if (apply_write) {
+    {
+      std::lock_guard<std::mutex> lock(accounting_mutex_);
+      total_bytes_put_ += stored.size();
+    }
+    PutMetrics::Get().bytes_total.Add(stored.size());
+    Blob blob = std::make_shared<const std::vector<u8>>(std::move(stored));
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    auto it = uploads_.find(upload_id);
+    if (it == uploads_.end()) {
+      return Status::NotFound("unknown multipart upload: " + upload_id);
+    }
+    it->second.parts[part_number] = std::move(blob);
+  }
+  return status;
+}
+
+Status ObjectStore::CompleteMultipartUpload(const std::string& upload_id) {
+  std::string key;
+  {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    auto it = uploads_.find(upload_id);
+    if (it == uploads_.end()) {
+      return Status::NotFound("unknown multipart upload: " + upload_id);
+    }
+    key = it->second.key;
+    if (it->second.parts.empty()) {
+      return Status::InvalidArgument("multipart upload has no parts: " +
+                                     upload_id);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(accounting_mutex_);
+    total_put_requests_++;
+  }
+  PutMetrics::Get().requests.Add();
+  FaultDecision fault = EvaluateFaults(key, 0, FaultOp::kPut);
+  if (fault.fired) {
+    PutMetrics& metrics = PutMetrics::Get();
+    metrics.faults_injected.Add();
+    switch (fault.kind) {
+      case FaultKind::kThrottle:
+        metrics.faults_transient.Add();
+        return Status::Throttled("injected throttle completing " + key);
+      case FaultKind::kUnavailable:
+      case FaultKind::kPartialPart:  // cannot partially complete: transient
+        metrics.faults_transient.Add();
+        return Status::Unavailable("injected unavailability completing " + key);
+      case FaultKind::kLatency:
+        metrics.faults_transient.Add();
+        std::this_thread::sleep_for(std::chrono::nanoseconds(fault.latency_ns));
+        break;
+      case FaultKind::kCrashBeforeWrite:
+        metrics.faults_transient.Add();
+        return Status::IoError("injected crash before completing " + key);
+      case FaultKind::kCrashAfterWrite:
+      case FaultKind::kTruncate:
+      case FaultKind::kCorrupt:
+        // Handled below: the completed object publishes, then the ack is
+        // lost. Truncate/corrupt make no sense for a concatenation; treat
+        // them as the lost-ack crash so plans stay meaningful.
+        break;
+    }
+  }
+  bool lost_ack =
+      fault.fired && (fault.kind == FaultKind::kCrashAfterWrite ||
+                      fault.kind == FaultKind::kTruncate ||
+                      fault.kind == FaultKind::kCorrupt);
+  {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    auto it = uploads_.find(upload_id);
+    if (it == uploads_.end()) {
+      return Status::NotFound("unknown multipart upload: " + upload_id);
+    }
+    // Concatenate in ascending part-number order and publish atomically:
+    // readers of `key` see the old object (or nothing) until this swap.
+    auto assembled = std::make_shared<std::vector<u8>>();
+    size_t total = 0;
+    for (const auto& [number, part] : it->second.parts) total += part->size();
+    assembled->reserve(total);
+    for (const auto& [number, part] : it->second.parts) {
+      assembled->insert(assembled->end(), part->begin(), part->end());
+    }
+    objects_[it->second.key] = std::move(assembled);
+    uploads_.erase(it);
+  }
+  if (lost_ack) {
+    PutMetrics::Get().faults_transient.Add();
+    return Status::IoError("injected crash after completing " + key);
+  }
+  return Status::Ok();
+}
+
+Status ObjectStore::AbortMultipartUpload(const std::string& upload_id) {
+  std::lock_guard<std::mutex> lock(objects_mutex_);
+  uploads_.erase(upload_id);
+  return Status::Ok();
+}
+
+Status ObjectStore::ListParts(const std::string& upload_id, std::string* key,
+                              std::vector<PartInfo>* parts) const {
+  std::lock_guard<std::mutex> lock(objects_mutex_);
+  auto it = uploads_.find(upload_id);
+  if (it == uploads_.end()) {
+    return Status::NotFound("unknown multipart upload: " + upload_id);
+  }
+  if (key != nullptr) *key = it->second.key;
+  if (parts != nullptr) {
+    parts->clear();
+    for (const auto& [number, part] : it->second.parts) {
+      parts->push_back(
+          {number, part->size(), Crc32c(part->data(), part->size())});
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> ObjectStore::ListMultipartUploads(
+    const std::string& key_prefix) const {
+  std::vector<std::string> ids;
+  std::lock_guard<std::mutex> lock(objects_mutex_);
+  for (const auto& [id, upload] : uploads_) {
+    if (upload.key.compare(0, key_prefix.size(), key_prefix) == 0) {
+      ids.push_back(id);
+    }
+  }
+  return ids;  // std::map iteration: already sorted by id
 }
 
 bool ObjectStore::Contains(const std::string& key) const {
@@ -65,15 +331,17 @@ Status ObjectStore::ObjectSize(const std::string& key, u64* size) const {
 }
 
 ObjectStore::FaultDecision ObjectStore::EvaluateFaults(const std::string& key,
-                                                       u64 offset) {
+                                                       u64 offset, FaultOp op) {
   FaultDecision decision;
   std::lock_guard<std::mutex> lock(fault_mutex_);
   if (fault_plan_.Empty()) return decision;
-  // Every armed rule counts each matching GET — "the 3rd GET of column 2"
-  // means the 3rd GET, independent of what other rules did to GETs 1 and 2.
-  // At most one fault fires per GET: the first eligible rule in plan order.
+  // Every armed rule counts each matching request — "the 3rd GET of column
+  // 2" means the 3rd GET, independent of what other rules did to GETs 1
+  // and 2. At most one fault fires per request: the first eligible rule in
+  // plan order.
   for (size_t i = 0; i < fault_plan_.rules.size(); i++) {
     const FaultRule& rule = fault_plan_.rules[i];
+    if (rule.op != op) continue;
     if (rule_fires_[i] >= rule.max_fires) continue;
     if (!rule.key_substring.empty() &&
         key.find(rule.key_substring) == std::string::npos) {
@@ -145,6 +413,13 @@ Status ObjectStore::GetChunk(const std::string& key, u64 offset, u64 length,
       case FaultKind::kCorrupt:
         metrics.faults_data.Add();
         break;
+      case FaultKind::kPartialPart:
+      case FaultKind::kCrashBeforeWrite:
+      case FaultKind::kCrashAfterWrite:
+        // PUT-only kinds; a plan that aims one at a GET degrades to a
+        // transient failure rather than silently doing nothing.
+        metrics.faults_transient.Add();
+        return Status::Unavailable("injected unavailability on " + key);
     }
   }
 
@@ -213,6 +488,16 @@ u64 ObjectStore::total_bytes_fetched() const {
   return total_bytes_fetched_;
 }
 
+u64 ObjectStore::total_put_requests() const {
+  std::lock_guard<std::mutex> lock(accounting_mutex_);
+  return total_put_requests_;
+}
+
+u64 ObjectStore::total_bytes_put() const {
+  std::lock_guard<std::mutex> lock(accounting_mutex_);
+  return total_bytes_put_;
+}
+
 double ObjectStore::network_seconds() const {
   std::lock_guard<std::mutex> lock(accounting_mutex_);
   return network_seconds_;
@@ -222,6 +507,8 @@ void ObjectStore::ResetAccounting() {
   std::lock_guard<std::mutex> lock(accounting_mutex_);
   total_requests_ = 0;
   total_bytes_fetched_ = 0;
+  total_put_requests_ = 0;
+  total_bytes_put_ = 0;
   network_seconds_ = 0;
 }
 

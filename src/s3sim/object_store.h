@@ -18,10 +18,14 @@
 // latency spikes, truncate ranges, or flip payload bytes — deterministic
 // per (seed, request sequence), so chaos schedules replay exactly. The
 // read path (exec::Prefetcher + btr::Scanner) is expected to retry the
-// transient kinds and *detect* the corrupting ones via block CRCs.
+// transient kinds and *detect* the corrupting ones via block CRCs. PUT
+// rules do the same to the write path — failed, torn, corrupted or
+// crash-interrupted writes — which the streaming writer must retry,
+// verify, and recover from (src/write/, docs/WRITE_PATH.md).
 #ifndef BTR_S3SIM_OBJECT_STORE_H_
 #define BTR_S3SIM_OBJECT_STORE_H_
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -56,6 +60,13 @@ struct S3Config {
   double wall_clock_gbps = 2.0;                 // per-connection bandwidth
 };
 
+// One staged part of a multipart upload, as ListParts reports it.
+struct PartInfo {
+  u32 part_number = 0;
+  u64 size = 0;
+  u32 crc32c = 0;  // CRC32C of the part bytes as stored
+};
+
 // In-memory object store with request accounting and optional fault
 // injection. Objects are opaque byte blobs; GetChunk models one ranged GET.
 //
@@ -67,10 +78,44 @@ class ObjectStore {
  public:
   explicit ObjectStore(const S3Config& config = S3Config()) : config_(config) {}
 
-  void Put(const std::string& key, const u8* data, size_t size);
+  // Stores the object, replacing any previous bytes atomically. PUT-class
+  // faults apply (see fault.h): the call can fail transiently
+  // (Throttled/Unavailable — safe to retry), fail like a mid-call process
+  // death (IoError with the write applied or not), or *silently* store
+  // torn/corrupt bytes — which is why the commit protocol verifies what
+  // actually landed before publishing (docs/WRITE_PATH.md).
+  [[nodiscard]] Status Put(const std::string& key, const u8* data, size_t size);
+  // Removes the object. Idempotent (Ok when the key does not exist) and
+  // never faulted: recovery's garbage collection must be able to converge.
+  Status Delete(const std::string& key);
   bool Contains(const std::string& key) const;
   // Status::NotFound when the key does not exist.
   Status ObjectSize(const std::string& key, u64* size) const;
+  // Keys starting with `prefix`, sorted. Metadata-plane: never faults.
+  std::vector<std::string> ListKeys(const std::string& prefix = "") const;
+
+  // --- multipart uploads -----------------------------------------------------
+  // The resumable staging primitive the streaming write path builds on
+  // (S3 semantics): parts upload independently and in any order, re-upload
+  // of a part number replaces it, and nothing is visible under `key` until
+  // CompleteMultipartUpload concatenates the parts in part-number order
+  // and publishes the object atomically. An interrupted upload keeps its
+  // parts server-side — ListMultipartUploads/ListParts let a recovery pass
+  // resume or abort it. Create/Abort/List are metadata-plane (never
+  // faulted); UploadPart and Complete are PUT-class requests and take
+  // faults like Put.
+  Status CreateMultipartUpload(const std::string& key, std::string* upload_id);
+  [[nodiscard]] Status UploadPart(const std::string& upload_id, u32 part_number,
+                                  const u8* data, size_t size);
+  [[nodiscard]] Status CompleteMultipartUpload(const std::string& upload_id);
+  // Idempotent: Ok when the upload is unknown (already completed/aborted).
+  Status AbortMultipartUpload(const std::string& upload_id);
+  // Target key and staged parts (part-number order) of an open upload.
+  Status ListParts(const std::string& upload_id, std::string* key,
+                   std::vector<PartInfo>* parts) const;
+  // Upload ids whose target key starts with `key_prefix`, sorted.
+  std::vector<std::string> ListMultipartUploads(
+      const std::string& key_prefix = "") const;
 
   // Reads [offset, offset+length) into out (resized; a range reaching past
   // the end is clipped). Accounts one GET request and the modeled transfer
@@ -85,15 +130,20 @@ class ObjectStore {
 
   // --- fault injection -------------------------------------------------------
   // Installs a plan (replacing any previous one) and re-arms its rules.
-  // Faults apply to GetChunk/GetObject only; Put/Contains/ObjectSize are
-  // metadata-plane and never fault.
+  // Faults apply to GetChunk/GetObject (kGet rules) and to
+  // Put/UploadPart/CompleteMultipartUpload (kPut rules); Delete, Contains,
+  // ObjectSize, listing and upload create/abort are metadata-plane and
+  // never fault.
   void InstallFaultPlan(FaultPlan plan);
   void ClearFaultPlan();
-  // GETs that an installed plan failed, truncated, corrupted, or delayed.
+  // Requests that an installed plan failed, tore, corrupted, or delayed.
   u64 faults_injected() const;
 
   u64 total_requests() const;
   u64 total_bytes_fetched() const;
+  // PUT-class requests (Put/UploadPart/Complete), including failed ones.
+  u64 total_put_requests() const;
+  u64 total_bytes_put() const;  // bytes that actually landed
   // Modeled seconds the network was busy (requests overlap; latency
   // is handled by the scan model, not accumulated per request).
   double network_seconds() const;
@@ -110,8 +160,16 @@ class ObjectStore {
     u64 truncate_to = 0;
     u64 corrupt_offset = 0;
   };
-  // Matches one GET against the installed plan (rule counters advance).
-  FaultDecision EvaluateFaults(const std::string& key, u64 offset);
+  // Matches one request against the installed plan (rule counters
+  // advance). `offset` is the GET offset, or the part number for
+  // UploadPart — either way a targeting dimension for rules.
+  FaultDecision EvaluateFaults(const std::string& key, u64 offset,
+                               FaultOp op = FaultOp::kGet);
+  // Shared body of Put-like writes: applies a PUT fault decision to the
+  // bytes (tear/flip/drop) and reports what to store and what to return.
+  Status ApplyPutFault(const FaultDecision& fault, const std::string& key,
+                       const u8* data, size_t size, std::vector<u8>* stored,
+                       bool* apply_write);
 
   S3Config config_;
 
@@ -121,6 +179,16 @@ class ObjectStore {
   using Blob = std::shared_ptr<const std::vector<u8>>;
   mutable std::mutex objects_mutex_;
   std::unordered_map<std::string, Blob> objects_;
+
+  // Multipart staging area: parts live outside objects_ until Complete
+  // concatenates and publishes them. Guarded by objects_mutex_ (uploads
+  // and objects transition into each other atomically on Complete).
+  struct MultipartUpload {
+    std::string key;
+    std::map<u32, Blob> parts;  // part number -> staged bytes
+  };
+  std::map<std::string, MultipartUpload> uploads_;  // upload id -> state
+  u64 next_upload_id_ = 1;
 
   mutable std::mutex fault_mutex_;
   FaultPlan fault_plan_;
@@ -132,6 +200,8 @@ class ObjectStore {
   mutable std::mutex accounting_mutex_;
   u64 total_requests_ = 0;
   u64 total_bytes_fetched_ = 0;
+  u64 total_put_requests_ = 0;
+  u64 total_bytes_put_ = 0;
   double network_seconds_ = 0;
 };
 

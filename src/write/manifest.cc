@@ -1,0 +1,117 @@
+#include "write/manifest.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace btr::write {
+
+namespace {
+constexpr char kManifestMagic[4] = {'B', 'T', 'R', 'V'};
+}  // namespace
+
+std::string ManifestKey(const std::string& prefix, const std::string& table) {
+  return prefix + table + ".manifest";
+}
+
+std::string VersionedName(const std::string& table, u64 version) {
+  return table + ".v" + std::to_string(version);
+}
+
+std::string IntentKey(const std::string& prefix, const std::string& table,
+                      u64 version) {
+  return prefix + VersionedName(table, version) + ".intent";
+}
+
+bool ParseVersionedKey(const std::string& key, const std::string& prefix,
+                       const std::string& table, u64* version) {
+  const std::string stem = prefix + table + ".v";
+  if (key.compare(0, stem.size(), stem) != 0) return false;
+  size_t pos = stem.size();
+  if (pos >= key.size() || key[pos] < '0' || key[pos] > '9') return false;
+  u64 value = 0;
+  while (pos < key.size() && key[pos] >= '0' && key[pos] <= '9') {
+    value = value * 10 + (key[pos] - '0');
+    pos++;
+  }
+  // A version stem is always followed by the object suffix (".btrmeta",
+  // ".<col>.btr", ".zones", ".intent") — a bare "<table>.v7" or a longer
+  // table name that merely starts the same way does not count.
+  if (pos >= key.size() || key[pos] != '.') return false;
+  *version = value;
+  return true;
+}
+
+void SerializeManifest(const Manifest& manifest, ByteBuffer* out) {
+  size_t start = out->size();
+  out->Append(kManifestMagic, 4);
+  out->AppendValue<u32>(kManifestFormatVersion);
+  out->AppendValue<u64>(manifest.committed_version);
+  out->AppendValue<u16>(static_cast<u16>(manifest.table.size()));
+  out->Append(manifest.table.data(), manifest.table.size());
+  out->AppendValue<u32>(Crc32c(out->data() + start, out->size() - start));
+}
+
+Status ParseManifest(const u8* data, size_t size, Manifest* out) {
+  if (size < 4) return Status::Corruption("manifest too small for CRC");
+  u32 stored_crc;
+  std::memcpy(&stored_crc, data + size - 4, 4);
+  if (Crc32c(data, size - 4) != stored_crc) {
+    return Status::Corruption("manifest CRC mismatch");
+  }
+  const u8* p = data;
+  size_t remaining = size - 4;
+  auto read = [&](void* dst, size_t n) {
+    if (n > remaining) return false;
+    std::memcpy(dst, p, n);
+    p += n;
+    remaining -= n;
+    return true;
+  };
+  char magic[4];
+  if (!read(magic, 4) || std::memcmp(magic, kManifestMagic, 4) != 0) {
+    return Status::Corruption("bad manifest magic");
+  }
+  u32 format;
+  if (!read(&format, 4)) return Status::Corruption("truncated manifest");
+  if (format != kManifestFormatVersion) {
+    return Status::Corruption("unsupported manifest format " +
+                              std::to_string(format));
+  }
+  u16 name_len;
+  if (!read(&out->committed_version, 8) || !read(&name_len, 2)) {
+    return Status::Corruption("truncated manifest");
+  }
+  out->table.resize(name_len);
+  if (!read(out->table.data(), name_len)) {
+    return Status::Corruption("truncated manifest");
+  }
+  if (out->committed_version == 0) {
+    return Status::Corruption("manifest names version 0");
+  }
+  return Status::Ok();
+}
+
+Status ReadManifest(s3sim::ObjectStore* store, const std::string& prefix,
+                    const std::string& table, Manifest* out) {
+  out->table = table;
+  out->committed_version = 0;
+  const std::string key = ManifestKey(prefix, table);
+  if (!store->Contains(key)) return Status::Ok();
+  std::vector<u8> blob;
+  BTR_RETURN_IF_ERROR(store->GetObject(key, &blob));
+  return ParseManifest(blob.data(), blob.size(), out);
+}
+
+Status ResolveCommittedName(s3sim::ObjectStore* store,
+                            const std::string& prefix,
+                            const std::string& table, std::string* name) {
+  Manifest manifest;
+  BTR_RETURN_IF_ERROR(ReadManifest(store, prefix, table, &manifest));
+  *name = manifest.committed_version == 0
+              ? table
+              : VersionedName(table, manifest.committed_version);
+  return Status::Ok();
+}
+
+}  // namespace btr::write

@@ -8,6 +8,7 @@
 
 #include "s3sim/fault.h"
 #include "s3sim/object_store.h"
+#include "util/crc32c.h"
 #include "util/random.h"
 
 namespace btr::s3sim {
@@ -18,7 +19,7 @@ TEST(ObjectStoreTest, PutGetRoundTrip) {
   Random rng(1);
   std::vector<u8> data(40 << 20);  // 40 MiB: three 16 MiB chunks
   for (u8& b : data) b = static_cast<u8>(rng.Next());
-  store.Put("bucket/key", data.data(), data.size());
+  ASSERT_TRUE(store.Put("bucket/key", data.data(), data.size()).ok());
   EXPECT_TRUE(store.Contains("bucket/key"));
   u64 size = 0;
   ASSERT_TRUE(store.ObjectSize("bucket/key", &size).ok());
@@ -36,7 +37,7 @@ TEST(ObjectStoreTest, RangedGet) {
   ObjectStore store;
   std::vector<u8> data(1000);
   for (size_t i = 0; i < data.size(); i++) data[i] = static_cast<u8>(i);
-  store.Put("k", data.data(), data.size());
+  ASSERT_TRUE(store.Put("k", data.data(), data.size()).ok());
   std::vector<u8> chunk;
   ASSERT_TRUE(store.GetChunk("k", 100, 50, &chunk).ok());
   ASSERT_EQ(chunk.size(), 50u);
@@ -58,7 +59,7 @@ TEST(ObjectStoreTest, MissingObjectIsNotFoundNotAbort) {
 TEST(ObjectStoreTest, OffsetPastEndIsInvalidArgument) {
   ObjectStore store;
   std::vector<u8> data(100, 7);
-  store.Put("k", data.data(), data.size());
+  ASSERT_TRUE(store.Put("k", data.data(), data.size()).ok());
   std::vector<u8> out;
   EXPECT_TRUE(store.GetChunk("k", 200, 10, &out).IsInvalidArgument());
 }
@@ -66,7 +67,7 @@ TEST(ObjectStoreTest, OffsetPastEndIsInvalidArgument) {
 TEST(ObjectStoreTest, ResetAccounting) {
   ObjectStore store;
   std::vector<u8> data(100, 1);
-  store.Put("k", data.data(), data.size());
+  ASSERT_TRUE(store.Put("k", data.data(), data.size()).ok());
   std::vector<u8> out;
   ASSERT_TRUE(store.GetObject("k", &out).ok());
   EXPECT_GT(store.total_requests(), 0u);
@@ -82,7 +83,7 @@ TEST(ObjectStoreTest, ConcurrentPutAndGetAreSafe) {
   ObjectStore store;
   constexpr size_t kSize = 64 << 10;
   std::vector<u8> zeros(kSize, 0x00), ones(kSize, 0xFF);
-  store.Put("k", zeros.data(), zeros.size());
+  ASSERT_TRUE(store.Put("k", zeros.data(), zeros.size()).ok());
 
   std::atomic<bool> stop{false};
   std::atomic<u64> torn_reads{0};
@@ -104,7 +105,8 @@ TEST(ObjectStoreTest, ConcurrentPutAndGetAreSafe) {
     });
   }
   for (int i = 0; i < 200; i++) {
-    store.Put("k", (i & 1) != 0 ? ones.data() : zeros.data(), kSize);
+    ASSERT_TRUE(
+        store.Put("k", (i & 1) != 0 ? ones.data() : zeros.data(), kSize).ok());
   }
   stop.store(true);
   for (std::thread& t : readers) t.join();
@@ -116,8 +118,8 @@ TEST(ObjectStoreTest, ConcurrentPutAndGetAreSafe) {
 TEST(FaultInjectionTest, TargetedOrdinalRuleFiresExactlyOnce) {
   ObjectStore store;
   std::vector<u8> data(1000, 3);
-  store.Put("table.2.btr", data.data(), data.size());
-  store.Put("table.0.btr", data.data(), data.size());
+  ASSERT_TRUE(store.Put("table.2.btr", data.data(), data.size()).ok());
+  ASSERT_TRUE(store.Put("table.0.btr", data.data(), data.size()).ok());
 
   FaultPlan plan;
   plan.seed = 7;
@@ -142,7 +144,7 @@ TEST(FaultInjectionTest, TruncateAndCorruptAreDetectableDataFaults) {
   ObjectStore store;
   std::vector<u8> data(100);
   for (size_t i = 0; i < data.size(); i++) data[i] = static_cast<u8>(i);
-  store.Put("k", data.data(), data.size());
+  ASSERT_TRUE(store.Put("k", data.data(), data.size()).ok());
 
   FaultPlan plan;
   plan.seed = 11;
@@ -170,7 +172,7 @@ TEST(FaultInjectionTest, ChaosPlanIsDeterministicPerSeed) {
   auto run = [](u64 seed) {
     ObjectStore store;
     std::vector<u8> data(100, 9);
-    store.Put("k", data.data(), data.size());
+    EXPECT_TRUE(store.Put("k", data.data(), data.size()).ok());
     store.InstallFaultPlan(MakeChaosPlan(seed, 0.5, true));
     std::string outcomes;
     std::vector<u8> out;
@@ -191,7 +193,7 @@ TEST(FaultInjectionTest, ChaosPlanIsDeterministicPerSeed) {
 TEST(FaultInjectionTest, ClearFaultPlanStopsInjection) {
   ObjectStore store;
   std::vector<u8> data(10, 1);
-  store.Put("k", data.data(), data.size());
+  ASSERT_TRUE(store.Put("k", data.data(), data.size()).ok());
   store.InstallFaultPlan(MakeTransientPlan(3, 1.0));
   std::vector<u8> out;
   // rate 1.0 splits across independent probability gates (~72% per GET);
@@ -213,7 +215,7 @@ TEST(FaultInjectionTest, TransientPlanNeverCorruptsData) {
   ObjectStore store;
   std::vector<u8> data(256);
   for (size_t i = 0; i < data.size(); i++) data[i] = static_cast<u8>(i * 7);
-  store.Put("k", data.data(), data.size());
+  ASSERT_TRUE(store.Put("k", data.data(), data.size()).ok());
   store.InstallFaultPlan(MakeTransientPlan(99, 0.4));
   std::vector<u8> out;
   for (int i = 0; i < 200; i++) {
@@ -226,6 +228,166 @@ TEST(FaultInjectionTest, TransientPlanNeverCorruptsData) {
     EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin()))
         << "transient plan must not corrupt";
   }
+}
+
+TEST(MultipartUploadTest, AssemblesPartsInPartNumberOrder) {
+  ObjectStore store;
+  std::string id;
+  ASSERT_TRUE(store.CreateMultipartUpload("mp/object", &id).ok());
+  // Upload out of order; the assembled object must follow part numbers.
+  const std::string p3 = "-tail", p1 = "head-", p2 = "middle";
+  ASSERT_TRUE(store.UploadPart(id, 3, reinterpret_cast<const u8*>(p3.data()),
+                               p3.size())
+                  .ok());
+  ASSERT_TRUE(store.UploadPart(id, 1, reinterpret_cast<const u8*>(p1.data()),
+                               p1.size())
+                  .ok());
+  ASSERT_TRUE(store.UploadPart(id, 2, reinterpret_cast<const u8*>(p2.data()),
+                               p2.size())
+                  .ok());
+  // Nothing visible until completion.
+  EXPECT_FALSE(store.Contains("mp/object"));
+  std::vector<PartInfo> parts;
+  std::string key;
+  ASSERT_TRUE(store.ListParts(id, &key, &parts).ok());
+  EXPECT_EQ(key, "mp/object");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].part_number, 1u);
+  EXPECT_EQ(parts[0].size, p1.size());
+  EXPECT_EQ(parts[0].crc32c, Crc32c(p1.data(), p1.size()));
+  ASSERT_TRUE(store.CompleteMultipartUpload(id).ok());
+  std::vector<u8> blob;
+  ASSERT_TRUE(store.GetObject("mp/object", &blob).ok());
+  EXPECT_EQ(std::string(blob.begin(), blob.end()), "head-middle-tail");
+  // The upload is gone once completed.
+  EXPECT_TRUE(store.ListMultipartUploads("").empty());
+  EXPECT_FALSE(store.ListParts(id, &key, &parts).ok());
+}
+
+TEST(MultipartUploadTest, ReuploadedPartReplacesDamagedBytes) {
+  ObjectStore store;
+  std::string id;
+  ASSERT_TRUE(store.CreateMultipartUpload("mp/object", &id).ok());
+  const std::string bad = "XXXX", good = "good";
+  ASSERT_TRUE(store.UploadPart(id, 1, reinterpret_cast<const u8*>(bad.data()),
+                               bad.size())
+                  .ok());
+  ASSERT_TRUE(store.UploadPart(id, 1, reinterpret_cast<const u8*>(good.data()),
+                               good.size())
+                  .ok());
+  ASSERT_TRUE(store.CompleteMultipartUpload(id).ok());
+  std::vector<u8> blob;
+  ASSERT_TRUE(store.GetObject("mp/object", &blob).ok());
+  EXPECT_EQ(std::string(blob.begin(), blob.end()), "good");
+}
+
+TEST(MultipartUploadTest, AbortIsIdempotentAndDropsParts) {
+  ObjectStore store;
+  std::string id;
+  ASSERT_TRUE(store.CreateMultipartUpload("mp/object", &id).ok());
+  const std::string p = "bytes";
+  ASSERT_TRUE(
+      store.UploadPart(id, 1, reinterpret_cast<const u8*>(p.data()), p.size())
+          .ok());
+  ASSERT_EQ(store.ListMultipartUploads("mp/").size(), 1u);
+  ASSERT_TRUE(store.AbortMultipartUpload(id).ok());
+  EXPECT_TRUE(store.ListMultipartUploads("mp/").empty());
+  EXPECT_FALSE(store.Contains("mp/object"));
+  // Second abort (and abort of a never-created id) is Ok — recovery may
+  // race a writer's own cleanup.
+  EXPECT_TRUE(store.AbortMultipartUpload(id).ok());
+  EXPECT_TRUE(store.AbortMultipartUpload("no-such-upload").ok());
+  // Completing an aborted upload must fail.
+  EXPECT_FALSE(store.CompleteMultipartUpload(id).ok());
+}
+
+TEST(PutFaultTest, TornWriteStoresPrefixButReportsSuccess) {
+  ObjectStore store;
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.rules.push_back(FaultRule::PutTornWrite("victim", 1, 3));
+  store.InstallFaultPlan(plan);
+  const std::string data = "0123456789";
+  ASSERT_TRUE(
+      store.Put("victim", reinterpret_cast<const u8*>(data.data()), data.size())
+          .ok());  // silent: the ack lies
+  std::vector<u8> blob;
+  ASSERT_TRUE(store.GetObject("victim", &blob).ok());
+  EXPECT_EQ(std::string(blob.begin(), blob.end()), "012") << "3-byte prefix";
+  EXPECT_EQ(store.faults_injected(), 1u);
+}
+
+TEST(PutFaultTest, PartialPartKeepsPrefixAndReportsUnavailable) {
+  ObjectStore store;
+  FaultPlan plan;
+  plan.seed = 22;
+  plan.rules.push_back(FaultRule::PutPartialPart("mp/object", 1, 2));
+  store.InstallFaultPlan(plan);
+  std::string id;
+  ASSERT_TRUE(store.CreateMultipartUpload("mp/object", &id).ok());
+  const std::string p = "abcdef";
+  Status status =
+      store.UploadPart(id, 1, reinterpret_cast<const u8*>(p.data()), p.size());
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  // The damaged prefix is visible to ListParts — exactly what a resuming
+  // writer must detect (size/CRC mismatch) and re-upload.
+  std::vector<PartInfo> parts;
+  ASSERT_TRUE(store.ListParts(id, nullptr, &parts).ok());
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size, 2u);
+  // Retry replaces the part; the object assembles clean.
+  ASSERT_TRUE(
+      store.UploadPart(id, 1, reinterpret_cast<const u8*>(p.data()), p.size())
+          .ok());
+  ASSERT_TRUE(store.CompleteMultipartUpload(id).ok());
+  std::vector<u8> blob;
+  ASSERT_TRUE(store.GetObject("mp/object", &blob).ok());
+  EXPECT_EQ(std::string(blob.begin(), blob.end()), p);
+}
+
+TEST(PutFaultTest, CrashBeforeAndAfterWriteDifferInApplication) {
+  const std::string data = "payload";
+  {
+    ObjectStore store;
+    FaultPlan plan;
+    plan.seed = 23;
+    plan.rules.push_back(FaultRule::PutCrashBefore("k", 1));
+    store.InstallFaultPlan(plan);
+    EXPECT_TRUE(store
+                    .Put("k", reinterpret_cast<const u8*>(data.data()),
+                         data.size())
+                    .IsIoError());
+    EXPECT_FALSE(store.Contains("k")) << "crash-before must not apply";
+  }
+  {
+    ObjectStore store;
+    FaultPlan plan;
+    plan.seed = 24;
+    plan.rules.push_back(FaultRule::PutCrashAfter("k", 1));
+    store.InstallFaultPlan(plan);
+    EXPECT_TRUE(store
+                    .Put("k", reinterpret_cast<const u8*>(data.data()),
+                         data.size())
+                    .IsIoError());
+    EXPECT_TRUE(store.Contains("k")) << "crash-after applied then failed";
+  }
+}
+
+TEST(PutFaultTest, PutChaosPlanIsDeterministicPerSeed) {
+  auto run = [](u64 seed) {
+    ObjectStore store;
+    store.InstallFaultPlan(MakePutChaosPlan(seed, 0.5));
+    std::string trace;
+    std::vector<u8> data(1024, 0xAB);
+    for (int i = 0; i < 40; i++) {
+      Status status =
+          store.Put("chaos/" + std::to_string(i), data.data(), data.size());
+      trace += status.ok() ? 'o' : 'x';
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78)) << "different seeds, different schedules";
 }
 
 TEST(ScanModelTest, NetworkBoundWhenCpuIsFast) {

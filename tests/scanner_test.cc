@@ -13,6 +13,7 @@
 
 #include "btr/btrblocks.h"
 #include "btr/predicate.h"
+#include "write/manifest.h"
 
 namespace btr {
 namespace {
@@ -232,15 +233,21 @@ TEST(ScannerTest, EmptySelectionSkipsDecompression) {
 
 TEST(ScannerTest, PoisonedBlockSurfacesStatusNotCrash) {
   Fixture f;
-  // Corrupt the type byte of block 1 of the "id" column object.
-  std::string key = ColumnFileKey("lake/", "scan_table", 0);
+  // Corrupt the type byte of block 1 of the "id" column object. The
+  // upload committed through the versioned write path, so resolve the
+  // physical ".v<N>" name the way Scanner::Open does.
+  std::string resolved;
+  ASSERT_TRUE(write::ResolveCommittedName(&f.store, "lake/", "scan_table",
+                                          &resolved)
+                  .ok());
+  std::string key = ColumnFileKey("lake/", resolved, 0);
   std::vector<u8> object;
   ASSERT_TRUE(f.store.GetObject(key, &object).ok());
   const CompressedColumn& column = f.compressed.columns[0];
   u64 offset = ColumnFileHeaderBytes(column.blocks.size());
   offset += column.blocks[0].size();  // start of block 1
   object[offset] = 0x7F;              // invalid column type byte
-  f.store.Put(key, object.data(), object.size());
+  ASSERT_TRUE(f.store.Put(key, object.data(), object.size()).ok());
 
   Scanner scanner(&f.store, "scan_table", "lake/");
   ASSERT_TRUE(scanner.Open().ok());

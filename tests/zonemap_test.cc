@@ -269,11 +269,25 @@ TEST(ZoneMapTest, SidecarRoundTrip) {
   ASSERT_TRUE(ReadTableZoneMap(dir, "ztable", &loaded).ok());
   ASSERT_EQ(loaded.columns.size(), 2u);
   ASSERT_EQ(loaded.columns[0].zones.size(), zonemap.columns[0].zones.size());
+  // Compare field-by-field: BlockZone has padding bytes, and the
+  // serializer deliberately zeroes them (bit-identity for the write
+  // path), so a whole-struct memcmp against the in-memory original
+  // would compare indeterminate padding.
   for (size_t c = 0; c < 2; c++) {
     for (size_t z = 0; z < zonemap.columns[c].zones.size(); z++) {
-      EXPECT_EQ(std::memcmp(&loaded.columns[c].zones[z],
-                            &zonemap.columns[c].zones[z], sizeof(BlockZone)),
-                0);
+      const BlockZone& got = loaded.columns[c].zones[z];
+      const BlockZone& want = zonemap.columns[c].zones[z];
+      EXPECT_EQ(got.row_count, want.row_count);
+      EXPECT_EQ(got.null_count, want.null_count);
+      EXPECT_EQ(got.int_min, want.int_min);
+      EXPECT_EQ(got.int_max, want.int_max);
+      EXPECT_EQ(got.double_min, want.double_min);
+      EXPECT_EQ(got.double_max, want.double_max);
+      EXPECT_EQ(std::memcmp(got.string_min, want.string_min, 8), 0);
+      EXPECT_EQ(std::memcmp(got.string_max, want.string_max, 8), 0);
+      EXPECT_EQ(got.string_min_len, want.string_min_len);
+      EXPECT_EQ(got.string_max_len, want.string_max_len);
+      EXPECT_EQ(got.all_null, want.all_null);
     }
   }
   TableZoneMap missing;
